@@ -1,0 +1,109 @@
+// Command bpsweep sweeps branch predictor configurations over a workload's
+// trace and prints a table of misprediction rates, with and without the
+// paper's mechanisms.
+//
+// Usage:
+//
+//	bpsweep -w bsearch -convert
+//	bpsweep -w scan -convert -sizes 8,10,12 -hists 4,8,12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bpsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func parseInts(spec string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad list element %q", f)
+		}
+		if v < 1 || v > 28 {
+			return nil, fmt.Errorf("size %d out of range [1,28]", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bpsweep", flag.ContinueOnError)
+	wname := fs.String("w", "", "built-in workload name")
+	convert := fs.Bool("convert", false, "if-convert before tracing")
+	sizes := fs.String("sizes", "8,10,12,14", "gshare table bits to sweep")
+	hists := fs.String("hists", "8", "history lengths to sweep")
+	limit := fs.Uint64("limit", 10_000_000, "dynamic instruction limit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *wname == "" {
+		return fmt.Errorf("need -w workload")
+	}
+	w, err := repro.WorkloadByName(*wname)
+	if err != nil {
+		return err
+	}
+	p := w.Build()
+	if *convert {
+		cp, _, err := repro.IfConvert(p, repro.IfConvConfig{})
+		if err != nil {
+			return err
+		}
+		p = cp
+	}
+	tr, err := repro.CollectTrace(p, *limit)
+	if err != nil {
+		return err
+	}
+	tb, err := parseInts(*sizes)
+	if err != nil {
+		return err
+	}
+	hb, err := parseInts(*hists)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "workload %s: %d insts, %d cond branches (%d region-based), %d predicate defines\n\n",
+		p.Name, tr.Insts, tr.Branches, tr.RegionBranches, tr.PredDefs)
+	fmt.Fprintf(out, "%-16s %10s %10s %10s %10s %10s\n",
+		"predictor", "base", "+sfpf", "+pgu", "+both", "coverage")
+	for _, t := range tb {
+		for _, h := range hb {
+			mk := func() repro.Predictor { return repro.NewGShare(t, h) }
+			base := repro.Evaluate(tr, repro.EvalConfig{Predictor: mk()})
+			sf := repro.Evaluate(tr, repro.EvalConfig{
+				Predictor: mk(), UseSFPF: true, ResolveDelay: repro.DefaultResolveDelay,
+			})
+			pg := repro.Evaluate(tr, repro.EvalConfig{
+				Predictor: mk(), PGU: repro.PGUAll, PGUDelay: repro.DefaultPGUDelay,
+			})
+			both := repro.Evaluate(tr, repro.EvalConfig{
+				Predictor: mk(), UseSFPF: true, ResolveDelay: repro.DefaultResolveDelay,
+				PGU: repro.PGUAll, PGUDelay: repro.DefaultPGUDelay,
+			})
+			fmt.Fprintf(out, "%-16s %9.2f%% %9.2f%% %9.2f%% %9.2f%% %9.1f%%\n",
+				fmt.Sprintf("gshare-%d.%d", t, h),
+				100*base.MispredictRate(), 100*sf.MispredictRate(),
+				100*pg.MispredictRate(), 100*both.MispredictRate(),
+				100*both.FilterCoverage())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSweepRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-w", "scan", "-convert", "-sizes", "10,12", "-hists", "8"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "gshare-10.8") || !strings.Contains(out, "gshare-12.8") {
+		t.Errorf("sweep rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "region-based") {
+		t.Errorf("header missing:\n%s", out)
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("4, 8,12")
+	if err != nil || len(got) != 3 || got[1] != 8 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "x", "0", "99"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Errorf("parseInts(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	var sb strings.Builder
+	for _, args := range [][]string{
+		{},
+		{"-w", "nope"},
+		{"-w", "scan", "-sizes", "abc"},
+		{"-w", "scan", "-hists", ""},
+	} {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Command experiments regenerates every reconstructed table/figure from
+// the paper (experiments E1–E12, see DESIGN.md) and prints them as text,
+// markdown, or CSV.
+//
+// Usage:
+//
+//	experiments [-format text|markdown|csv] [-quick] [-id E3] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	format := fs.String("format", "text", "output format: text, markdown, or csv")
+	quick := fs.Bool("quick", false, "trim parameter sweeps for a fast run")
+	id := fs.String("id", "", "run a single experiment (e.g. E3); default all")
+	list := fs.Bool("list", false, "list experiments and exit")
+	limit := fs.Uint64("limit", 0, "emulation step limit per program (0 = default)")
+	outdir := fs.String("outdir", "", "additionally write each table as CSV into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Fprintf(out, "%-4s %s\n     paper: %s\n     expect: %s\n", e.ID, e.Title, e.Paper, e.Expect)
+		}
+		return nil
+	}
+
+	render := func(t *stats.Table) (string, error) {
+		switch *format {
+		case "markdown":
+			return t.Markdown(), nil
+		case "csv":
+			return t.CSV(), nil
+		case "text":
+			return t.String(), nil
+		}
+		return "", fmt.Errorf("unknown format %q", *format)
+	}
+	// Validate the format before the expensive run.
+	if _, err := render(stats.NewTable("probe", "c")); err != nil {
+		return err
+	}
+
+	cfg := harness.Config{Quick: *quick, Limit: *limit}
+	var results []harness.Result
+	if *id != "" {
+		e, err := harness.ByID(*id)
+		if err != nil {
+			return err
+		}
+		s, err := harness.NewSuite(cfg)
+		if err != nil {
+			return err
+		}
+		tables, err := e.Run(s, cfg)
+		if err != nil {
+			return err
+		}
+		results = []harness.Result{{Experiment: e, Tables: tables}}
+	} else {
+		var err error
+		results, err = harness.RunAll(cfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, r := range results {
+		fmt.Fprintf(out, "=== %s: %s ===\n", r.Experiment.ID, r.Experiment.Title)
+		fmt.Fprintf(out, "paper analogue: %s\nexpected shape: %s\n\n", r.Experiment.Paper, r.Experiment.Expect)
+		for i, t := range r.Tables {
+			s, err := render(t)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, s)
+			if *outdir != "" {
+				name := r.Experiment.ID
+				if len(r.Tables) > 1 {
+					name += string(rune('a' + i))
+				}
+				path := filepath.Join(*outdir, name+".csv")
+				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

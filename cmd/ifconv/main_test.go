@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestConvertWorkloadVerified(t *testing.T) {
+	var out, report strings.Builder
+	if err := run([]string{"-w", "classify", "-verify"}, &out, &report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.String(), "verified: identical output") {
+		t.Errorf("no verification line:\n%s", report.String())
+	}
+	if !strings.Contains(out.String(), "cmp.") || !strings.Contains(out.String(), "unc") {
+		t.Errorf("converted assembly lacks unc compares:\n%s", out.String())
+	}
+}
+
+func TestQuietSuppressesOutput(t *testing.T) {
+	var out, report strings.Builder
+	if err := run([]string{"-w", "rand", "-q"}, &out, &report); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("quiet mode printed the program")
+	}
+	if !strings.Contains(report.String(), "regions converted") {
+		t.Errorf("no report:\n%s", report.String())
+	}
+}
+
+func TestOutputFileAndReassembly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.s")
+	var out, report strings.Builder
+	if err := run([]string{"-w", "fsm", "-o", path}, &out, &report); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "halt 0") {
+		t.Errorf("written assembly truncated")
+	}
+}
+
+func TestProfiledSkipsStream(t *testing.T) {
+	var out, report strings.Builder
+	if err := run([]string{"-w", "stream", "-profiled", "-q"}, &out, &report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.String(), "regions converted:     0") {
+		t.Errorf("profiled stream conversion not skipped:\n%s", report.String())
+	}
+}
+
+func TestNoScheduleFlag(t *testing.T) {
+	var out, report strings.Builder
+	if err := run([]string{"-w", "scan", "-no-schedule", "-verify", "-q"}, &out, &report); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out, report strings.Builder
+	for _, args := range [][]string{{}, {"-w", "nope"}, {"-f", "/no/such.s"}} {
+		if err := run(args, &out, &report); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

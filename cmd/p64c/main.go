@@ -1,0 +1,83 @@
+// Command p64c compiles PCL (a small C-like language, see internal/lang)
+// to P64 assembly, optionally if-converting the result.
+//
+// Usage:
+//
+//	p64c prog.pcl                  # compile, print assembly
+//	p64c -o prog.s prog.pcl        # compile to a file
+//	p64c -convert -run prog.pcl    # compile, predicate, and execute
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "p64c:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("p64c", flag.ContinueOnError)
+	outFile := fs.String("o", "", "write assembly to this file (default stdout)")
+	convert := fs.Bool("convert", false, "if-convert the compiled program")
+	profiled := fs.Bool("profiled", false, "with -convert: profile-guided region selection")
+	exec := fs.Bool("run", false, "execute the program and print its output")
+	limit := fs.Uint64("limit", 10_000_000, "execution step limit with -run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("need exactly one .pcl source file")
+	}
+	path := fs.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	name := strings.TrimSuffix(strings.TrimSuffix(path, ".pcl"), ".s")
+	p, err := repro.CompilePCL(name, string(src))
+	if err != nil {
+		return err
+	}
+	if *convert {
+		cfg := repro.IfConvConfig{}
+		if *profiled {
+			prof, err := repro.CollectProfile(p, nil, *limit)
+			if err != nil {
+				return err
+			}
+			cfg.Profile = prof
+		}
+		cp, rep, err := repro.IfConvert(p, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "; if-converted: %d regions, %d branches eliminated, %d region-based kept\n",
+			len(rep.Regions), rep.TotalEliminated(), rep.TotalRegionBranches())
+		p = cp
+	}
+	if *exec {
+		res, err := repro.Run(p, *limit)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "output: %v\nexit:   %d (in %d instructions)\n",
+			res.Output, res.ExitCode, res.Steps)
+		return nil
+	}
+	text := repro.Disassemble(p)
+	if *outFile != "" {
+		return os.WriteFile(*outFile, []byte(text), 0o644)
+	}
+	_, err = io.WriteString(out, text)
+	return err
+}

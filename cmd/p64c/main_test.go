@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writePCL(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.pcl")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const classifySrc = `
+arr bins[4];
+for (var i = 0; i < 500; i = i + 1) {
+    var v = (i * 73 + 19) % 256;
+    if (v < 64) { bins[0] = bins[0] + 1; }
+    else if (v < 128) { bins[1] = bins[1] + 1; }
+    else if (v < 192) { bins[2] = bins[2] + 1; }
+    else { bins[3] = bins[3] + 1; }
+}
+out bins[0] + bins[1] + bins[2] + bins[3];
+`
+
+func TestCompileToAssembly(t *testing.T) {
+	path := writePCL(t, classifySrc)
+	var sb strings.Builder
+	if err := run([]string{path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"cmp.", "br", "halt 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("assembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompileRun(t *testing.T) {
+	path := writePCL(t, classifySrc)
+	var sb strings.Builder
+	if err := run([]string{"-run", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "output: [500]") {
+		t.Errorf("wrong output:\n%s", sb.String())
+	}
+}
+
+func TestCompileConvertRun(t *testing.T) {
+	path := writePCL(t, classifySrc)
+	var plain, conv strings.Builder
+	if err := run([]string{"-run", path}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-convert", "-run", path}, &conv); err != nil {
+		t.Fatal(err)
+	}
+	// Same observable output either way; the converted version reports
+	// its regions.
+	if !strings.Contains(conv.String(), "if-converted:") {
+		t.Errorf("no conversion banner:\n%s", conv.String())
+	}
+	if !strings.Contains(conv.String(), "output: [500]") {
+		t.Errorf("converted output differs:\n%s\nvs\n%s", conv.String(), plain.String())
+	}
+}
+
+func TestCompileToFile(t *testing.T) {
+	path := writePCL(t, "out 42;")
+	outPath := filepath.Join(t.TempDir(), "out.s")
+	var sb strings.Builder
+	if err := run([]string{"-o", outPath, path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "out r28") {
+		t.Errorf("assembly file wrong:\n%s", data)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	bad := writePCL(t, "out nope;")
+	for _, args := range [][]string{
+		{},
+		{"/no/such.pcl"},
+		{bad},
+	} {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func session(t *testing.T, commands ...string) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.s")
+	src := `
+        movi r1 = 5
+        movi r2 = 7
+        add r3 = r1, r2
+        st [r0 + 100] = r3
+        out r3
+        halt 0
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader(strings.Join(append(commands, "q"), "\n") + "\n")
+	var out strings.Builder
+	if err := run([]string{"-f", path}, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestStepAndRegs(t *testing.T) {
+	out := session(t, "s 3", "r")
+	if !strings.Contains(out, "add r3 = r1, r2") {
+		t.Errorf("step did not echo instructions:\n%s", out)
+	}
+	if !strings.Contains(out, "r3   = 12") {
+		t.Errorf("register dump missing r3=12:\n%s", out)
+	}
+}
+
+func TestContinueAndOutput(t *testing.T) {
+	out := session(t, "c", "o", "i")
+	if !strings.Contains(out, "[12]") {
+		t.Errorf("output stream missing:\n%s", out)
+	}
+	if !strings.Contains(out, "halted=true exit=0") {
+		t.Errorf("status missing:\n%s", out)
+	}
+}
+
+func TestBreakpoint(t *testing.T) {
+	out := session(t, "b 2", "c", "i")
+	if !strings.Contains(out, "breakpoint set at @2") || !strings.Contains(out, "breakpoint at @2") {
+		t.Errorf("breakpoint flow broken:\n%s", out)
+	}
+	if !strings.Contains(out, "pc=@2") {
+		t.Errorf("did not stop at the breakpoint:\n%s", out)
+	}
+}
+
+func TestMemAndList(t *testing.T) {
+	out := session(t, "c", "m 100 2", "l 0")
+	if !strings.Contains(out, "[100] = 12") {
+		t.Errorf("memory dump wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "movi r1 = 5") {
+		t.Errorf("listing wrong:\n%s", out)
+	}
+}
+
+func TestPredsAndNullifiedEcho(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.s")
+	src := `
+        cmp.eq p1, p2 = r0, 0
+        (p2) movi r1 = 9
+        halt 0
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader("s 2\np\nq\n")
+	var out strings.Builder
+	if err := run([]string{"-f", path}, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "x @1") {
+		t.Errorf("nullified instruction not marked:\n%s", s)
+	}
+	if !strings.Contains(s, "p1") {
+		t.Errorf("predicate dump missing p1:\n%s", s)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	out := session(t, "zzz")
+	if !strings.Contains(out, "unknown command") {
+		t.Errorf("no error for unknown command:\n%s", out)
+	}
+}
+
+func TestWorkloadMode(t *testing.T) {
+	in := strings.NewReader("i\nq\n")
+	var out strings.Builder
+	if err := run([]string{"-w", "stream", "-convert"}, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "stream.ifc") {
+		t.Errorf("workload mode broken:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out strings.Builder
+	for _, args := range [][]string{{}, {"-w", "nope"}, {"-f", "/no/such.s"}} {
+		if err := run(args, strings.NewReader(""), &out); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runOut(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestListWorkloads(t *testing.T) {
+	out := runOut(t, "-listw")
+	for _, want := range []string{"scan", "bsearch", "interp"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWorkload(t *testing.T) {
+	out := runOut(t, "-w", "stream", "-predictor", "bimodal")
+	for _, want := range []string{"cycles:", "IPC:", "exit code:          0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConvertWithMechanisms(t *testing.T) {
+	out := runOut(t, "-w", "scan", "-convert", "-sfpf", "-pgu", "all", "-width", "2")
+	if !strings.Contains(out, "if-conversion:") {
+		t.Errorf("no conversion report:\n%s", out)
+	}
+	if !strings.Contains(out, "0 errors") {
+		t.Errorf("filter errors reported:\n%s", out)
+	}
+}
+
+func TestProfiledConversion(t *testing.T) {
+	out := runOut(t, "-w", "stream", "-convert", "-profiled")
+	if !strings.Contains(out, "0 regions") {
+		t.Errorf("profiled conversion of stream should skip its region:\n%s", out)
+	}
+}
+
+func TestRunAssemblyFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.s")
+	src := "movi r1 = 3\nout r1\nhalt 0\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runOut(t, "-f", path)
+	if !strings.Contains(out, "exit code:          0") {
+		t.Errorf("assembly run failed:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-w", "nope"},
+		{"-w", "stream", "-predictor", "nope"},
+		{"-w", "stream", "-pgu", "nope"},
+		{"-f", "/does/not/exist.s"},
+	}
+	var sb strings.Builder
+	for _, args := range cases {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCaptureAndStats(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trc")
+	var sb strings.Builder
+	if err := run([]string{"-w", "scan", "-convert", "-o", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wrote") {
+		t.Errorf("no write confirmation:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	if err := run([]string{"-stats", path, "-eval", "gshare", "-top", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"scan.ifc", "cond branches:", "gshare-12.8", "region"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsAllPredictors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trc")
+	var sb strings.Builder
+	if err := run([]string{"-w", "stream", "-o", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"bimodal", "tournament", "agree"} {
+		sb.Reset()
+		if err := run([]string{"-stats", path, "-eval", p}, &sb); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if !strings.Contains(sb.String(), "mispredicted") {
+			t.Errorf("%s produced no evaluation:\n%s", p, sb.String())
+		}
+	}
+}
+
+func TestTracerErrors(t *testing.T) {
+	var sb strings.Builder
+	for _, args := range [][]string{
+		{},
+		{"-w", "nope", "-o", "x"},
+		{"-w", "stream"}, // missing -o
+		{"-stats", "/no/such.trc"},
+		{"-stats", "/no/such.trc", "-eval", "nope"},
+	} {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Build a small program with the structured builder, run it, and read its
+// output stream.
+func ExampleNewBuilder() {
+	b := repro.NewBuilder("sum")
+	b.Movi(1, 5) // n
+	b.Movi(2, 0) // total
+	b.While(prog.RI(isa.CmpGT, 1, 0), func() {
+		b.Add(2, 2, 1)
+		b.Subi(1, 1, 1)
+	})
+	b.Out(2)
+	b.Halt(0)
+	p, err := b.Program()
+	if err != nil {
+		panic(err)
+	}
+	res, _ := repro.Run(p, 0)
+	fmt.Println(res.Output[0])
+	// Output: 15
+}
+
+// Assemble P64 text, if-convert it, and confirm the branch was eliminated.
+func ExampleIfConvert() {
+	p, err := repro.Assemble("abs", `
+        movi r1 = -7
+        cmp.lt p1, p2 = r1, 0
+        (p2) br done
+        sub r1 = r0, r1
+done:
+        out r1
+        halt 0
+`)
+	if err != nil {
+		panic(err)
+	}
+	cp, rep, err := repro.IfConvert(p, repro.IfConvConfig{})
+	if err != nil {
+		panic(err)
+	}
+	res, _ := repro.Run(cp, 0)
+	fmt.Println(rep.TotalEliminated(), "branch eliminated; |x| =", res.Output[0])
+	// Output: 1 branch eliminated; |x| = 7
+}
+
+// Evaluate the squash false path filter on a predicated workload: it
+// covers a large share of the region-based branches and never errs.
+func ExampleEvaluate() {
+	p := repro.MustWorkload("scan").Build()
+	cp, _, err := repro.IfConvert(p, repro.IfConvConfig{})
+	if err != nil {
+		panic(err)
+	}
+	tr, err := repro.CollectTrace(cp, 0)
+	if err != nil {
+		panic(err)
+	}
+	m := repro.Evaluate(tr, repro.EvalConfig{
+		Predictor:    repro.NewGShare(12, 8),
+		UseSFPF:      true,
+		ResolveDelay: repro.DefaultResolveDelay,
+	})
+	fmt.Printf("filtered %d branches with %d errors\n", m.Filtered, m.FilterErrors)
+	// Output: filtered 9041 branches with 0 errors
+}

@@ -1,0 +1,98 @@
+// This example shows how a user brings their own workload: write a kernel
+// with the structured builder, if-convert it, and measure the end-to-end
+// pipeline effect of predication plus the paper's mechanisms, sweeping the
+// misprediction penalty to find the crossover the paper's trade-off turns
+// on.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/rng"
+)
+
+// buildHistogramKernel classifies noisy sensor-style readings into three
+// bins with a data-dependent diamond per reading — an unpredictable branch
+// pattern.
+func buildHistogramKernel() *repro.Program {
+	const n = 5000
+	b := repro.NewBuilder("histogram")
+	r := rng.New(2024)
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = r.Int64n(300)
+	}
+	b.SetData(1000, data)
+	b.Movi(3, 0) // low
+	b.Movi(4, 0) // mid
+	b.Movi(6, 0) // high
+	b.Movi(1, 0)
+	b.Label("loop")
+	b.Addi(5, 1, 1000)
+	b.Ld(2, 5, 0)
+	b.IfElse(prog.RI(isa.CmpLT, 2, 100),
+		func() { b.Addi(3, 3, 1) },
+		func() {
+			b.IfElse(prog.RI(isa.CmpLT, 2, 200),
+				func() { b.Addi(4, 4, 1) },
+				func() { b.Addi(6, 6, 1) },
+			)
+		},
+	)
+	b.Addi(1, 1, 1)
+	b.Cmpi(isa.CmpLT, 10, 11, 1, n)
+	b.BrIf(10, "loop")
+	b.Out(3)
+	b.Out(4)
+	b.Out(6)
+	b.Halt(0)
+	p, err := b.Program()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+func main() {
+	p := buildHistogramKernel()
+	cp, rep, err := repro.IfConvert(p, repro.IfConvConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("histogram kernel: %d branches eliminated by if-conversion\n\n",
+		rep.TotalEliminated())
+
+	fmt.Printf("%-8s %14s %14s %14s %10s\n",
+		"penalty", "branching", "predicated", "pred+mechs", "speedup")
+	for _, penalty := range []uint64{2, 5, 10, 20, 40} {
+		mk := func() repro.PipelineConfig {
+			cfg := repro.DefaultPipelineConfig(repro.NewGShare(12, 8))
+			cfg.MispredictPenalty = penalty
+			return cfg
+		}
+		orig, err := repro.RunPipeline(p, mk(), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		conv, err := repro.RunPipeline(cp, mk(), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := mk()
+		cfg.UseSFPF = true
+		cfg.PGU = repro.PGUAll
+		mech, err := repro.RunPipeline(cp, cfg, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %8d cyc   %8d cyc   %8d cyc   %9.2fx\n",
+			penalty, orig.Cycles, conv.Cycles, mech.Cycles,
+			float64(orig.Cycles)/float64(mech.Cycles))
+	}
+	fmt.Println("\nas the misprediction penalty grows (deeper pipelines), the")
+	fmt.Println("predicated version's advantage widens — the paper's motivation.")
+}

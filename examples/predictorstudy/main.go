@@ -1,0 +1,72 @@
+// This example reproduces the paper's experimental method in miniature: it
+// takes the whole workload suite, if-converts every benchmark, and
+// compares branch predictors on the predicated code with and without the
+// squash false path filter and predicate global update.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	type variant struct {
+		name string
+		cfg  func() repro.EvalConfig
+	}
+	variants := []variant{
+		{"bimodal", func() repro.EvalConfig {
+			return repro.EvalConfig{Predictor: repro.NewBimodal(12)}
+		}},
+		{"gshare", func() repro.EvalConfig {
+			return repro.EvalConfig{Predictor: repro.NewGShare(12, 8)}
+		}},
+		{"gshare+sfpf", func() repro.EvalConfig {
+			return repro.EvalConfig{
+				Predictor: repro.NewGShare(12, 8),
+				UseSFPF:   true, ResolveDelay: repro.DefaultResolveDelay,
+			}
+		}},
+		{"gshare+pgu", func() repro.EvalConfig {
+			return repro.EvalConfig{
+				Predictor: repro.NewGShare(12, 8),
+				PGU:       repro.PGUAll, PGUDelay: repro.DefaultPGUDelay,
+			}
+		}},
+		{"gshare+both", func() repro.EvalConfig {
+			return repro.EvalConfig{
+				Predictor: repro.NewGShare(12, 8),
+				UseSFPF:   true, ResolveDelay: repro.DefaultResolveDelay,
+				PGU: repro.PGUAll, PGUDelay: repro.DefaultPGUDelay,
+			}
+		}},
+	}
+
+	fmt.Printf("%-10s", "workload")
+	for _, v := range variants {
+		fmt.Printf(" %12s", v.name)
+	}
+	fmt.Println()
+
+	for _, w := range repro.Workloads() {
+		p := w.Build()
+		cp, _, err := repro.IfConvert(p, repro.IfConvConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := repro.CollectTrace(cp, 10_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s", w.Name)
+		for _, v := range variants {
+			m := repro.Evaluate(tr, v.cfg())
+			fmt.Printf(" %11.2f%%", 100*m.MispredictRate())
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nmisprediction rates on if-converted code; lower is better.")
+	fmt.Println("SFPF removes known-false-guard branches; PGU restores lost correlation.")
+}

@@ -1,0 +1,60 @@
+// This example shows profile-guided if-conversion — the selection rule the
+// paper's IMPACT-compiled binaries were built with. Greedy conversion
+// predicates every convertible region; the profile-guided converter only
+// predicates a region when its profiled misprediction savings beat the net
+// fetch slots conversion adds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func measure(p *repro.Program) uint64 {
+	st, err := repro.RunPipeline(p, repro.DefaultPipelineConfig(repro.NewGShare(12, 8)), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return st.Cycles
+}
+
+func main() {
+	fmt.Printf("%-10s %16s %16s %16s  %s\n",
+		"workload", "branching (cyc)", "greedy (cyc)", "profiled (cyc)", "decision")
+	for _, name := range []string{"rand", "classify", "fsm", "scan", "stream"} {
+		w, err := repro.WorkloadByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := w.Build()
+
+		greedy, _, err := repro.IfConvert(p, repro.IfConvConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		prof, err := repro.CollectProfile(p, nil, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		profiled, rep, err := repro.IfConvert(p, repro.IfConvConfig{Profile: prof})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		decision := fmt.Sprintf("converted %d region(s)", len(rep.Regions))
+		if len(rep.Regions) == 0 {
+			decision = "kept branches (unprofitable)"
+		}
+		fmt.Printf("%-10s %16d %16d %16d  %s\n",
+			name, measure(p), measure(greedy), measure(profiled), decision)
+	}
+	fmt.Println("\nthe profile-guided converter keeps the wins (rand, classify stay")
+	fmt.Println("predicated) and refuses the big losses (stream, scan keep their cheap")
+	fmt.Println("branches). fsm shrinks to sub-regions that pass the first-order cost")
+	fmt.Println("model; the residual gap there comes from second-order effects (history")
+	fmt.Println("disruption) no static cost model sees — the same reason IMPACT's")
+	fmt.Println("heuristics were tuned empirically.")
+}

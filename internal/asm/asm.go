@@ -1,0 +1,612 @@
+// Package asm implements the P64 assembler and disassembler. The syntax
+// is exactly what prog.Program.String and isa.Inst.String print, so
+// disassembly round-trips through Parse:
+//
+//	; comment
+//	.data 1000 = 7 8 9
+//	loop:
+//	        (p3) add r2 = r1, 5
+//	        cmp.lt.unc p1, p2 = r1, r2
+//	        ld r2 = [r1 + 8]
+//	        st [r1 + 0] = r2
+//	        (p1) br loop
+//	        br.region done          ; a region-based branch
+//	        cloop r9, loop
+//	        halt 0
+//	done:
+//	        trap
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse assembles source text into a resolved, validated program.
+func Parse(name, src string) (*prog.Program, error) {
+	p := prog.New(name)
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseLine(p, line); err != nil {
+			return nil, &ParseError{Line: ln + 1, Msg: err.Error()}
+		}
+	}
+	if err := p.Resolve(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Format disassembles a program into parseable text.
+func Format(p *prog.Program) string { return p.String() }
+
+func parseLine(p *prog.Program, line string) error {
+	// Directives.
+	if strings.HasPrefix(line, ".data") {
+		return parseData(p, line)
+	}
+	// Labels (possibly followed by an instruction on the same line).
+	for {
+		i := strings.IndexByte(line, ':')
+		if i < 0 {
+			break
+		}
+		label := strings.TrimSpace(line[:i])
+		if !isIdent(label) {
+			break // a ':' inside an operand is impossible in this syntax
+		}
+		if _, dup := p.Labels[label]; dup {
+			return fmt.Errorf("duplicate label %q", label)
+		}
+		p.Labels[label] = len(p.Insts)
+		line = strings.TrimSpace(line[i+1:])
+		if line == "" {
+			return nil
+		}
+	}
+	in, err := parseInst(line)
+	if err != nil {
+		return err
+	}
+	p.Insts = append(p.Insts, in)
+	return nil
+}
+
+func parseData(p *prog.Program, line string) error {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, ".data"))
+	eq := strings.IndexByte(rest, '=')
+	if eq < 0 {
+		return fmt.Errorf(".data needs '=': %q", line)
+	}
+	base, err := strconv.ParseInt(strings.TrimSpace(rest[:eq]), 0, 64)
+	if err != nil {
+		return fmt.Errorf(".data base: %v", err)
+	}
+	var words []int64
+	for _, f := range strings.Fields(rest[eq+1:]) {
+		w, err := strconv.ParseInt(f, 0, 64)
+		if err != nil {
+			return fmt.Errorf(".data word %q: %v", f, err)
+		}
+		words = append(words, w)
+	}
+	p.SetData(base, words)
+	return nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// tokenizer: splits an instruction line into identifiers, numbers, and
+// single-character punctuation.
+func tokenize(line string) []string {
+	var toks []string
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case strings.IndexByte("()[]=,+", c) >= 0:
+			toks = append(toks, string(c))
+			i++
+		case c == '-' || c >= '0' && c <= '9':
+			j := i + 1
+			for j < len(line) && (line[j] >= '0' && line[j] <= '9' ||
+				line[j] == 'x' || line[j] >= 'a' && line[j] <= 'f' ||
+				line[j] >= 'A' && line[j] <= 'F') {
+				j++
+			}
+			toks = append(toks, line[i:j])
+			i = j
+		default:
+			j := i
+			for j < len(line) && !strings.ContainsRune(" \t()[]=,+", rune(line[j])) {
+				j++
+			}
+			toks = append(toks, line[i:j])
+			i = j
+		}
+	}
+	return toks
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (ps *parser) peek() string {
+	if ps.pos < len(ps.toks) {
+		return ps.toks[ps.pos]
+	}
+	return ""
+}
+
+func (ps *parser) next() string {
+	t := ps.peek()
+	ps.pos++
+	return t
+}
+
+func (ps *parser) expect(tok string) error {
+	if got := ps.next(); got != tok {
+		return fmt.Errorf("expected %q, got %q", tok, got)
+	}
+	return nil
+}
+
+func (ps *parser) done() error {
+	if ps.pos != len(ps.toks) {
+		return fmt.Errorf("trailing tokens: %v", ps.toks[ps.pos:])
+	}
+	return nil
+}
+
+func (ps *parser) reg() (isa.Reg, error) {
+	t := ps.next()
+	if len(t) < 2 || t[0] != 'r' {
+		return 0, fmt.Errorf("expected register, got %q", t)
+	}
+	n, err := strconv.Atoi(t[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", t)
+	}
+	return isa.Reg(n), nil
+}
+
+func (ps *parser) preg() (isa.PReg, error) {
+	t := ps.next()
+	if len(t) < 2 || t[0] != 'p' {
+		return 0, fmt.Errorf("expected predicate register, got %q", t)
+	}
+	n, err := strconv.Atoi(t[1:])
+	if err != nil || n < 0 || n >= isa.NumPRegs {
+		return 0, fmt.Errorf("bad predicate register %q", t)
+	}
+	return isa.PReg(n), nil
+}
+
+func (ps *parser) imm() (int64, error) {
+	t := ps.next()
+	v, err := strconv.ParseInt(t, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("expected immediate, got %q", t)
+	}
+	return v, nil
+}
+
+// regOrImm parses the second ALU/compare operand.
+func (ps *parser) regOrImm(in *isa.Inst) error {
+	t := ps.peek()
+	if len(t) >= 2 && t[0] == 'r' {
+		if _, err := strconv.Atoi(t[1:]); err == nil {
+			r, err := ps.reg()
+			if err != nil {
+				return err
+			}
+			in.Src2 = r
+			return nil
+		}
+	}
+	v, err := ps.imm()
+	if err != nil {
+		return err
+	}
+	in.Imm, in.HasImm = v, true
+	return nil
+}
+
+// target parses a branch target: a label, or @N for an absolute index.
+func (ps *parser) target(in *isa.Inst) error {
+	t := ps.next()
+	if t == "" {
+		return fmt.Errorf("missing branch target")
+	}
+	if t[0] == '@' {
+		n, err := strconv.Atoi(t[1:])
+		if err != nil {
+			return fmt.Errorf("bad absolute target %q", t)
+		}
+		in.Target = n
+		return nil
+	}
+	if !isIdent(t) {
+		return fmt.Errorf("bad branch target %q", t)
+	}
+	in.Label, in.Target = t, -1
+	return nil
+}
+
+var aluOps = map[string]isa.Op{
+	"add": isa.OpAdd, "sub": isa.OpSub, "and": isa.OpAnd, "or": isa.OpOr,
+	"xor": isa.OpXor, "shl": isa.OpShl, "shr": isa.OpShr, "sar": isa.OpSar,
+	"mul": isa.OpMul, "div": isa.OpDiv, "mod": isa.OpMod,
+}
+
+var cmpConds = map[string]isa.CmpCond{
+	"eq": isa.CmpEQ, "ne": isa.CmpNE, "lt": isa.CmpLT, "le": isa.CmpLE,
+	"gt": isa.CmpGT, "ge": isa.CmpGE, "ltu": isa.CmpLTU, "geu": isa.CmpGEU,
+}
+
+var cmpTypes = map[string]isa.CmpType{
+	"unc": isa.CmpUnc, "and": isa.CmpAnd, "or": isa.CmpOr,
+}
+
+func parseInst(line string) (isa.Inst, error) {
+	ps := &parser{toks: tokenize(line)}
+	var in isa.Inst
+
+	// Optional guard: ( pN )
+	if ps.peek() == "(" {
+		ps.next()
+		qp, err := ps.preg()
+		if err != nil {
+			return in, err
+		}
+		if err := ps.expect(")"); err != nil {
+			return in, err
+		}
+		in.QP = qp
+	}
+
+	mnemonic := ps.next()
+	if mnemonic == "" {
+		return in, fmt.Errorf("missing mnemonic")
+	}
+	parts := strings.Split(mnemonic, ".")
+	base := parts[0]
+	suffix := parts[1:]
+
+	regionSuffix := func() error {
+		if len(suffix) == 0 {
+			return nil
+		}
+		if len(suffix) == 1 && suffix[0] == "region" {
+			in.Region = true
+			return nil
+		}
+		return fmt.Errorf("bad suffix on %q", mnemonic)
+	}
+
+	var err error
+	switch base {
+	case "nop":
+		in.Op = isa.OpNop
+	case "add", "sub", "and", "or", "xor", "shl", "shr", "sar", "mul", "div", "mod":
+		in.Op = aluOps[base]
+		err = ps.parseALU(&in)
+	case "mov":
+		in.Op = isa.OpMov
+		err = ps.parseMov(&in)
+	case "movi":
+		in.Op = isa.OpMovi
+		err = ps.parseMovi(&in)
+	case "cmp":
+		in.Op = isa.OpCmp
+		if len(suffix) < 1 || len(suffix) > 2 {
+			return in, fmt.Errorf("cmp needs a condition suffix")
+		}
+		cc, ok := cmpConds[suffix[0]]
+		if !ok {
+			return in, fmt.Errorf("unknown compare condition %q", suffix[0])
+		}
+		in.CC = cc
+		if len(suffix) == 2 {
+			ct, ok := cmpTypes[suffix[1]]
+			if !ok {
+				return in, fmt.Errorf("unknown compare type %q", suffix[1])
+			}
+			in.CT = ct
+		}
+		suffix = nil
+		err = ps.parseCmp(&in)
+	case "ld":
+		in.Op = isa.OpLd
+		err = ps.parseLd(&in)
+	case "st":
+		in.Op = isa.OpSt
+		err = ps.parseSt(&in)
+	case "br":
+		in.Op = isa.OpBr
+		if err := regionSuffix(); err != nil {
+			return in, err
+		}
+		suffix = nil
+		err = ps.target(&in)
+	case "brl":
+		in.Op = isa.OpBrl
+		if err := regionSuffix(); err != nil {
+			return in, err
+		}
+		suffix = nil
+		err = ps.parseBrl(&in)
+	case "brr":
+		in.Op = isa.OpBrr
+		if err := regionSuffix(); err != nil {
+			return in, err
+		}
+		suffix = nil
+		in.Src1, err = ps.reg()
+	case "cloop":
+		in.Op = isa.OpCloop
+		if err := regionSuffix(); err != nil {
+			return in, err
+		}
+		suffix = nil
+		err = ps.parseCloop(&in)
+	case "pand", "por":
+		if base == "pand" {
+			in.Op = isa.OpPand
+		} else {
+			in.Op = isa.OpPor
+		}
+		err = ps.parsePand(&in)
+	case "pmov":
+		in.Op = isa.OpPmov
+		err = ps.parsePmov(&in)
+	case "pinit":
+		in.Op = isa.OpPinit
+		err = ps.parsePinit(&in)
+	case "out":
+		in.Op = isa.OpOut
+		in.Src1, err = ps.reg()
+	case "halt":
+		in.Op = isa.OpHalt
+		in.Imm, err = ps.imm()
+	case "trap":
+		in.Op = isa.OpTrap
+	default:
+		return in, fmt.Errorf("unknown mnemonic %q", base)
+	}
+	if err != nil {
+		return in, err
+	}
+	if len(suffix) != 0 {
+		return in, fmt.Errorf("unexpected suffix on %q", mnemonic)
+	}
+	if err := ps.done(); err != nil {
+		return in, err
+	}
+	return in, nil
+}
+
+func (ps *parser) parseALU(in *isa.Inst) error {
+	var err error
+	if in.Dst, err = ps.reg(); err != nil {
+		return err
+	}
+	if err = ps.expect("="); err != nil {
+		return err
+	}
+	if in.Src1, err = ps.reg(); err != nil {
+		return err
+	}
+	if err = ps.expect(","); err != nil {
+		return err
+	}
+	return ps.regOrImm(in)
+}
+
+func (ps *parser) parseMov(in *isa.Inst) error {
+	var err error
+	if in.Dst, err = ps.reg(); err != nil {
+		return err
+	}
+	if err = ps.expect("="); err != nil {
+		return err
+	}
+	in.Src1, err = ps.reg()
+	return err
+}
+
+func (ps *parser) parseMovi(in *isa.Inst) error {
+	var err error
+	if in.Dst, err = ps.reg(); err != nil {
+		return err
+	}
+	if err = ps.expect("="); err != nil {
+		return err
+	}
+	// Either an immediate or a label whose address to materialise.
+	t := ps.peek()
+	if isIdent(t) && !(t[0] >= '0' && t[0] <= '9') && t[0] != '-' {
+		in.Label = ps.next()
+		return nil
+	}
+	in.Imm, err = ps.imm()
+	return err
+}
+
+func (ps *parser) parseCmp(in *isa.Inst) error {
+	var err error
+	if in.PD1, err = ps.preg(); err != nil {
+		return err
+	}
+	if err = ps.expect(","); err != nil {
+		return err
+	}
+	if in.PD2, err = ps.preg(); err != nil {
+		return err
+	}
+	if err = ps.expect("="); err != nil {
+		return err
+	}
+	if in.Src1, err = ps.reg(); err != nil {
+		return err
+	}
+	if err = ps.expect(","); err != nil {
+		return err
+	}
+	return ps.regOrImm(in)
+}
+
+func (ps *parser) parseLd(in *isa.Inst) error {
+	var err error
+	if in.Dst, err = ps.reg(); err != nil {
+		return err
+	}
+	if err = ps.expect("="); err != nil {
+		return err
+	}
+	if err = ps.expect("["); err != nil {
+		return err
+	}
+	if in.Src1, err = ps.reg(); err != nil {
+		return err
+	}
+	if err = ps.expect("+"); err != nil {
+		return err
+	}
+	if in.Imm, err = ps.imm(); err != nil {
+		return err
+	}
+	return ps.expect("]")
+}
+
+func (ps *parser) parseSt(in *isa.Inst) error {
+	var err error
+	if err = ps.expect("["); err != nil {
+		return err
+	}
+	if in.Src1, err = ps.reg(); err != nil {
+		return err
+	}
+	if err = ps.expect("+"); err != nil {
+		return err
+	}
+	if in.Imm, err = ps.imm(); err != nil {
+		return err
+	}
+	if err = ps.expect("]"); err != nil {
+		return err
+	}
+	if err = ps.expect("="); err != nil {
+		return err
+	}
+	in.Src2, err = ps.reg()
+	return err
+}
+
+func (ps *parser) parseBrl(in *isa.Inst) error {
+	var err error
+	if in.Dst, err = ps.reg(); err != nil {
+		return err
+	}
+	if err = ps.expect("="); err != nil {
+		return err
+	}
+	return ps.target(in)
+}
+
+func (ps *parser) parseCloop(in *isa.Inst) error {
+	var err error
+	if in.Dst, err = ps.reg(); err != nil {
+		return err
+	}
+	if err = ps.expect(","); err != nil {
+		return err
+	}
+	return ps.target(in)
+}
+
+func (ps *parser) parsePand(in *isa.Inst) error {
+	var err error
+	if in.PD1, err = ps.preg(); err != nil {
+		return err
+	}
+	if err = ps.expect("="); err != nil {
+		return err
+	}
+	if in.PS1, err = ps.preg(); err != nil {
+		return err
+	}
+	if err = ps.expect(","); err != nil {
+		return err
+	}
+	in.PS2, err = ps.preg()
+	return err
+}
+
+func (ps *parser) parsePmov(in *isa.Inst) error {
+	var err error
+	if in.PD1, err = ps.preg(); err != nil {
+		return err
+	}
+	if err = ps.expect("="); err != nil {
+		return err
+	}
+	in.PS1, err = ps.preg()
+	return err
+}
+
+func (ps *parser) parsePinit(in *isa.Inst) error {
+	var err error
+	if in.PD1, err = ps.preg(); err != nil {
+		return err
+	}
+	if err = ps.expect("="); err != nil {
+		return err
+	}
+	in.Imm, err = ps.imm()
+	return err
+}

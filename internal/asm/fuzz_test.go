@@ -1,0 +1,44 @@
+package asm
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that the assembler never panics on arbitrary input and
+// that anything it accepts survives a Format/Parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"nop",
+		"movi r1 = 5\nout r1\nhalt 0",
+		"loop: add r1 = r1, 1\n(p1) br loop",
+		"cmp.lt.unc p1, p2 = r3, -9",
+		".data 100 = 1 2 3",
+		"st [r2 + 0] = r3\nld r4 = [r2 + 0]",
+		"br.region x\nx: trap",
+		"cloop r9, @0",
+		"(p63) halt 0",
+		"pand p1 = p2, p3\npor p4 = p5, p6\npmov p7 = p8\npinit p9 = 1",
+		"x: y: z: halt 0",
+		"movi r1 = x\nbrr r1\nx: halt 0",
+		"; comment only",
+		"add r1 = r2, 0x7fffffffffffffff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse("fuzz", src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		text := Format(p)
+		q, err := Parse("fuzz", text)
+		if err != nil {
+			t.Fatalf("accepted program does not reassemble: %v\noriginal:\n%s\nformatted:\n%s", err, src, text)
+		}
+		if Format(q) != text {
+			t.Fatalf("format not a fixed point:\n%s\nvs\n%s", text, Format(q))
+		}
+	})
+}

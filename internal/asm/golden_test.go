@@ -1,0 +1,82 @@
+package asm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/ifconv"
+	"repro/internal/testutil"
+)
+
+// golden holds the expected output streams of the testdata programs.
+var golden = map[string][]int64{
+	"fib.s":     {0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55},
+	"gcd.s":     {12, 21, 1, 100},
+	"collatz.s": {111},
+	// Reversed [3 1 4 1 5 9 2 6] = [6 2 9 5 1 4 1 3]; weighted sum
+	// 6*1+2*2+9*3+5*4+1*5+4*6+1*7+3*8 = 117.
+	"revsum.s": {117},
+}
+
+func loadTestProgram(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestGoldenPrograms(t *testing.T) {
+	for name, want := range golden {
+		name, want := name, want
+		t.Run(name, func(t *testing.T) {
+			p, err := Parse(name, loadTestProgram(t, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := emu.RunProgram(p, 1_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ExitCode != 0 {
+				t.Fatalf("exit %d", res.ExitCode)
+			}
+			if len(res.Output) != len(want) {
+				t.Fatalf("output %v, want %v", res.Output, want)
+			}
+			for i := range want {
+				if res.Output[i] != want[i] {
+					t.Errorf("output[%d] = %d, want %d", i, res.Output[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestGoldenProgramsConvertEquivalently(t *testing.T) {
+	for name := range golden {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p, err := Parse(name, loadTestProgram(t, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp, _, err := ifconv.Convert(p, ifconv.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := testutil.CheckEquivalent(p, cp, 1_000_000); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestGoldenProgramsRoundTrip(t *testing.T) {
+	for name := range golden {
+		roundTrip(t, name, loadTestProgram(t, name))
+	}
+}

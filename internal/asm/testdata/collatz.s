@@ -1,0 +1,20 @@
+; collatz.s — total stopping time of 27 (should be 111 steps).
+        movi r1 = 27         ; n
+        movi r2 = 0          ; steps
+loop:
+        cmp.eq p1, p2 = r1, 1
+        (p1) br done
+        and r3 = r1, 1
+        cmp.eq p3, p4 = r3, 0
+        (p4) br odd
+        sar r1 = r1, 1       ; even: n /= 2
+        br next
+odd:
+        mul r1 = r1, 3       ; odd: n = 3n + 1
+        add r1 = r1, 1
+next:
+        add r2 = r2, 1
+        br loop
+done:
+        out r2
+        halt 0

@@ -1,0 +1,13 @@
+; fib.s — iterative Fibonacci: outputs fib(0)..fib(10).
+        movi r1 = 0          ; a
+        movi r2 = 1          ; b
+        movi r3 = 11         ; count
+loop:
+        out r1
+        add r4 = r1, r2      ; next
+        mov r1 = r2
+        mov r2 = r4
+        sub r3 = r3, 1
+        cmp.gt p1, p2 = r3, 0
+        (p1) br loop
+        halt 0

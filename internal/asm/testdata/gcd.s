@@ -1,0 +1,21 @@
+; gcd.s — Euclid's algorithm on a few pairs stored in memory.
+.data 100 = 48 36 1071 462 17 5 100 100
+        movi r1 = 0          ; pair index (word offset)
+        movi r5 = 8          ; total words
+pair:
+        add r6 = r1, 100
+        ld r2 = [r6 + 0]     ; a
+        ld r3 = [r6 + 1]     ; b
+step:
+        cmp.eq p1, p2 = r3, 0
+        (p1) br done
+        mod r4 = r2, r3      ; a mod b
+        mov r2 = r3
+        mov r3 = r4
+        br step
+done:
+        out r2
+        add r1 = r1, 2
+        cmp.lt p3, p4 = r1, r5
+        (p3) br pair
+        halt 0

@@ -1,0 +1,29 @@
+; revsum.s — reverse an array in place (two-pointer swap), then emit a
+; positional checksum that is sensitive to the order.
+.data 200 = 3 1 4 1 5 9 2 6
+        movi r1 = 200        ; lo pointer
+        movi r2 = 207        ; hi pointer
+swap:
+        cmp.lt p1, p2 = r1, r2
+        (p2) br sum
+        ld r3 = [r1 + 0]
+        ld r4 = [r2 + 0]
+        st [r1 + 0] = r4
+        st [r2 + 0] = r3
+        add r1 = r1, 1
+        sub r2 = r2, 1
+        br swap
+sum:
+        movi r1 = 0          ; index
+        movi r5 = 0          ; checksum
+ck:
+        add r6 = r1, 200
+        ld r3 = [r6 + 0]
+        add r7 = r1, 1
+        mul r3 = r3, r7      ; weight by position+1
+        add r5 = r5, r3
+        add r1 = r1, 1
+        cmp.lt p3, p4 = r1, 8
+        (p3) br ck
+        out r5
+        halt 0

@@ -1,0 +1,77 @@
+package bpred
+
+import "fmt"
+
+// Agree is an agree predictor (Sprangle et al., ISCA 1997), a design of
+// the paper's era built to tolerate table aliasing: each branch records a
+// bias on first encounter, and the shared counter table — indexed with
+// pc XOR global history — learns whether the current instance *agrees*
+// with that bias. Two aliased branches that both usually agree reinforce
+// rather than fight each other.
+type Agree struct {
+	tableBits int
+	histBits  int
+	table     []counter       // taken() == "agrees with bias"
+	bias      map[uint64]bool // per-branch bias, as a BTB-resident bit
+	hist      uint64
+}
+
+// NewAgree returns an agree predictor with 2^tableBits agree counters and
+// histBits of global history. The per-branch bias bit is modelled as
+// BTB-resident (unaliased), as in the original design.
+func NewAgree(tableBits, histBits int) *Agree {
+	a := &Agree{tableBits: tableBits, histBits: histBits}
+	a.Reset()
+	return a
+}
+
+// Name implements Predictor.
+func (a *Agree) Name() string { return fmt.Sprintf("agree-%d.%d", a.tableBits, a.histBits) }
+
+func (a *Agree) index(pc uint64) uint64 {
+	h := a.hist & ((1 << a.histBits) - 1)
+	return (pc ^ h) & (uint64(len(a.table)) - 1)
+}
+
+// Predict implements Predictor.
+func (a *Agree) Predict(pc uint64) bool {
+	bias := a.bias[pc] // default bias: not-taken until first outcome
+	agree := a.table[a.index(pc)].taken()
+	return bias == agree
+}
+
+// Update implements Predictor.
+func (a *Agree) Update(pc uint64, taken bool) {
+	if _, ok := a.bias[pc]; !ok {
+		// First encounter fixes the bias, as BTB allocation would.
+		a.bias[pc] = taken
+	}
+	i := a.index(pc)
+	a.table[i] = a.table[i].update(taken == a.bias[pc])
+	a.ObserveBit(taken)
+}
+
+// ObserveBit implements HistoryObserver.
+func (a *Agree) ObserveBit(bit bool) {
+	a.hist <<= 1
+	if bit {
+		a.hist |= 1
+	}
+}
+
+// Reset implements Predictor.
+func (a *Agree) Reset() {
+	a.table = newTable(a.tableBits)
+	// Counters initialise to weak agreement so an unbiased start predicts
+	// the bias.
+	for i := range a.table {
+		a.table[i] = 2
+	}
+	a.bias = make(map[uint64]bool)
+	a.hist = 0
+}
+
+var (
+	_ Predictor       = (*Agree)(nil)
+	_ HistoryObserver = (*Agree)(nil)
+)

@@ -1,0 +1,380 @@
+// Package bpred implements the conventional branch direction predictors
+// the paper uses as baselines: static, bimodal, two-level global (GAg,
+// gshare, gselect), two-level local (PAg), and a McFarling-style
+// tournament predictor.
+//
+// Predictors with a global history register implement HistoryObserver,
+// which lets the paper's predicate global update mechanism (internal/core)
+// shift predicate-define outcomes into the same history the branch
+// outcomes use.
+package bpred
+
+import "fmt"
+
+// Predictor predicts conditional-branch directions. Predict must not
+// change predictor state; Update supplies the resolved outcome and trains
+// tables and histories.
+type Predictor interface {
+	// Name identifies the predictor and its configuration.
+	Name() string
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the branch's actual outcome.
+	Update(pc uint64, taken bool)
+	// Reset restores the initial state.
+	Reset()
+}
+
+// HistoryObserver is implemented by predictors whose global history can
+// incorporate outcome bits that are not branch outcomes. This is the hook
+// the predicate global update predictor uses.
+type HistoryObserver interface {
+	// ObserveBit shifts one outcome bit into the global history.
+	ObserveBit(bit bool)
+}
+
+// counter is a 2-bit saturating counter; values 0..3, taken when >= 2.
+// Counters initialise to 1 (weakly not-taken), the usual convention.
+type counter uint8
+
+const counterInit counter = 1
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+func newTable(bits int) []counter {
+	t := make([]counter, 1<<bits)
+	for i := range t {
+		t[i] = counterInit
+	}
+	return t
+}
+
+// Static always predicts the same direction.
+type Static struct{ Taken bool }
+
+// NewStatic returns a static predictor.
+func NewStatic(taken bool) *Static { return &Static{Taken: taken} }
+
+// Name implements Predictor.
+func (s *Static) Name() string {
+	if s.Taken {
+		return "static-taken"
+	}
+	return "static-nottaken"
+}
+
+// Predict implements Predictor.
+func (s *Static) Predict(uint64) bool { return s.Taken }
+
+// Update implements Predictor.
+func (s *Static) Update(uint64, bool) {}
+
+// Reset implements Predictor.
+func (s *Static) Reset() {}
+
+// Bimodal is a pc-indexed table of 2-bit counters.
+type Bimodal struct {
+	bits  int
+	table []counter
+}
+
+// NewBimodal returns a bimodal predictor with 2^bits counters.
+func NewBimodal(bits int) *Bimodal {
+	return &Bimodal{bits: bits, table: newTable(bits)}
+}
+
+func (b *Bimodal) index(pc uint64) uint64 { return pc & (uint64(len(b.table)) - 1) }
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string { return fmt.Sprintf("bimodal-%d", b.bits) }
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64) bool { return b.table[b.index(pc)].taken() }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := b.index(pc)
+	b.table[i] = b.table[i].update(taken)
+}
+
+// Reset implements Predictor.
+func (b *Bimodal) Reset() { b.table = newTable(b.bits) }
+
+// GShare is a two-level global predictor indexing its counter table with
+// pc XOR global-history.
+type GShare struct {
+	tableBits int
+	histBits  int
+	table     []counter
+	hist      uint64
+}
+
+// NewGShare returns a gshare predictor with 2^tableBits counters and
+// histBits of global history.
+func NewGShare(tableBits, histBits int) *GShare {
+	return &GShare{tableBits: tableBits, histBits: histBits, table: newTable(tableBits)}
+}
+
+func (g *GShare) index(pc uint64) uint64 {
+	h := g.hist & ((1 << g.histBits) - 1)
+	return (pc ^ h) & (uint64(len(g.table)) - 1)
+}
+
+// Name implements Predictor.
+func (g *GShare) Name() string { return fmt.Sprintf("gshare-%d.%d", g.tableBits, g.histBits) }
+
+// Predict implements Predictor.
+func (g *GShare) Predict(pc uint64) bool { return g.table[g.index(pc)].taken() }
+
+// Update implements Predictor.
+func (g *GShare) Update(pc uint64, taken bool) {
+	i := g.index(pc)
+	g.table[i] = g.table[i].update(taken)
+	g.ObserveBit(taken)
+}
+
+// ObserveBit implements HistoryObserver.
+func (g *GShare) ObserveBit(bit bool) {
+	g.hist <<= 1
+	if bit {
+		g.hist |= 1
+	}
+}
+
+// Reset implements Predictor.
+func (g *GShare) Reset() {
+	g.table = newTable(g.tableBits)
+	g.hist = 0
+}
+
+// History returns the current global history (low histBits valid).
+func (g *GShare) History() uint64 { return g.hist & ((1 << g.histBits) - 1) }
+
+// GSelect concatenates low pc bits with global history to index its table.
+type GSelect struct {
+	tableBits int
+	histBits  int
+	table     []counter
+	hist      uint64
+}
+
+// NewGSelect returns a gselect predictor with 2^tableBits counters, of
+// which histBits index bits come from history and the rest from the pc.
+func NewGSelect(tableBits, histBits int) *GSelect {
+	if histBits > tableBits {
+		histBits = tableBits
+	}
+	return &GSelect{tableBits: tableBits, histBits: histBits, table: newTable(tableBits)}
+}
+
+func (g *GSelect) index(pc uint64) uint64 {
+	h := g.hist & ((1 << g.histBits) - 1)
+	return ((pc << g.histBits) | h) & (uint64(len(g.table)) - 1)
+}
+
+// Name implements Predictor.
+func (g *GSelect) Name() string { return fmt.Sprintf("gselect-%d.%d", g.tableBits, g.histBits) }
+
+// Predict implements Predictor.
+func (g *GSelect) Predict(pc uint64) bool { return g.table[g.index(pc)].taken() }
+
+// Update implements Predictor.
+func (g *GSelect) Update(pc uint64, taken bool) {
+	i := g.index(pc)
+	g.table[i] = g.table[i].update(taken)
+	g.ObserveBit(taken)
+}
+
+// ObserveBit implements HistoryObserver.
+func (g *GSelect) ObserveBit(bit bool) {
+	g.hist <<= 1
+	if bit {
+		g.hist |= 1
+	}
+}
+
+// Reset implements Predictor.
+func (g *GSelect) Reset() {
+	g.table = newTable(g.tableBits)
+	g.hist = 0
+}
+
+// GAg indexes its table purely by global history.
+type GAg struct {
+	histBits int
+	table    []counter
+	hist     uint64
+}
+
+// NewGAg returns a GAg predictor with histBits of history and 2^histBits
+// counters.
+func NewGAg(histBits int) *GAg {
+	return &GAg{histBits: histBits, table: newTable(histBits)}
+}
+
+// Name implements Predictor.
+func (g *GAg) Name() string { return fmt.Sprintf("gag-%d", g.histBits) }
+
+// Predict implements Predictor.
+func (g *GAg) Predict(uint64) bool {
+	return g.table[g.hist&((1<<g.histBits)-1)].taken()
+}
+
+// Update implements Predictor.
+func (g *GAg) Update(_ uint64, taken bool) {
+	i := g.hist & ((1 << g.histBits) - 1)
+	g.table[i] = g.table[i].update(taken)
+	g.ObserveBit(taken)
+}
+
+// ObserveBit implements HistoryObserver.
+func (g *GAg) ObserveBit(bit bool) {
+	g.hist <<= 1
+	if bit {
+		g.hist |= 1
+	}
+}
+
+// Reset implements Predictor.
+func (g *GAg) Reset() {
+	g.table = newTable(g.histBits)
+	g.hist = 0
+}
+
+// Local is a PAg two-level predictor: a pc-indexed table of per-branch
+// histories feeding a shared pattern table of counters.
+type Local struct {
+	histEntBits int // log2 of history-table entries
+	histBits    int // history length per entry
+	patBits     int // log2 of pattern-table counters
+	hists       []uint64
+	table       []counter
+}
+
+// NewLocal returns a local predictor with 2^histEntBits branch histories of
+// histBits each and a 2^patBits pattern table.
+func NewLocal(histEntBits, histBits, patBits int) *Local {
+	return &Local{
+		histEntBits: histEntBits,
+		histBits:    histBits,
+		patBits:     patBits,
+		hists:       make([]uint64, 1<<histEntBits),
+		table:       newTable(patBits),
+	}
+}
+
+func (l *Local) histIndex(pc uint64) uint64 { return pc & (uint64(len(l.hists)) - 1) }
+
+func (l *Local) patIndex(pc uint64) uint64 {
+	h := l.hists[l.histIndex(pc)] & ((1 << l.histBits) - 1)
+	return h & (uint64(len(l.table)) - 1)
+}
+
+// Name implements Predictor.
+func (l *Local) Name() string {
+	return fmt.Sprintf("local-%d.%d.%d", l.histEntBits, l.histBits, l.patBits)
+}
+
+// Predict implements Predictor.
+func (l *Local) Predict(pc uint64) bool { return l.table[l.patIndex(pc)].taken() }
+
+// Update implements Predictor.
+func (l *Local) Update(pc uint64, taken bool) {
+	pi := l.patIndex(pc)
+	l.table[pi] = l.table[pi].update(taken)
+	hi := l.histIndex(pc)
+	l.hists[hi] <<= 1
+	if taken {
+		l.hists[hi] |= 1
+	}
+}
+
+// Reset implements Predictor.
+func (l *Local) Reset() {
+	l.hists = make([]uint64, 1<<l.histEntBits)
+	l.table = newTable(l.patBits)
+}
+
+// Tournament is a McFarling combining predictor: a global (gshare) and a
+// local component with a pc-indexed chooser. Predicate history bits
+// observed via ObserveBit flow into the global component.
+type Tournament struct {
+	global  *GShare
+	local   *Local
+	chooser []counter // taken() == true selects the global component
+	chBits  int
+}
+
+// NewTournament returns a tournament predictor; bits sizes the chooser and
+// both component tables, histBits the global history.
+func NewTournament(bits, histBits int) *Tournament {
+	return &Tournament{
+		global:  NewGShare(bits, histBits),
+		local:   NewLocal(bits-2, 10, bits-2),
+		chooser: newTable(bits),
+		chBits:  bits,
+	}
+}
+
+// Name implements Predictor.
+func (t *Tournament) Name() string { return fmt.Sprintf("tournament-%d", t.chBits) }
+
+func (t *Tournament) chIndex(pc uint64) uint64 { return pc & (uint64(len(t.chooser)) - 1) }
+
+// Predict implements Predictor.
+func (t *Tournament) Predict(pc uint64) bool {
+	if t.chooser[t.chIndex(pc)].taken() {
+		return t.global.Predict(pc)
+	}
+	return t.local.Predict(pc)
+}
+
+// Update implements Predictor.
+func (t *Tournament) Update(pc uint64, taken bool) {
+	g := t.global.Predict(pc)
+	l := t.local.Predict(pc)
+	if g != l {
+		i := t.chIndex(pc)
+		t.chooser[i] = t.chooser[i].update(g == taken)
+	}
+	t.global.Update(pc, taken)
+	t.local.Update(pc, taken)
+}
+
+// ObserveBit implements HistoryObserver; bits flow to the global component.
+func (t *Tournament) ObserveBit(bit bool) { t.global.ObserveBit(bit) }
+
+// Reset implements Predictor.
+func (t *Tournament) Reset() {
+	t.global.Reset()
+	t.local.Reset()
+	t.chooser = newTable(t.chBits)
+}
+
+// Compile-time interface checks.
+var (
+	_ Predictor       = (*Static)(nil)
+	_ Predictor       = (*Bimodal)(nil)
+	_ Predictor       = (*GShare)(nil)
+	_ Predictor       = (*GSelect)(nil)
+	_ Predictor       = (*GAg)(nil)
+	_ Predictor       = (*Local)(nil)
+	_ Predictor       = (*Tournament)(nil)
+	_ HistoryObserver = (*GShare)(nil)
+	_ HistoryObserver = (*GSelect)(nil)
+	_ HistoryObserver = (*GAg)(nil)
+	_ HistoryObserver = (*Tournament)(nil)
+)

@@ -1,0 +1,112 @@
+package bpred
+
+import "fmt"
+
+// Perceptron is a perceptron branch predictor (Jiménez & Lin, HPCA 2001 —
+// exactly contemporary with the paper). Each branch hashes to a weight
+// vector; the prediction is the sign of the dot product of the weights
+// with the global history (bits as ±1). It learns *which* history bits
+// matter, which makes it an interesting partner for the predicate global
+// update mechanism: inserted predicate outcomes that correlate get large
+// weights, and ones that don't are weighted out instead of wasting
+// history capacity.
+type Perceptron struct {
+	entryBits int
+	histBits  int
+	weights   [][]int8 // [entry][1+histBits]: bias weight then one per bit
+	hist      uint64
+	theta     int32 // training threshold, 1.93*h + 14 per the paper
+}
+
+// NewPerceptron returns a perceptron predictor with 2^entryBits weight
+// vectors over histBits of global history.
+func NewPerceptron(entryBits, histBits int) *Perceptron {
+	p := &Perceptron{
+		entryBits: entryBits,
+		histBits:  histBits,
+		theta:     int32(1.93*float64(histBits) + 14),
+	}
+	p.Reset()
+	return p
+}
+
+// Name implements Predictor.
+func (p *Perceptron) Name() string {
+	return fmt.Sprintf("perceptron-%d.%d", p.entryBits, p.histBits)
+}
+
+func (p *Perceptron) index(pc uint64) uint64 {
+	return pc & (uint64(len(p.weights)) - 1)
+}
+
+// output computes the perceptron sum for pc under the current history.
+func (p *Perceptron) output(pc uint64) int32 {
+	w := p.weights[p.index(pc)]
+	y := int32(w[0])
+	for i := 0; i < p.histBits; i++ {
+		if p.hist>>uint(i)&1 == 1 {
+			y += int32(w[i+1])
+		} else {
+			y -= int32(w[i+1])
+		}
+	}
+	return y
+}
+
+// Predict implements Predictor.
+func (p *Perceptron) Predict(pc uint64) bool { return p.output(pc) >= 0 }
+
+func saturate(w int8, up bool) int8 {
+	if up {
+		if w < 127 {
+			return w + 1
+		}
+		return w
+	}
+	if w > -127 {
+		return w - 1
+	}
+	return w
+}
+
+// Update implements Predictor.
+func (p *Perceptron) Update(pc uint64, taken bool) {
+	y := p.output(pc)
+	mispredicted := (y >= 0) != taken
+	mag := y
+	if mag < 0 {
+		mag = -mag
+	}
+	if mispredicted || mag <= p.theta {
+		w := p.weights[p.index(pc)]
+		w[0] = saturate(w[0], taken)
+		for i := 0; i < p.histBits; i++ {
+			bit := p.hist>>uint(i)&1 == 1
+			w[i+1] = saturate(w[i+1], bit == taken)
+		}
+	}
+	p.ObserveBit(taken)
+}
+
+// ObserveBit implements HistoryObserver.
+func (p *Perceptron) ObserveBit(bit bool) {
+	p.hist <<= 1
+	if bit {
+		p.hist |= 1
+	}
+	p.hist &= (1 << p.histBits) - 1
+}
+
+// Reset implements Predictor.
+func (p *Perceptron) Reset() {
+	p.weights = make([][]int8, 1<<p.entryBits)
+	for i := range p.weights {
+		p.weights[i] = make([]int8, 1+p.histBits)
+	}
+	p.hist = 0
+}
+
+var (
+	_ Predictor       = (*Perceptron)(nil)
+	_ HistoryObserver = (*Perceptron)(nil)
+)

@@ -1,0 +1,227 @@
+// Package cfgutil provides control-flow analyses over prog.CFG: reverse
+// postorder, dominator trees (Cooper–Harvey–Kennedy), and natural loop
+// detection. The if-converter uses these to find single-entry acyclic
+// regions it can predicate.
+package cfgutil
+
+import (
+	"repro/internal/prog"
+)
+
+// Analysis bundles the derived structures for one CFG.
+type Analysis struct {
+	G *prog.CFG
+
+	// RPO is the reverse postorder over reachable blocks, starting at the
+	// entry block.
+	RPO []int
+	// RPONum maps block index -> position in RPO, or -1 if unreachable.
+	RPONum []int
+	// IDom maps block index -> immediate dominator block index. The entry
+	// block is its own idom; unreachable blocks have -1.
+	IDom []int
+	// LoopHeader maps block index -> header of the innermost natural loop
+	// containing it, or -1 if it is not in any loop.
+	LoopHeader []int
+	// LoopDepth maps block index -> loop nesting depth (0 = not in a loop).
+	LoopDepth []int
+	// Loops lists detected natural loops.
+	Loops []Loop
+}
+
+// Loop is a natural loop: a header and the set of blocks in its body
+// (including the header).
+type Loop struct {
+	Header int
+	Blocks map[int]bool
+}
+
+// Analyze computes all analyses for g.
+func Analyze(g *prog.CFG) *Analysis {
+	a := &Analysis{G: g}
+	n := len(g.Blocks)
+	a.RPONum = make([]int, n)
+	a.IDom = make([]int, n)
+	a.LoopHeader = make([]int, n)
+	a.LoopDepth = make([]int, n)
+	for i := range a.RPONum {
+		a.RPONum[i] = -1
+		a.IDom[i] = -1
+		a.LoopHeader[i] = -1
+	}
+	if n == 0 {
+		return a
+	}
+	a.computeRPO()
+	a.computeDominators()
+	a.computeLoops()
+	return a
+}
+
+func (a *Analysis) computeRPO() {
+	n := len(a.G.Blocks)
+	visited := make([]bool, n)
+	post := make([]int, 0, n)
+	// Iterative DFS to avoid deep recursion on long block chains.
+	type frame struct {
+		b    int
+		next int
+	}
+	stack := []frame{{b: 0}}
+	visited[0] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succs := a.G.Blocks[f.b].Succs
+		if f.next < len(succs) {
+			s := succs[f.next]
+			f.next++
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, frame{b: s})
+			}
+			continue
+		}
+		post = append(post, f.b)
+		stack = stack[:len(stack)-1]
+	}
+	a.RPO = make([]int, len(post))
+	for i := range post {
+		a.RPO[i] = post[len(post)-1-i]
+	}
+	for i, b := range a.RPO {
+		a.RPONum[b] = i
+	}
+}
+
+// computeDominators runs the Cooper–Harvey–Kennedy iterative algorithm.
+func (a *Analysis) computeDominators() {
+	a.IDom[0] = 0
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range a.RPO {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range a.G.Blocks[b].Preds {
+				if a.IDom[p] == -1 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = a.intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && a.IDom[b] != newIdom {
+				a.IDom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+func (a *Analysis) intersect(b1, b2 int) int {
+	for b1 != b2 {
+		for a.RPONum[b1] > a.RPONum[b2] {
+			b1 = a.IDom[b1]
+		}
+		for a.RPONum[b2] > a.RPONum[b1] {
+			b2 = a.IDom[b2]
+		}
+	}
+	return b1
+}
+
+// Dominates reports whether block d dominates block b. Unreachable blocks
+// dominate nothing and are dominated by nothing.
+func (a *Analysis) Dominates(d, b int) bool {
+	if a.RPONum[d] == -1 || a.RPONum[b] == -1 {
+		return false
+	}
+	for {
+		if b == d {
+			return true
+		}
+		if b == 0 {
+			return false
+		}
+		b = a.IDom[b]
+		if b == -1 {
+			return false
+		}
+	}
+}
+
+// Reachable reports whether block b is reachable from the entry.
+func (a *Analysis) Reachable(b int) bool { return a.RPONum[b] != -1 }
+
+func (a *Analysis) computeLoops() {
+	// Find back edges: tail -> header where header dominates tail.
+	type backEdge struct{ tail, header int }
+	var backs []backEdge
+	for _, b := range a.RPO {
+		for _, s := range a.G.Blocks[b].Succs {
+			if a.Dominates(s, b) {
+				backs = append(backs, backEdge{tail: b, header: s})
+			}
+		}
+	}
+	// Merge back edges with the same header into one loop, collecting the
+	// body by walking predecessors from the tail until the header.
+	byHeader := make(map[int]*Loop)
+	for _, e := range backs {
+		l := byHeader[e.header]
+		if l == nil {
+			l = &Loop{Header: e.header, Blocks: map[int]bool{e.header: true}}
+			byHeader[e.header] = l
+		}
+		if l.Blocks[e.tail] {
+			continue
+		}
+		work := []int{e.tail}
+		l.Blocks[e.tail] = true
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, p := range a.G.Blocks[b].Preds {
+				if !a.Reachable(p) || l.Blocks[p] {
+					continue
+				}
+				l.Blocks[p] = true
+				work = append(work, p)
+			}
+		}
+	}
+	for _, b := range a.RPO {
+		if l, ok := byHeader[b]; ok {
+			a.Loops = append(a.Loops, *l)
+		}
+	}
+	// Innermost loop per block: among loops containing b, the one with the
+	// smallest body. Depth = number of loops containing b.
+	for _, b := range a.RPO {
+		best := -1
+		bestSize := 0
+		depth := 0
+		for i := range a.Loops {
+			l := &a.Loops[i]
+			if l.Blocks[b] {
+				depth++
+				if best == -1 || len(l.Blocks) < bestSize {
+					best = l.Header
+					bestSize = len(l.Blocks)
+				}
+			}
+		}
+		a.LoopHeader[b] = best
+		a.LoopDepth[b] = depth
+	}
+}
+
+// SameInnermostLoop reports whether two blocks are in the same innermost
+// loop (both may be in no loop).
+func (a *Analysis) SameInnermostLoop(b1, b2 int) bool {
+	return a.LoopHeader[b1] == a.LoopHeader[b2]
+}

@@ -1,0 +1,307 @@
+package cfgutil
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// diamond builds: entry -> {then, else} -> join -> halt.
+func diamond(t *testing.T) *prog.CFG {
+	t.Helper()
+	b := prog.NewBuilder("diamond")
+	b.Movi(1, 1)
+	b.IfElse(prog.RI(isa.CmpGT, 1, 0),
+		func() { b.Movi(2, 1) },
+		func() { b.Movi(2, 2) },
+	)
+	b.Out(2)
+	b.Halt(0)
+	g, err := prog.BuildCFG(b.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func loopProg(t *testing.T) *prog.CFG {
+	t.Helper()
+	b := prog.NewBuilder("loop")
+	b.Movi(1, 5)
+	b.While(prog.RI(isa.CmpGT, 1, 0), func() {
+		b.If(prog.RI(isa.CmpEQ, 1, 3), func() { b.Out(1) })
+		b.Subi(1, 1, 1)
+	})
+	b.Halt(0)
+	g, err := prog.BuildCFG(b.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRPOCoversReachable(t *testing.T) {
+	g := diamond(t)
+	a := Analyze(g)
+	if len(a.RPO) != len(g.Blocks) {
+		t.Fatalf("RPO covers %d of %d blocks", len(a.RPO), len(g.Blocks))
+	}
+	if a.RPO[0] != 0 {
+		t.Errorf("RPO does not start at entry: %v", a.RPO)
+	}
+	// RPO property: every block appears after at least one predecessor
+	// (except the entry).
+	for i, b := range a.RPO {
+		if i == 0 {
+			continue
+		}
+		ok := false
+		for _, p := range g.Blocks[b].Preds {
+			if a.RPONum[p] < a.RPONum[b] {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("block %d has no earlier predecessor in RPO", b)
+		}
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	g := diamond(t)
+	a := Analyze(g)
+	// Entry dominates everything.
+	for _, blk := range g.Blocks {
+		if !a.Dominates(0, blk.Index) {
+			t.Errorf("entry does not dominate block %d", blk.Index)
+		}
+	}
+	// Then/else do not dominate the join.
+	join := len(g.Blocks) - 1
+	for b := 1; b < join; b++ {
+		if a.Dominates(b, join) {
+			t.Errorf("block %d should not dominate the join", b)
+		}
+	}
+	if a.IDom[join] != 0 {
+		t.Errorf("idom(join) = %d, want 0", a.IDom[join])
+	}
+}
+
+func TestDominatesSelf(t *testing.T) {
+	g := diamond(t)
+	a := Analyze(g)
+	for _, blk := range g.Blocks {
+		if !a.Dominates(blk.Index, blk.Index) {
+			t.Errorf("block %d does not dominate itself", blk.Index)
+		}
+	}
+}
+
+func TestUnreachableBlocks(t *testing.T) {
+	b := prog.NewBuilder("dead")
+	b.Br("end")
+	b.Movi(1, 1) // unreachable
+	b.Label("end")
+	b.Halt(0)
+	g, err := prog.BuildCFG(b.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(g)
+	found := false
+	for _, blk := range g.Blocks {
+		if !a.Reachable(blk.Index) {
+			found = true
+			if a.Dominates(0, blk.Index) || a.Dominates(blk.Index, 0) {
+				t.Error("unreachable block participates in dominance")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("expected an unreachable block")
+	}
+}
+
+func TestNaturalLoopDetection(t *testing.T) {
+	g := loopProg(t)
+	a := Analyze(g)
+	if len(a.Loops) != 1 {
+		t.Fatalf("found %d loops, want 1:\n%s", len(a.Loops), g)
+	}
+	l := a.Loops[0]
+	if !l.Blocks[l.Header] {
+		t.Error("loop body excludes its header")
+	}
+	// The entry block is not in the loop.
+	if l.Blocks[0] {
+		t.Error("entry block inside loop")
+	}
+	// Every loop block reports the loop header.
+	for b := range l.Blocks {
+		if a.LoopHeader[b] != l.Header {
+			t.Errorf("block %d loop header = %d, want %d", b, a.LoopHeader[b], l.Header)
+		}
+		if a.LoopDepth[b] != 1 {
+			t.Errorf("block %d depth = %d", b, a.LoopDepth[b])
+		}
+	}
+}
+
+func TestNestedLoopDepth(t *testing.T) {
+	b := prog.NewBuilder("nested")
+	b.Movi(1, 3)
+	b.While(prog.RI(isa.CmpGT, 1, 0), func() {
+		b.Movi(2, 3)
+		b.While(prog.RI(isa.CmpGT, 2, 0), func() {
+			b.Subi(2, 2, 1)
+		})
+		b.Subi(1, 1, 1)
+	})
+	b.Halt(0)
+	g, err := prog.BuildCFG(b.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(g)
+	if len(a.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(a.Loops))
+	}
+	maxDepth := 0
+	for _, d := range a.LoopDepth {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth != 2 {
+		t.Errorf("max loop depth = %d, want 2", maxDepth)
+	}
+}
+
+func TestSameInnermostLoop(t *testing.T) {
+	g := loopProg(t)
+	a := Analyze(g)
+	// Two blocks inside the loop share it; entry and a loop block do not.
+	var inLoop []int
+	for b := range g.Blocks {
+		if a.LoopDepth[b] > 0 {
+			inLoop = append(inLoop, b)
+		}
+	}
+	if len(inLoop) < 2 {
+		t.Fatalf("too few loop blocks: %v", inLoop)
+	}
+	if !a.SameInnermostLoop(inLoop[0], inLoop[1]) {
+		t.Error("loop blocks not in same innermost loop")
+	}
+	if a.SameInnermostLoop(0, inLoop[0]) {
+		t.Error("entry reported inside the loop")
+	}
+}
+
+func TestPredLivenessStraightLine(t *testing.T) {
+	b := prog.NewBuilder("pl")
+	b.Cmpi(isa.CmpEQ, 2, 3, 1, 0) // defines p2, p3 unconditionally
+	b.Movi(4, 1).QP = 2           // uses p2
+	b.Halt(0)
+	g, err := prog.BuildCFG(b.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := ComputePredLiveness(g)
+	if pl.Use[0]&(1<<2) != 0 {
+		t.Error("p2 upward-exposed despite local def")
+	}
+	if pl.Def[0]&(1<<2) == 0 || pl.Def[0]&(1<<3) == 0 {
+		t.Error("p2/p3 not in def set")
+	}
+	if pl.LiveIn[0] != 0 {
+		t.Errorf("liveIn(entry) = %b, want empty", pl.LiveIn[0])
+	}
+}
+
+func TestPredLivenessAcrossBlocks(t *testing.T) {
+	// Block A defines p2; block B (after a branch) uses it.
+	b := prog.NewBuilder("pl2")
+	b.Cmpi(isa.CmpEQ, 2, 3, 1, 0)
+	b.Br("use")
+	b.Label("use")
+	b.Movi(4, 1).QP = 2
+	b.Halt(0)
+	g, err := prog.BuildCFG(b.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := ComputePredLiveness(g)
+	useBlock := g.BlockOf(2).Index
+	if pl.LiveIn[useBlock]&(1<<2) == 0 {
+		t.Error("p2 not live into the use block")
+	}
+	defBlock := g.BlockOf(0).Index
+	if pl.LiveOut[defBlock]&(1<<2) == 0 {
+		t.Error("p2 not live out of the def block")
+	}
+}
+
+func TestPredLivenessGuardedDefIsConditional(t *testing.T) {
+	// A guarded normal compare does not kill liveness.
+	b := prog.NewBuilder("pl3")
+	b.Cmpi(isa.CmpEQ, 4, 5, 1, 0)        // defines guard p4
+	b.Cmpi(isa.CmpEQ, 2, 3, 1, 0).QP = 4 // conditional def of p2
+	b.Br("use")
+	b.Label("use")
+	b.Movi(6, 1).QP = 2
+	b.Halt(0)
+	g, err := prog.BuildCFG(b.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := ComputePredLiveness(g)
+	if pl.Def[0]&(1<<2) != 0 {
+		t.Error("guarded compare counted as unconditional def")
+	}
+	// p2 should be live into the entry (flows from before the program).
+	if pl.LiveIn[0]&(1<<2) == 0 {
+		t.Error("p2 not live into entry despite conditional def")
+	}
+}
+
+func TestPredLivenessUncKills(t *testing.T) {
+	// An unc-type compare always writes, even when guarded.
+	b := prog.NewBuilder("pl4")
+	b.Emit(isa.Inst{Op: isa.OpCmp, QP: 4, CC: isa.CmpEQ, CT: isa.CmpUnc, PD1: 2, PD2: 3, Src1: 1, Imm: 0, HasImm: true})
+	b.Movi(6, 1).QP = 2
+	b.Halt(0)
+	g, err := prog.BuildCFG(b.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := ComputePredLiveness(g)
+	if pl.Def[0]&(1<<2) == 0 {
+		t.Error("unc compare not counted as unconditional def")
+	}
+	if pl.LiveIn[0]&(1<<2) != 0 {
+		t.Error("p2 live into entry despite unc def")
+	}
+	// But the guard p4 itself is upward-exposed.
+	if pl.LiveIn[0]&(1<<4) == 0 {
+		t.Error("guard p4 not live into entry")
+	}
+}
+
+func TestPredLivenessOrTypeUses(t *testing.T) {
+	// Or-type compares may preserve their destinations: destination counts
+	// as a use.
+	b := prog.NewBuilder("pl5")
+	b.Emit(isa.Inst{Op: isa.OpCmp, CC: isa.CmpEQ, CT: isa.CmpOr, PD1: 2, PD2: 3, Src1: 1, Imm: 0, HasImm: true})
+	b.Halt(0)
+	g, err := prog.BuildCFG(b.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := ComputePredLiveness(g)
+	if pl.LiveIn[0]&(1<<2) == 0 || pl.LiveIn[0]&(1<<3) == 0 {
+		t.Error("or-type compare destinations not treated as uses")
+	}
+}

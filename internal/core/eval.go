@@ -1,0 +1,248 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/bpred"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// DefaultResolveDelay is the default number of dynamic instructions a
+// predicate define needs before its value is visible to the fetch stage
+// (compare execute latency plus fetch-to-execute pipeline distance on the
+// modelled machine).
+const DefaultResolveDelay = 6
+
+// DefaultPGUDelay is the default number of dynamic instructions before a
+// resolved predicate outcome reaches the global history register.
+const DefaultPGUDelay = 2
+
+// EvalConfig configures a trace-driven predictor evaluation.
+type EvalConfig struct {
+	// Predictor is the baseline predictor; it is Reset before the run.
+	Predictor bpred.Predictor
+
+	// UseSFPF enables the squash false path filter.
+	UseSFPF bool
+	// FilterTrue additionally filters branches whose guard is known true
+	// and implies taken (predicted taken with certainty). The paper's
+	// filter handles only the false case; this is the E9 ablation.
+	FilterTrue bool
+	// TrainFiltered makes filtered branches still train the predictor and
+	// its history. The default (false) removes them from the predictor's
+	// view entirely, avoiding table pollution.
+	TrainFiltered bool
+	// ResolveDelay is the minimum define-to-branch distance (in dynamic
+	// instructions) for the filter to know the guard at fetch.
+	ResolveDelay uint64
+
+	// PGU selects the predicate global update policy.
+	PGU PGUPolicy
+	// PGUDelay is the distance (in dynamic instructions) between a
+	// predicate define and its bit entering the history.
+	PGUDelay uint64
+
+	// PerBranch additionally collects per-static-branch statistics in
+	// Metrics.ByPC (costs one map update per branch event).
+	PerBranch bool
+}
+
+// BranchStats aggregates the behaviour of one static branch.
+type BranchStats struct {
+	PC          uint64
+	Count       uint64
+	Taken       uint64
+	Mispredicts uint64
+	Filtered    uint64
+	Region      bool
+}
+
+// MispredictRate returns this branch's misprediction rate over its
+// unfiltered executions.
+func (b *BranchStats) MispredictRate() float64 {
+	unfiltered := b.Count - b.Filtered
+	if unfiltered == 0 {
+		return 0
+	}
+	return float64(b.Mispredicts) / float64(unfiltered)
+}
+
+// Metrics summarises one evaluation.
+type Metrics struct {
+	Insts       uint64
+	Branches    uint64 // conditional branches seen
+	Mispredicts uint64
+
+	RegionBranches    uint64
+	RegionMispredicts uint64
+
+	Filtered     uint64 // branches handled by the SFPF (known-false guard)
+	FilteredTrue uint64 // branches handled by the FilterTrue extension
+	FilterErrors uint64 // must be zero: sanity check of the 100% claim
+	PredDefs     uint64
+	InsertedBits uint64 // history bits inserted by PGU
+
+	// ByPC holds per-static-branch statistics when EvalConfig.PerBranch
+	// was set; nil otherwise.
+	ByPC map[uint64]*BranchStats
+}
+
+// TopMispredicted returns up to n branches ordered by misprediction count
+// (requires PerBranch collection).
+func (m *Metrics) TopMispredicted(n int) []*BranchStats {
+	out := make([]*BranchStats, 0, len(m.ByPC))
+	for _, b := range m.ByPC {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mispredicts != out[j].Mispredicts {
+			return out[i].Mispredicts > out[j].Mispredicts
+		}
+		return out[i].PC < out[j].PC
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// MispredictRate returns mispredictions per predicted branch. Filtered
+// branches count as predicted (they are fetched branches the front end had
+// to handle, and the filter always predicts them correctly).
+func (m Metrics) MispredictRate() float64 {
+	if m.Branches == 0 {
+		return 0
+	}
+	return float64(m.Mispredicts) / float64(m.Branches)
+}
+
+// RegionMispredictRate returns the misprediction rate over region-based
+// branches only.
+func (m Metrics) RegionMispredictRate() float64 {
+	if m.RegionBranches == 0 {
+		return 0
+	}
+	return float64(m.RegionMispredicts) / float64(m.RegionBranches)
+}
+
+// MPKI returns mispredictions per thousand instructions.
+func (m Metrics) MPKI() float64 {
+	if m.Insts == 0 {
+		return 0
+	}
+	return 1000 * float64(m.Mispredicts) / float64(m.Insts)
+}
+
+// FilterCoverage returns the fraction of conditional branches the filter
+// handled.
+func (m Metrics) FilterCoverage() float64 {
+	if m.Branches == 0 {
+		return 0
+	}
+	return float64(m.Filtered+m.FilteredTrue) / float64(m.Branches)
+}
+
+type pendingBit struct {
+	applyAt uint64
+	bit     bool
+}
+
+// Evaluate replays the trace through the configured predictor and
+// mechanisms and returns the resulting metrics.
+func Evaluate(tr *trace.Trace, cfg EvalConfig) Metrics {
+	p := cfg.Predictor
+	p.Reset()
+	pgu := NewPGU(cfg.PGU, p)
+
+	var m Metrics
+	m.Insts = tr.Insts
+
+	var pending []pendingBit
+	flush := func(now uint64) {
+		i := 0
+		for ; i < len(pending) && pending[i].applyAt <= now; i++ {
+			if obs, ok := p.(bpred.HistoryObserver); ok {
+				obs.ObserveBit(pending[i].bit)
+				m.InsertedBits++
+			}
+		}
+		if i > 0 {
+			pending = pending[i:]
+		}
+	}
+
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		flush(ev.Step)
+		switch ev.Kind {
+		case trace.KindPredDef:
+			m.PredDefs++
+			if pgu != nil && pgu.Policy.Selects(ev) && ev.Executed {
+				pending = append(pending, pendingBit{applyAt: ev.Step + cfg.PGUDelay, bit: ev.Value})
+			}
+		case trace.KindBranch:
+			m.Branches++
+			if ev.Region {
+				m.RegionBranches++
+			}
+			var bs *BranchStats
+			if cfg.PerBranch {
+				if m.ByPC == nil {
+					m.ByPC = make(map[uint64]*BranchStats)
+				}
+				bs = m.ByPC[ev.PC]
+				if bs == nil {
+					bs = &BranchStats{PC: ev.PC, Region: ev.Region}
+					m.ByPC[ev.PC] = bs
+				}
+				bs.Count++
+				if ev.Taken {
+					bs.Taken++
+				}
+			}
+			if cfg.UseSFPF && ev.Guard != isa.P0 && ev.GuardDist >= cfg.ResolveDelay {
+				if !ev.GuardVal {
+					// Known-false guard: the branch cannot be taken.
+					m.Filtered++
+					if ev.Taken {
+						m.FilterErrors++ // impossible by ISA semantics
+					}
+					if bs != nil {
+						bs.Filtered++
+					}
+					if cfg.TrainFiltered {
+						p.Update(ev.PC, ev.Taken)
+					}
+					continue
+				}
+				if cfg.FilterTrue && ev.GuardImpliesTaken {
+					// Known-true guard on a guard-implies-taken branch.
+					m.FilteredTrue++
+					if !ev.Taken {
+						m.FilterErrors++
+					}
+					if bs != nil {
+						bs.Filtered++
+					}
+					if cfg.TrainFiltered {
+						p.Update(ev.PC, ev.Taken)
+					}
+					continue
+				}
+			}
+			pred := p.Predict(ev.PC)
+			if pred != ev.Taken {
+				m.Mispredicts++
+				if ev.Region {
+					m.RegionMispredicts++
+				}
+				if bs != nil {
+					bs.Mispredicts++
+				}
+			}
+			p.Update(ev.PC, ev.Taken)
+		}
+	}
+	return m
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/ifconv"
+	"repro/internal/rng"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestEvaluateInvariants replays randomly generated programs through
+// randomly drawn configurations and checks the structural invariants every
+// evaluation must satisfy, whatever the program or configuration.
+func TestEvaluateInvariants(t *testing.T) {
+	r := rng.New(20260706)
+	rounds := 40
+	if testing.Short() {
+		rounds = 8
+	}
+	for i := 0; i < rounds; i++ {
+		p := workload.Synth(uint64(i)*31+7, 40+r.Intn(40))
+		if r.Bool() {
+			cp, _, err := ifconv.Convert(p, ifconv.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p = cp
+		}
+		tr, err := trace.Collect(p, 3_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pred bpred.Predictor
+		switch r.Intn(5) {
+		case 0:
+			pred = bpred.NewBimodal(4 + r.Intn(8))
+		case 1:
+			pred = bpred.NewGShare(4+r.Intn(8), 1+r.Intn(10))
+		case 2:
+			pred = bpred.NewLocal(4+r.Intn(4), 4+r.Intn(8), 4+r.Intn(8))
+		case 3:
+			pred = bpred.NewAgree(4+r.Intn(8), r.Intn(10))
+		default:
+			pred = bpred.NewPerceptron(4+r.Intn(4), 4+r.Intn(16))
+		}
+		cfg := EvalConfig{
+			Predictor:     pred,
+			UseSFPF:       r.Bool(),
+			FilterTrue:    r.Bool(),
+			TrainFiltered: r.Bool(),
+			ResolveDelay:  uint64(r.Intn(12)),
+			PGU:           PGUPolicy(r.Intn(4)),
+			PGUDelay:      uint64(r.Intn(6)),
+			PerBranch:     r.Bool(),
+		}
+		m := Evaluate(tr, cfg)
+
+		if m.Branches != tr.Branches {
+			t.Fatalf("round %d: branches %d != trace %d", i, m.Branches, tr.Branches)
+		}
+		if m.PredDefs != tr.PredDefs {
+			t.Fatalf("round %d: preddefs %d != trace %d", i, m.PredDefs, tr.PredDefs)
+		}
+		if m.FilterErrors != 0 {
+			t.Fatalf("round %d: %d filter errors (cfg %+v)", i, m.FilterErrors, cfg)
+		}
+		if m.Filtered+m.FilteredTrue+m.Mispredicts > m.Branches {
+			t.Fatalf("round %d: filtered %d + filteredTrue %d + mispredicts %d > branches %d",
+				i, m.Filtered, m.FilteredTrue, m.Mispredicts, m.Branches)
+		}
+		if m.RegionBranches != tr.RegionBranches || m.RegionMispredicts > m.RegionBranches {
+			t.Fatalf("round %d: region accounting broken: %+v", i, m)
+		}
+		if !cfg.UseSFPF && (m.Filtered != 0 || m.FilteredTrue != 0) {
+			t.Fatalf("round %d: filtering without SFPF", i)
+		}
+		if cfg.PGU == PGUOff && m.InsertedBits != 0 {
+			t.Fatalf("round %d: bits inserted with PGU off", i)
+		}
+		if cfg.PerBranch {
+			var sum uint64
+			for _, bs := range m.ByPC {
+				sum += bs.Count
+			}
+			if sum != m.Branches {
+				t.Fatalf("round %d: per-branch counts %d != branches %d", i, sum, m.Branches)
+			}
+		}
+	}
+}
+
+// TestEvaluateDeterministic re-runs the same configuration twice and
+// demands identical metrics.
+func TestEvaluateDeterministic(t *testing.T) {
+	p := workload.ByNameMust("bsearch").Build()
+	cp, _, err := ifconv.Convert(p, ifconv.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Collect(cp, 3_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() Metrics {
+		return Evaluate(tr, EvalConfig{
+			Predictor: bpred.NewGShare(12, 8),
+			UseSFPF:   true, ResolveDelay: 6,
+			PGU: PGUAll, PGUDelay: 2,
+		})
+	}
+	a, b := mk(), mk()
+	if a.Mispredicts != b.Mispredicts || a.Filtered != b.Filtered || a.InsertedBits != b.InsertedBits {
+		t.Fatalf("evaluation not deterministic: %+v vs %+v", a, b)
+	}
+}

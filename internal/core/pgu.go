@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/trace"
+)
+
+// PGUPolicy selects which predicate defines the predicate global update
+// mechanism inserts into the global branch history.
+type PGUPolicy int
+
+// Policies, from none to most aggressive.
+const (
+	// PGUOff inserts nothing: the predictor sees only branch outcomes.
+	PGUOff PGUPolicy = iota
+	// PGURegionGuards inserts defines that (statically) feed the guard of
+	// a region-based branch — the minimal set the paper's region-based
+	// branches can correlate with.
+	PGURegionGuards
+	// PGUBranchGuards inserts defines feeding any branch guard.
+	PGUBranchGuards
+	// PGUAll inserts every executed predicate define. If-conversion turned
+	// branches into compares; this policy puts all of their outcomes back
+	// into the history, the paper's headline mechanism.
+	PGUAll
+)
+
+// String implements fmt.Stringer.
+func (p PGUPolicy) String() string {
+	switch p {
+	case PGUOff:
+		return "off"
+	case PGURegionGuards:
+		return "region-guards"
+	case PGUBranchGuards:
+		return "branch-guards"
+	case PGUAll:
+		return "all"
+	}
+	return fmt.Sprintf("pgu(%d)", int(p))
+}
+
+// Selects reports whether the policy inserts this predicate-define event.
+func (p PGUPolicy) Selects(ev *trace.Event) bool {
+	if ev.Kind != trace.KindPredDef {
+		return false
+	}
+	switch p {
+	case PGUOff:
+		return false
+	case PGURegionGuards:
+		return ev.FeedsRegionBranch
+	case PGUBranchGuards:
+		return ev.FeedsBranch
+	case PGUAll:
+		return true
+	}
+	return false
+}
+
+// PGU binds a policy to a predictor whose history accepts outside bits.
+// It is the hardware-facing form of the mechanism: the pipeline model calls
+// ObserveDefine as compares resolve.
+type PGU struct {
+	Policy PGUPolicy
+	obs    bpred.HistoryObserver
+}
+
+// NewPGU returns a PGU feeding the predictor's global history, or nil if
+// the predictor has no global history to feed (e.g. bimodal or local): the
+// mechanism degrades to a no-op exactly as it would in hardware.
+func NewPGU(policy PGUPolicy, p bpred.Predictor) *PGU {
+	obs, ok := p.(bpred.HistoryObserver)
+	if !ok || policy == PGUOff {
+		return nil
+	}
+	return &PGU{Policy: policy, obs: obs}
+}
+
+// ObserveDefine inserts a resolved predicate-define outcome into the
+// history if the policy selects it.
+func (g *PGU) ObserveDefine(ev *trace.Event) bool {
+	if g == nil || !g.Policy.Selects(ev) || !ev.Executed {
+		return false
+	}
+	g.obs.ObserveBit(ev.Value)
+	return true
+}

@@ -1,0 +1,172 @@
+// Package harness defines the reproduction experiments E1–E14: for every
+// table and figure reconstructed from the paper (see DESIGN.md), one
+// experiment that regenerates it from this repository's workloads,
+// if-converter, predictors and timing model.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/ifconv"
+	"repro/internal/prog"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Limit bounds emulation steps per program run (default 3,000,000).
+	Limit uint64
+	// Quick trims parameter sweeps for fast test runs; results keep the
+	// same shape with fewer points.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Limit == 0 {
+		c.Limit = 3_000_000
+	}
+	return c
+}
+
+// Default machine/predictor parameters shared by the experiments.
+const (
+	defTableBits = 12
+	defHistBits  = 8
+	defResolve   = core.DefaultResolveDelay
+	defPGUDelay  = core.DefaultPGUDelay
+)
+
+// Entry is one workload prepared for experimentation: the original
+// branching program, its if-converted form, the conversion report, and
+// traces of both.
+type Entry struct {
+	Name      string
+	Orig      *prog.Program
+	Conv      *prog.Program
+	Report    *ifconv.Report
+	OrigTrace *trace.Trace
+	ConvTrace *trace.Trace
+}
+
+// Suite is the prepared workload set shared by all experiments.
+type Suite struct {
+	Entries []*Entry
+	cfg     Config
+}
+
+// NewSuite builds, converts, and traces every workload; it is the
+// expensive shared setup, done once per harness invocation. Workloads are
+// prepared concurrently (they are independent); the resulting entry order
+// is the deterministic workload order regardless of scheduling.
+func NewSuite(cfg Config) (*Suite, error) {
+	cfg = cfg.withDefaults()
+	ws := workload.Suite()
+	s := &Suite{cfg: cfg, Entries: make([]*Entry, len(ws))}
+	errs := make([]error, len(ws))
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w workload.Workload) {
+			defer wg.Done()
+			e := &Entry{Name: w.Name, Orig: w.Build()}
+			var err error
+			if e.Conv, e.Report, err = ifconv.Convert(e.Orig, ifconv.Config{}); err != nil {
+				errs[i] = fmt.Errorf("harness: converting %s: %w", w.Name, err)
+				return
+			}
+			if e.OrigTrace, err = trace.Collect(e.Orig, cfg.Limit); err != nil {
+				errs[i] = fmt.Errorf("harness: tracing %s: %w", w.Name, err)
+				return
+			}
+			if e.ConvTrace, err = trace.Collect(e.Conv, cfg.Limit); err != nil {
+				errs[i] = fmt.Errorf("harness: tracing %s (converted): %w", w.Name, err)
+				return
+			}
+			s.Entries[i] = e
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Experiment regenerates one reconstructed table/figure.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper describes the paper analogue this experiment reconstructs.
+	Paper string
+	// Expect states the shape the result should show if the reproduction
+	// holds.
+	Expect string
+	Run    func(s *Suite, cfg Config) ([]*stats.Table, error)
+}
+
+var experiments []Experiment
+
+func registerExperiment(e Experiment) { experiments = append(experiments, e) }
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), experiments...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range experiments {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q", id)
+}
+
+// Result pairs an experiment with its output tables.
+type Result struct {
+	Experiment Experiment
+	Tables     []*stats.Table
+}
+
+// RunAll builds the suite once and runs every experiment.
+func RunAll(cfg Config) ([]Result, error) {
+	cfg = cfg.withDefaults()
+	s, err := NewSuite(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, e := range All() {
+		tables, err := e.Run(s, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", e.ID, err)
+		}
+		out = append(out, Result{Experiment: e, Tables: tables})
+	}
+	return out, nil
+}
+
+// newGshare builds the default global predictor.
+func newGshare() bpred.Predictor { return bpred.NewGShare(defTableBits, defHistBits) }
+
+// geoRates evaluates cfgOf over every entry's converted trace and returns
+// the geometric-mean misprediction rate.
+func geoRates(s *Suite, cfgOf func(e *Entry) core.EvalConfig) float64 {
+	var rates []float64
+	for _, e := range s.Entries {
+		m := core.Evaluate(e.ConvTrace, cfgOf(e))
+		rates = append(rates, m.MispredictRate())
+	}
+	return stats.Geomean(rates)
+}

@@ -1,0 +1,141 @@
+package ifconv
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func cmpOn(src isa.Reg, qp, pd1, pd2 isa.PReg) isa.Inst {
+	return isa.Inst{
+		Op: isa.OpCmp, QP: qp, CC: isa.CmpEQ, CT: isa.CmpUnc,
+		PD1: pd1, PD2: pd2, Src1: src, Imm: 0, HasImm: true,
+	}
+}
+
+func ops(insts []isa.Inst) []isa.Op {
+	out := make([]isa.Op, len(insts))
+	for i := range insts {
+		out[i] = insts[i].Op
+	}
+	return out
+}
+
+func TestHoistComparesMovesToTop(t *testing.T) {
+	insts := []isa.Inst{
+		{Op: isa.OpAdd, Dst: 5, Src1: 6, Src2: 7},
+		{Op: isa.OpXor, Dst: 8, Src1: 5, Src2: 5},
+		cmpOn(1, 0, 20, 21), // independent of r5..r8: should rise to index 0
+	}
+	hoistCompares(insts, 0)
+	if insts[0].Op != isa.OpCmp {
+		t.Errorf("compare did not hoist: %v", ops(insts))
+	}
+}
+
+func TestHoistStopsAtSourceWrite(t *testing.T) {
+	insts := []isa.Inst{
+		{Op: isa.OpAdd, Dst: 1, Src1: 2, Src2: 3}, // writes the compare's source
+		{Op: isa.OpXor, Dst: 8, Src1: 5, Src2: 5},
+		cmpOn(1, 0, 20, 21),
+	}
+	hoistCompares(insts, 0)
+	if insts[1].Op != isa.OpCmp {
+		t.Errorf("compare should sit right below its source writer: %v", ops(insts))
+	}
+}
+
+func TestHoistStopsAtGuardWrite(t *testing.T) {
+	insts := []isa.Inst{
+		{Op: isa.OpPinit, PD1: 9, Imm: 1}, // writes the compare's guard
+		{Op: isa.OpXor, Dst: 8, Src1: 5, Src2: 5},
+		cmpOn(1, 9, 20, 21),
+	}
+	hoistCompares(insts, 0)
+	if insts[1].Op != isa.OpCmp {
+		t.Errorf("compare crossed its guard writer: %v", ops(insts))
+	}
+}
+
+func TestHoistStopsAtBranch(t *testing.T) {
+	insts := []isa.Inst{
+		{Op: isa.OpBr, QP: 3, Target: 0},
+		{Op: isa.OpXor, Dst: 8, Src1: 5, Src2: 5},
+		cmpOn(1, 0, 20, 21),
+	}
+	hoistCompares(insts, 0)
+	if insts[1].Op != isa.OpCmp {
+		t.Errorf("compare crossed a branch: %v", ops(insts))
+	}
+}
+
+func TestHoistRespectsWAWAndWAR(t *testing.T) {
+	// WAW: an earlier compare writing the same predicates blocks.
+	insts := []isa.Inst{
+		cmpOn(2, 0, 20, 21),
+		{Op: isa.OpNop},
+		cmpOn(1, 0, 20, 21),
+	}
+	hoistCompares(insts, 0)
+	// The first compare stays; the second may rise past the nop but not
+	// past the first compare.
+	if insts[0].Src1 != 2 || insts[1].Src1 != 1 {
+		t.Errorf("WAW ordering violated: %v", insts)
+	}
+	// WAR: an instruction guarded by the compare's destination blocks.
+	insts = []isa.Inst{
+		{Op: isa.OpAdd, QP: 20, Dst: 5, Src1: 6, Src2: 7},
+		cmpOn(1, 0, 20, 21),
+	}
+	hoistCompares(insts, 0)
+	if insts[0].Op != isa.OpAdd {
+		t.Errorf("compare crossed a reader of its destination: %v", ops(insts))
+	}
+}
+
+func TestHoistRespectsStartFence(t *testing.T) {
+	insts := []isa.Inst{
+		{Op: isa.OpNop},
+		{Op: isa.OpNop},
+		cmpOn(1, 0, 20, 21),
+	}
+	hoistCompares(insts, 1) // region starts at index 1
+	if insts[0].Op != isa.OpNop || insts[1].Op != isa.OpCmp {
+		t.Errorf("compare crossed the region fence: %v", ops(insts))
+	}
+}
+
+func TestCanHoistPastTable(t *testing.T) {
+	c := cmpOn(1, 9, 20, 21)
+	cases := []struct {
+		name string
+		i    isa.Inst
+		want bool
+	}{
+		{"nop", isa.Inst{Op: isa.OpNop}, true},
+		{"unrelated alu", isa.Inst{Op: isa.OpAdd, Dst: 5, Src1: 6, Src2: 7}, true},
+		{"store", isa.Inst{Op: isa.OpSt, Src1: 2, Src2: 3}, true},
+		{"load", isa.Inst{Op: isa.OpLd, Dst: 7, Src1: 2}, true},
+		{"writes source", isa.Inst{Op: isa.OpMovi, Dst: 1, Imm: 3}, false},
+		{"writes guard", isa.Inst{Op: isa.OpPinit, PD1: 9, Imm: 0}, false},
+		{"writes dest pred", isa.Inst{Op: isa.OpPinit, PD1: 20, Imm: 0}, false},
+		{"reads dest as guard", isa.Inst{Op: isa.OpAdd, QP: 21, Dst: 5, Src1: 6, Src2: 7}, false},
+		{"reads dest as source", isa.Inst{Op: isa.OpPor, PD1: 30, PS1: 20, PS2: 31}, false},
+		{"branch", isa.Inst{Op: isa.OpBr, Target: 0}, false},
+		{"halt", isa.Inst{Op: isa.OpHalt}, false},
+		{"trap", isa.Inst{Op: isa.OpTrap}, false},
+	}
+	for _, tc := range cases {
+		if got := canHoistPast(&tc.i, &c); got != tc.want {
+			t.Errorf("%s: canHoistPast = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestLayoutPositions(t *testing.T) {
+	r := &region{layout: []int{4, 7, 2}}
+	pos := layoutPositions(r)
+	if pos[4] != 0 || pos[7] != 1 || pos[2] != 2 {
+		t.Errorf("positions wrong: %v", pos)
+	}
+}

@@ -1,0 +1,119 @@
+// Package ifconv implements if-conversion: it rewrites conditional
+// branches whose controlled blocks form single-entry acyclic regions into
+// straight-line predicated code (hyperblocks), in the style of the IMPACT
+// compiler that produced the predicated binaries studied by the paper.
+//
+// Branches that cannot be eliminated but sit inside a converted region —
+// loop back edges, early exits to targets outside the region — remain as
+// guarded branches and are marked Region. These are exactly the paper's
+// "region-based branches": the branch class the squash false path filter
+// and the predicate global update predictor aim at.
+package ifconv
+
+import (
+	"fmt"
+
+	"repro/internal/cfgutil"
+	"repro/internal/profile"
+	"repro/internal/prog"
+)
+
+// Config controls region formation.
+type Config struct {
+	// MaxBlocks bounds the number of basic blocks per region.
+	MaxBlocks int
+	// MaxInsts bounds the total original instruction count per region.
+	MaxInsts int
+	// NoCompareScheduling disables the compare-hoisting pass that moves
+	// compares to the earliest dependence-satisfying position in the
+	// hyperblock. Scheduling is on by default; disabling it is the E10
+	// ablation (it starves the squash false path filter of resolved
+	// guards).
+	NoCompareScheduling bool
+
+	// Profile enables profile-guided region selection, as the IMPACT
+	// compiler behind the paper's binaries did: a region is converted only
+	// when the profiled misprediction savings of its eliminated branches
+	// outweigh the profiled cost of fetching both paths (nullified slots
+	// plus predicate bookkeeping).
+	Profile *profile.Profile
+	// MispredictPenalty is the flush cost in cycles assumed by the
+	// profile-guided cost model. Default 10.
+	MispredictPenalty float64
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{MaxBlocks: 16, MaxInsts: 96}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MaxBlocks <= 0 {
+		c.MaxBlocks = d.MaxBlocks
+	}
+	if c.MaxInsts <= 0 {
+		c.MaxInsts = d.MaxInsts
+	}
+	if c.MispredictPenalty <= 0 {
+		c.MispredictPenalty = 10
+	}
+	return c
+}
+
+// RegionInfo describes one converted region.
+type RegionInfo struct {
+	Head               int   // original head block index
+	Blocks             []int // original block indices in layout order
+	EliminatedBranches int   // branches converted into predicate defines
+	RegionBranches     int   // guarded branches left in the region
+	NewStart, NewEnd   int   // instruction range in the converted program
+}
+
+// Report summarises a conversion run.
+type Report struct {
+	Regions []RegionInfo
+	// Rejected counts candidate regions abandoned per reason.
+	Rejected map[string]int
+}
+
+// TotalEliminated returns the number of static branches removed.
+func (r *Report) TotalEliminated() int {
+	n := 0
+	for i := range r.Regions {
+		n += r.Regions[i].EliminatedBranches
+	}
+	return n
+}
+
+// TotalRegionBranches returns the number of static region-based branches.
+func (r *Report) TotalRegionBranches() int {
+	n := 0
+	for i := range r.Regions {
+		n += r.Regions[i].RegionBranches
+	}
+	return n
+}
+
+// Convert if-converts p and returns the predicated program and a report.
+// The input program is not modified.
+func Convert(p *prog.Program, cfg Config) (*prog.Program, *Report, error) {
+	cfg = cfg.withDefaults()
+	g, err := prog.BuildCFG(p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ifconv: %w", err)
+	}
+	an := cfgutil.Analyze(g)
+	pl := cfgutil.ComputePredLiveness(g)
+
+	sel := newSelector(g, an, pl, cfg)
+	regions := sel.selectRegions()
+
+	em := newEmitter(g, regions, cfg)
+	out, infos, err := em.emit()
+	if err != nil {
+		return nil, nil, fmt.Errorf("ifconv: %w", err)
+	}
+	rep := &Report{Regions: infos, Rejected: sel.rejected}
+	return out, rep, nil
+}

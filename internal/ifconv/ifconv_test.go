@@ -1,0 +1,525 @@
+package ifconv
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/profile"
+	"repro/internal/prog"
+	"repro/internal/testutil"
+	"repro/internal/workload"
+)
+
+const runLimit = 2_000_000
+
+func convert(t *testing.T, p *prog.Program) (*prog.Program, *Report) {
+	t.Helper()
+	cp, rep, err := Convert(p, Config{})
+	if err != nil {
+		t.Fatalf("convert %s: %v\n%s", p.Name, err, p)
+	}
+	return cp, rep
+}
+
+func checkEquiv(t *testing.T, p, cp *prog.Program) {
+	t.Helper()
+	if err := testutil.CheckEquivalent(p, cp, runLimit); err != nil {
+		t.Fatalf("equivalence: %v\noriginal:\n%s\nconverted:\n%s", err, p, cp)
+	}
+}
+
+func branchCount(p *prog.Program) int {
+	n := 0
+	for i := range p.Insts {
+		if p.Insts[i].IsBranch() {
+			n++
+		}
+	}
+	return n
+}
+
+func TestConvertTriangle(t *testing.T) {
+	b := prog.NewBuilder("triangle")
+	b.Movi(1, 10)
+	b.If(prog.RI(isa.CmpGT, 1, 5), func() { b.Movi(2, 100) })
+	b.Out(2)
+	b.Halt(0)
+	p := b.MustProgram()
+	cp, rep := convert(t, p)
+	if len(rep.Regions) != 1 {
+		t.Fatalf("regions = %d, rejected = %v\n%s", len(rep.Regions), rep.Rejected, p)
+	}
+	if rep.TotalEliminated() < 1 {
+		t.Errorf("no branch eliminated: %+v", rep.Regions)
+	}
+	if branchCount(cp) >= branchCount(p) {
+		t.Errorf("branches did not decrease: %d -> %d\n%s", branchCount(p), branchCount(cp), cp)
+	}
+	checkEquiv(t, p, cp)
+}
+
+func TestConvertDiamond(t *testing.T) {
+	for _, x := range []int64{3, 8} {
+		b := prog.NewBuilder("diamond")
+		b.Movi(1, x)
+		b.IfElse(prog.RI(isa.CmpGT, 1, 5),
+			func() { b.Movi(2, 100) },
+			func() { b.Movi(2, 200) },
+		)
+		b.Out(2)
+		b.Halt(0)
+		p := b.MustProgram()
+		cp, rep := convert(t, p)
+		if len(rep.Regions) != 1 {
+			t.Fatalf("x=%d: regions = %d (rejected %v)", x, len(rep.Regions), rep.Rejected)
+		}
+		checkEquiv(t, p, cp)
+	}
+}
+
+func TestConvertNestedIf(t *testing.T) {
+	for x := int64(0); x < 4; x++ {
+		b := prog.NewBuilder("nested")
+		b.Movi(1, x)
+		b.IfElse(prog.RI(isa.CmpGE, 1, 2),
+			func() {
+				b.If(prog.RI(isa.CmpEQ, 1, 3), func() { b.Movi(2, 33) })
+				b.Addi(3, 3, 1)
+			},
+			func() {
+				b.IfElse(prog.RI(isa.CmpEQ, 1, 0),
+					func() { b.Movi(2, 10) },
+					func() { b.Movi(2, 11) },
+				)
+			},
+		)
+		b.Out(2)
+		b.Out(3)
+		b.Halt(0)
+		p := b.MustProgram()
+		cp, rep := convert(t, p)
+		if len(rep.Regions) == 0 {
+			t.Fatalf("x=%d: nothing converted (rejected %v)\n%s", x, rep.Rejected, p)
+		}
+		checkEquiv(t, p, cp)
+	}
+}
+
+func TestConvertDiamondInLoop(t *testing.T) {
+	b := prog.NewBuilder("loopdiamond")
+	b.Movi(1, 10) // i
+	b.Movi(2, 0)  // acc
+	b.While(prog.RI(isa.CmpGT, 1, 0), func() {
+		b.IfElse(prog.RI(isa.CmpGT, 1, 5),
+			func() { b.Add(2, 2, 1) },
+			func() { b.Sub(2, 2, 1) },
+		)
+		b.Subi(1, 1, 1)
+	})
+	b.Out(2)
+	b.Halt(0)
+	p := b.MustProgram()
+	cp, rep := convert(t, p)
+	if len(rep.Regions) == 0 {
+		t.Fatalf("diamond in loop not converted (rejected %v)\n%s", rep.Rejected, p)
+	}
+	checkEquiv(t, p, cp)
+}
+
+func TestLoopBodyRegionKeepsBackEdge(t *testing.T) {
+	// The whole loop body (head = loop header) should become one region
+	// whose back edge survives as a region-based branch.
+	b := prog.NewBuilder("loopbody")
+	b.Movi(1, 20)
+	b.Movi(2, 0)
+	b.Label("head")
+	b.Cmpi(isa.CmpGT, 1, 2, 1, 0)
+	b.BrIf(2, "done") // exit loop when r1 <= 0  (p2 = !(r1>0))
+	b.IfElse(prog.RI(isa.CmpGT, 1, 10),
+		func() { b.Add(2, 2, 1) },
+		func() { b.Addi(2, 2, 3) },
+	)
+	b.Subi(1, 1, 1)
+	b.Br("head")
+	b.Label("done")
+	b.Out(2)
+	b.Halt(0)
+	p := b.MustProgram()
+	cp, rep := convert(t, p)
+	if len(rep.Regions) == 0 {
+		t.Fatalf("loop body not converted (rejected %v)\n%s", rep.Rejected, p)
+	}
+	region := 0
+	for i := range cp.Insts {
+		if cp.Insts[i].Region {
+			region++
+		}
+	}
+	if region == 0 {
+		t.Errorf("no region-based branches in converted loop:\n%s", cp)
+	}
+	checkEquiv(t, p, cp)
+}
+
+func TestEarlyExitBecomesRegionBranch(t *testing.T) {
+	// if (a) { if (b) break-ish } else { ... } inside a loop: the inner
+	// exit branch leaves the region and must survive, guarded.
+	b := prog.NewBuilder("earlyexit")
+	b.Movi(1, 15)
+	b.Movi(2, 0)
+	b.Label("head")
+	b.Cmpi(isa.CmpGT, 1, 2, 1, 0)
+	b.BrIf(2, "done")
+	b.IfElse(prog.RI(isa.CmpEQ, 1, 7),
+		func() {
+			b.Movi(2, 777)
+			b.Br("done") // early exit out of the loop
+		},
+		func() { b.Add(2, 2, 1) },
+	)
+	b.Subi(1, 1, 1)
+	b.Br("head")
+	b.Label("done")
+	b.Out(2)
+	b.Out(1)
+	b.Halt(0)
+	p := b.MustProgram()
+	cp, rep := convert(t, p)
+	if len(rep.Regions) == 0 {
+		t.Fatalf("early-exit loop not converted (rejected %v)\n%s", rep.Rejected, p)
+	}
+	if rep.TotalRegionBranches() == 0 {
+		t.Errorf("expected region-based branches:\n%s", cp)
+	}
+	checkEquiv(t, p, cp)
+}
+
+func TestConvertCloopBody(t *testing.T) {
+	b := prog.NewBuilder("cloopbody")
+	b.Movi(2, 0)
+	b.Movi(3, 0)
+	b.CountedLoop(10, 8, func() {
+		b.IfElse(prog.RR(isa.CmpGT, 2, 3),
+			func() { b.Addi(3, 3, 2) },
+			func() { b.Addi(2, 2, 3) },
+		)
+	})
+	b.Out(2)
+	b.Out(3)
+	b.Halt(0)
+	p := b.MustProgram()
+	cp, rep := convert(t, p)
+	if len(rep.Regions) == 0 {
+		t.Fatalf("cloop body not converted (rejected %v)\n%s", rep.Rejected, p)
+	}
+	checkEquiv(t, p, cp)
+}
+
+func TestStraightLineUntouched(t *testing.T) {
+	b := prog.NewBuilder("straight")
+	b.Movi(1, 1)
+	b.Addi(1, 1, 2)
+	b.Out(1)
+	b.Halt(0)
+	p := b.MustProgram()
+	cp, rep := convert(t, p)
+	if len(rep.Regions) != 0 {
+		t.Errorf("regions in straight-line code: %+v", rep.Regions)
+	}
+	if len(cp.Insts) != len(p.Insts) {
+		t.Errorf("straight-line program changed size: %d -> %d", len(p.Insts), len(cp.Insts))
+	}
+	checkEquiv(t, p, cp)
+}
+
+func TestCallsExcluded(t *testing.T) {
+	b := prog.NewBuilder("calls")
+	b.Movi(1, 4)
+	b.IfElse(prog.RI(isa.CmpGT, 1, 2),
+		func() { b.Brl(30, "fn") },
+		func() { b.Movi(2, 5) },
+	)
+	b.Out(2)
+	b.Halt(0)
+	b.Label("fn")
+	b.Movi(2, 9)
+	b.Brr(30)
+	p := b.MustProgram()
+	cp, rep := convert(t, p)
+	// The call block is a hazard; the region around it must be rejected or
+	// shrunk, and whatever happens the result must be equivalent.
+	for _, r := range rep.Regions {
+		for _, blk := range r.Blocks {
+			_ = blk
+		}
+	}
+	checkEquiv(t, p, cp)
+	// The call must still be present.
+	found := false
+	for i := range cp.Insts {
+		if cp.Insts[i].Op == isa.OpBrl {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("call disappeared from converted program")
+	}
+}
+
+func TestMarkedRegionBranchesAreGuarded(t *testing.T) {
+	p := workload.Synth(11, 60)
+	cp, _ := convert(t, p)
+	for i := range cp.Insts {
+		in := &cp.Insts[i]
+		if in.Region && in.QP == isa.P0 && in.Op == isa.OpBr {
+			t.Errorf("region-based branch at %d is unguarded: %s", i, in)
+		}
+	}
+}
+
+func TestTrapNeverExecutes(t *testing.T) {
+	// The emitter plants a trap after each region; equivalence running
+	// (checked everywhere) plus this explicit sweep over many seeds gives
+	// confidence the predication covers all paths.
+	for seed := uint64(0); seed < 30; seed++ {
+		p := workload.Synth(seed, 50)
+		cp, _ := convert(t, p)
+		checkEquiv(t, p, cp)
+	}
+}
+
+func TestSynthEquivalenceProperty(t *testing.T) {
+	// The central correctness property: conversion preserves observable
+	// behaviour on randomly generated structured programs.
+	seeds := 120
+	if testing.Short() {
+		seeds = 20
+	}
+	for seed := 0; seed < seeds; seed++ {
+		p := workload.Synth(uint64(seed)*7919+1, 40+seed%60)
+		cp, rep := convert(t, p)
+		if err := testutil.CheckEquivalent(p, cp, runLimit); err != nil {
+			t.Fatalf("seed %d: %v\nreport: %+v\noriginal:\n%s\nconverted:\n%s",
+				seed, err, rep.Regions, p, cp)
+		}
+	}
+}
+
+func TestDoubleConversionStillEquivalent(t *testing.T) {
+	// Converting an already-converted program must stay correct (regions
+	// there are mostly ineligible, but nothing should break).
+	for seed := uint64(100); seed < 110; seed++ {
+		p := workload.Synth(seed, 50)
+		cp, _ := convert(t, p)
+		cp2, _, err := Convert(cp, Config{})
+		if err != nil {
+			t.Fatalf("seed %d second conversion: %v", seed, err)
+		}
+		if err := testutil.CheckEquivalent(p, cp2, runLimit); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestConfigLimitsRespected(t *testing.T) {
+	p := workload.Synth(42, 80)
+	cp, rep, err := Convert(p, Config{MaxBlocks: 3, MaxInsts: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Regions {
+		if len(r.Blocks) > 3 {
+			t.Errorf("region exceeds MaxBlocks: %d", len(r.Blocks))
+		}
+	}
+	checkEquiv(t, p, cp)
+}
+
+func TestProfileGuidedSelection(t *testing.T) {
+	// The cost model must skip regions whose nullification cost dominates
+	// (stream: a rarely-true saturation check with ~no mispredicts) and
+	// keep regions with heavy misprediction savings (rand: a 50/50 branch).
+	collect := func(name string) (*prog.Program, *profile.Profile) {
+		p := workload.ByNameMust(name).Build()
+		prof, err := profile.Collect(p, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, prof
+	}
+
+	p, prof := collect("stream")
+	cp, rep, err := Convert(p, Config{Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regions) != 0 {
+		t.Errorf("stream converted despite unprofitability: %+v", rep.Regions)
+	}
+	if rep.Rejected["unprofitable"] == 0 {
+		t.Errorf("no unprofitable rejection recorded: %v", rep.Rejected)
+	}
+	checkEquiv(t, p, cp)
+
+	p, prof = collect("rand")
+	cp, rep, err = Convert(p, Config{Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regions) == 0 {
+		t.Errorf("rand not converted despite profitability: %v", rep.Rejected)
+	}
+	checkEquiv(t, p, cp)
+}
+
+func TestProfileGuidedEquivalence(t *testing.T) {
+	// Profile-guided conversion must preserve behaviour on every workload.
+	for _, w := range workload.All() {
+		p := w.Build()
+		prof, err := profile.Collect(p, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, _, err := Convert(p, Config{Profile: prof})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if err := testutil.CheckEquivalent(p, cp, runLimit); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+func TestProfileNeverExecutedRegionSkipped(t *testing.T) {
+	// A diamond behind an always-false condition never executes; the
+	// profile must veto its conversion.
+	b := prog.NewBuilder("dead")
+	b.Movi(1, 0)
+	b.If(prog.RI(isa.CmpGT, 1, 10), func() { // never true
+		b.IfElse(prog.RI(isa.CmpEQ, 1, 5),
+			func() { b.Movi(2, 1) },
+			func() { b.Movi(2, 2) },
+		)
+	})
+	b.Out(1)
+	b.Halt(0)
+	p := b.MustProgram()
+	prof, err := profile.Collect(p, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := Convert(p, Config{Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Regions {
+		for _, blk := range r.Blocks {
+			if prof.BlockExec(blk) == 0 && prof.BlockExec(r.Head) == 0 {
+				t.Errorf("converted a never-executed region: %+v", r)
+			}
+		}
+	}
+}
+
+func TestGuardReadInsideRegionPreserved(t *testing.T) {
+	// The diamond's guard pair p1/p2 is also read after the join, inside
+	// what becomes the region: the emitter must keep the original compare
+	// alive alongside the rewritten one.
+	b := prog.NewBuilder("inread")
+	b.Movi(1, 4)
+	b.Cmpi(isa.CmpGT, 1, 2, 1, 2)
+	b.BrIf(2, "else")
+	b.Movi(3, 1)
+	b.Br("join")
+	b.Label("else")
+	b.Movi(3, 2)
+	b.Label("join")
+	b.Out(3)
+	b.Movi(4, 9).QP = 1 // reads p1 after the join
+	b.Out(4)
+	b.Halt(0)
+	p := b.MustProgram()
+	cp, rep := convert(t, p)
+	if len(rep.Regions) == 0 {
+		t.Fatalf("diamond with in-region guard read not converted: %v", rep.Rejected)
+	}
+	checkEquiv(t, p, cp)
+	// Both the rewritten (unc) and the preserved (normal) compare exist.
+	unc, norm := 0, 0
+	for i := range cp.Insts {
+		if cp.Insts[i].Op == isa.OpCmp {
+			if cp.Insts[i].CT == isa.CmpUnc {
+				unc++
+			} else {
+				norm++
+			}
+		}
+	}
+	if unc == 0 || norm == 0 {
+		t.Errorf("expected both rewritten and preserved compares:\n%s", cp)
+	}
+}
+
+func TestGuardedInteriorConverted(t *testing.T) {
+	// Source code that is already lightly predicated (the compiler's 0/1
+	// materialisation idiom) must still convert, with guards ANDed.
+	b := prog.NewBuilder("matarm")
+	b.Movi(1, 7)
+	b.IfElse(prog.RI(isa.CmpGT, 1, 3),
+		func() {
+			// then-arm computes bool := (r1 == 7) with a guarded movi
+			b.Cmpi(isa.CmpEQ, 9, 10, 1, 7)
+			b.Movi(2, 0)
+			b.Movi(2, 1).QP = 9
+		},
+		func() { b.Movi(2, 5) },
+	)
+	b.Out(2)
+	b.Halt(0)
+	p := b.MustProgram()
+	cp, rep := convert(t, p)
+	if len(rep.Regions) == 0 {
+		t.Fatalf("guarded interior blocked conversion: %v", rep.Rejected)
+	}
+	found := false
+	for i := range cp.Insts {
+		if cp.Insts[i].Op == isa.OpPand {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no guard-AND emitted:\n%s", cp)
+	}
+	checkEquiv(t, p, cp)
+}
+
+func TestReportRejectionReasons(t *testing.T) {
+	// A predicate written in the region and read in a block that cannot
+	// join it is live out of the region: the region must be rejected. The
+	// reader block is fenced out by its own guarded branch whose defining
+	// compare is non-local (a shape the converter cannot rewrite).
+	b := prog.NewBuilder("liveout")
+	b.Movi(1, 4)
+	b.Cmpi(isa.CmpGT, 1, 2, 1, 2)
+	b.BrIf(2, "else")
+	b.Movi(3, 1)
+	b.Br("join")
+	b.Label("else")
+	b.Movi(3, 2)
+	b.Label("join")
+	b.Out(3)
+	b.BrIf(1, "tail") // reads p1; its compare is far away -> region fence
+	b.Out(1)
+	b.Label("tail")
+	b.Out(3)
+	b.Halt(0)
+	p := b.MustProgram()
+	cp, rep := convert(t, p)
+	if len(rep.Regions) != 0 {
+		t.Fatalf("live-out region converted anyway: %+v\n%s", rep.Regions, cp)
+	}
+	if rep.Rejected["predicate-live-out"] == 0 {
+		t.Errorf("rejection reasons: %v", rep.Rejected)
+	}
+	checkEquiv(t, p, cp)
+}

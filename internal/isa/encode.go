@@ -1,0 +1,129 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncodedSize is the size in bytes of one encoded instruction.
+const EncodedSize = 16
+
+// Flag bits in byte 7 of the encoding.
+const (
+	flagHasImm = 1 << 6
+	flagRegion = 1 << 7
+	ccMask     = 0x0f
+	ctShift    = 4
+	ctMask     = 0x03
+)
+
+// Encode serialises the instruction into dst, which must be at least
+// EncodedSize bytes. Branch targets must be resolved (labels are not
+// encoded). It returns an error for unresolved branches or invalid fields.
+func (in *Inst) Encode(dst []byte) error {
+	if len(dst) < EncodedSize {
+		return fmt.Errorf("isa: encode buffer too small: %d", len(dst))
+	}
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	if in.IsDirectBranch() && in.Target < 0 {
+		return fmt.Errorf("isa: cannot encode unresolved branch to %q", in.Label)
+	}
+	dst[0] = byte(in.Op)
+	dst[1] = byte(in.QP)
+	dst[2] = byte(in.Dst)
+	switch in.Op {
+	case OpPand, OpPor, OpPmov:
+		dst[3] = byte(in.PS1)
+		dst[4] = byte(in.PS2)
+	default:
+		dst[3] = byte(in.Src1)
+		dst[4] = byte(in.Src2)
+	}
+	dst[5] = byte(in.PD1)
+	dst[6] = byte(in.PD2)
+	flags := byte(in.CC) & ccMask
+	flags |= (byte(in.CT) & ctMask) << ctShift
+	if in.HasImm {
+		flags |= flagHasImm
+	}
+	if in.Region {
+		flags |= flagRegion
+	}
+	dst[7] = flags
+	var word uint64
+	if in.IsDirectBranch() {
+		word = uint64(in.Target)
+	} else {
+		word = uint64(in.Imm)
+	}
+	binary.LittleEndian.PutUint64(dst[8:16], word)
+	return nil
+}
+
+// Decode deserialises one instruction from src.
+func Decode(src []byte) (Inst, error) {
+	if len(src) < EncodedSize {
+		return Inst{}, fmt.Errorf("isa: decode buffer too small: %d", len(src))
+	}
+	var in Inst
+	in.Op = Op(src[0])
+	if !in.Op.Valid() {
+		return Inst{}, fmt.Errorf("isa: decode: invalid opcode %d", src[0])
+	}
+	in.QP = PReg(src[1])
+	in.Dst = Reg(src[2])
+	switch in.Op {
+	case OpPand, OpPor, OpPmov:
+		in.PS1 = PReg(src[3])
+		in.PS2 = PReg(src[4])
+	default:
+		in.Src1 = Reg(src[3])
+		in.Src2 = Reg(src[4])
+	}
+	in.PD1 = PReg(src[5])
+	in.PD2 = PReg(src[6])
+	flags := src[7]
+	in.CC = CmpCond(flags & ccMask)
+	in.CT = CmpType((flags >> ctShift) & ctMask)
+	in.HasImm = flags&flagHasImm != 0
+	in.Region = flags&flagRegion != 0
+	word := binary.LittleEndian.Uint64(src[8:16])
+	if in.IsDirectBranch() {
+		in.Target = int(int64(word))
+	} else {
+		in.Imm = int64(word)
+	}
+	if err := in.Validate(); err != nil {
+		return Inst{}, err
+	}
+	return in, nil
+}
+
+// EncodeAll serialises a resolved instruction sequence.
+func EncodeAll(insts []Inst) ([]byte, error) {
+	out := make([]byte, len(insts)*EncodedSize)
+	for i := range insts {
+		if err := insts[i].Encode(out[i*EncodedSize:]); err != nil {
+			return nil, fmt.Errorf("instruction %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// DecodeAll deserialises a sequence produced by EncodeAll.
+func DecodeAll(src []byte) ([]Inst, error) {
+	if len(src)%EncodedSize != 0 {
+		return nil, fmt.Errorf("isa: decode: length %d not a multiple of %d", len(src), EncodedSize)
+	}
+	insts := make([]Inst, len(src)/EncodedSize)
+	for i := range insts {
+		in, err := Decode(src[i*EncodedSize:])
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d: %w", i, err)
+		}
+		insts[i] = in
+	}
+	return insts, nil
+}

@@ -1,0 +1,40 @@
+package isa
+
+import (
+	"testing"
+)
+
+// FuzzDecode checks that instruction decoding never panics and that
+// anything it accepts re-encodes to the same bytes (minus the parts the
+// format normalises).
+func FuzzDecode(f *testing.F) {
+	var seed [EncodedSize]byte
+	f.Add(seed[:])
+	seed[0] = byte(OpAdd)
+	seed[2] = 1
+	seed[3] = 2
+	f.Add(seed[:])
+	var brSeed [EncodedSize]byte
+	brSeed[0] = byte(OpBr)
+	brSeed[8] = 17
+	f.Add(brSeed[:])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := Decode(data)
+		if err != nil {
+			return
+		}
+		var buf [EncodedSize]byte
+		if err := in.Encode(buf[:]); err != nil {
+			t.Fatalf("decoded instruction %s does not re-encode: %v", in, err)
+		}
+		back, err := Decode(buf[:])
+		if err != nil {
+			t.Fatalf("re-encoded instruction does not decode: %v", err)
+		}
+		if back != in {
+			t.Fatalf("round trip changed instruction: %+v vs %+v", back, in)
+		}
+		_ = in.String()   // must not panic
+		_ = in.Validate() // must not panic
+	})
+}

@@ -1,0 +1,274 @@
+// Package isa defines P64, a small IA-64-inspired predicated instruction
+// set used throughout this repository.
+//
+// P64 has 64 general registers (r0 is hard-wired to zero) and 64 one-bit
+// predicate registers (p0 is hard-wired to true). Every instruction carries
+// a qualifying predicate (QP); an instruction whose QP is false is fetched
+// and occupies pipeline slots, but its architectural effects are nullified.
+//
+// As in IA-64, a conditional branch is simply a guarded direct branch:
+// "(p3) br L" is taken if and only if p3 is true. The guard *is* the branch
+// condition, which is what gives the paper's squash false path filter its
+// 100% accuracy: a branch whose guard has resolved to false cannot be taken.
+//
+// Compare instructions write two predicate destinations with the condition
+// and its complement, under one of four write types (normal, unconditional,
+// and, or) mirroring the IA-64 compare types used by if-conversion.
+package isa
+
+import "fmt"
+
+// NumRegs is the number of general registers (r0..r63). r0 reads as zero
+// and ignores writes.
+const NumRegs = 64
+
+// NumPRegs is the number of predicate registers (p0..p63). p0 reads as true
+// and ignores writes.
+const NumPRegs = 64
+
+// Reg identifies a general register.
+type Reg uint8
+
+// PReg identifies a predicate register.
+type PReg uint8
+
+// R0 is the always-zero general register.
+const R0 Reg = 0
+
+// P0 is the always-true predicate register.
+const P0 PReg = 0
+
+// String returns the assembly name of the register ("r7").
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// String returns the assembly name of the predicate register ("p3").
+func (p PReg) String() string { return fmt.Sprintf("p%d", uint8(p)) }
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. The set is deliberately small but complete enough to express the
+// branchy integer workloads the paper studies.
+const (
+	OpNop Op = iota
+
+	// ALU: Dst = Src1 op (Src2 | Imm).
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpShl // shift left
+	OpShr // logical shift right
+	OpSar // arithmetic shift right
+	OpMul
+	OpDiv // signed; divide by zero traps
+	OpMod // signed remainder; by zero traps
+
+	// Moves: Mov Dst = Src1; Movi Dst = Imm.
+	OpMov
+	OpMovi
+
+	// Compare: PD1, PD2 = CC(Src1, Src2|Imm) under write type CT.
+	OpCmp
+
+	// Memory (word addressed, 64-bit cells): Ld Dst = [Src1+Imm];
+	// St [Src1+Imm] = Src2.
+	OpLd
+	OpSt
+
+	// Branches. All are guarded: taken iff QP is true.
+	OpBr    // direct branch to Target
+	OpBrl   // branch and link: Dst = index of next instruction, jump to Target
+	OpBrr   // indirect branch to the address held in Src1
+	OpCloop // counted loop: if Dst != 0 { Dst--; jump to Target }
+
+	// Predicate manipulation (HPL-PD style), all guarded by QP:
+	// Pand PD1 = PS1 && PS2; Por PD1 = PS1 || PS2; Pmov PD1 = PS1;
+	// Pinit PD1 = (Imm != 0).
+	OpPand
+	OpPor
+	OpPmov
+	OpPinit
+
+	// Out appends the value of Src1 to the program's output stream. Used by
+	// workloads to make results observable and by tests as a behavioural
+	// oracle.
+	OpOut
+
+	// Halt stops execution with exit code Imm.
+	OpHalt
+
+	// Trap stops execution and reports an error. The if-converter plants a
+	// trap after the last region exit; reaching it means a predication bug.
+	OpTrap
+
+	opMax // sentinel; keep last
+)
+
+var opNames = [...]string{
+	OpNop:   "nop",
+	OpAdd:   "add",
+	OpSub:   "sub",
+	OpAnd:   "and",
+	OpOr:    "or",
+	OpXor:   "xor",
+	OpShl:   "shl",
+	OpShr:   "shr",
+	OpSar:   "sar",
+	OpMul:   "mul",
+	OpDiv:   "div",
+	OpMod:   "mod",
+	OpMov:   "mov",
+	OpMovi:  "movi",
+	OpCmp:   "cmp",
+	OpLd:    "ld",
+	OpSt:    "st",
+	OpBr:    "br",
+	OpBrl:   "brl",
+	OpBrr:   "brr",
+	OpCloop: "cloop",
+	OpPand:  "pand",
+	OpPor:   "por",
+	OpPmov:  "pmov",
+	OpPinit: "pinit",
+	OpOut:   "out",
+	OpHalt:  "halt",
+	OpTrap:  "trap",
+}
+
+// String returns the assembly mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < opMax }
+
+// CmpCond is a compare condition.
+type CmpCond uint8
+
+// Compare conditions. Signed unless suffixed U.
+const (
+	CmpEQ CmpCond = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpLTU
+	CmpGEU
+	cmpCondMax
+)
+
+var condNames = [...]string{
+	CmpEQ:  "eq",
+	CmpNE:  "ne",
+	CmpLT:  "lt",
+	CmpLE:  "le",
+	CmpGT:  "gt",
+	CmpGE:  "ge",
+	CmpLTU: "ltu",
+	CmpGEU: "geu",
+}
+
+// String returns the assembly suffix for the condition ("eq").
+func (c CmpCond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cc(%d)", uint8(c))
+}
+
+// Valid reports whether c is a defined condition.
+func (c CmpCond) Valid() bool { return c < cmpCondMax }
+
+// Eval applies the condition to two operands.
+func (c CmpCond) Eval(a, b int64) bool {
+	switch c {
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpLT:
+		return a < b
+	case CmpLE:
+		return a <= b
+	case CmpGT:
+		return a > b
+	case CmpGE:
+		return a >= b
+	case CmpLTU:
+		return uint64(a) < uint64(b)
+	case CmpGEU:
+		return uint64(a) >= uint64(b)
+	}
+	panic(fmt.Sprintf("isa: invalid compare condition %d", c))
+}
+
+// Negate returns the condition with the opposite truth table.
+func (c CmpCond) Negate() CmpCond {
+	switch c {
+	case CmpEQ:
+		return CmpNE
+	case CmpNE:
+		return CmpEQ
+	case CmpLT:
+		return CmpGE
+	case CmpGE:
+		return CmpLT
+	case CmpLE:
+		return CmpGT
+	case CmpGT:
+		return CmpLE
+	case CmpLTU:
+		return CmpGEU
+	case CmpGEU:
+		return CmpLTU
+	}
+	panic(fmt.Sprintf("isa: invalid compare condition %d", c))
+}
+
+// CmpType selects the predicate write behaviour of a compare, mirroring the
+// IA-64 compare types.
+type CmpType uint8
+
+const (
+	// CmpNorm writes PD1=cond, PD2=!cond when QP is true and writes nothing
+	// when QP is false.
+	CmpNorm CmpType = iota
+	// CmpUnc writes PD1=cond, PD2=!cond when QP is true and clears both to
+	// false when QP is false. If-conversion uses this type so that nested
+	// path predicates compose: PD1 = QP && cond, PD2 = QP && !cond.
+	CmpUnc
+	// CmpAnd clears both destinations when QP is true and the condition is
+	// false; otherwise leaves them unchanged. Used to accumulate compound
+	// AND conditions.
+	CmpAnd
+	// CmpOr sets both destinations when QP is true and the condition is
+	// true; otherwise leaves them unchanged. Used to accumulate compound OR
+	// conditions.
+	CmpOr
+	cmpTypeMax
+)
+
+var ctypeNames = [...]string{
+	CmpNorm: "",
+	CmpUnc:  "unc",
+	CmpAnd:  "and",
+	CmpOr:   "or",
+}
+
+// String returns the assembly suffix for the type ("" for normal).
+func (t CmpType) String() string {
+	if int(t) < len(ctypeNames) {
+		return ctypeNames[t]
+	}
+	return fmt.Sprintf("ct(%d)", uint8(t))
+}
+
+// Valid reports whether t is a defined compare type.
+func (t CmpType) Valid() bool { return t < cmpTypeMax }

@@ -1,0 +1,130 @@
+package lang
+
+// AST node types. Positions (source lines) are carried for error messages.
+
+type node interface{ nodeLine() int }
+
+type pos struct{ line int }
+
+func (p pos) nodeLine() int { return p.line }
+
+// Statements.
+
+type program struct {
+	stmts []stmt
+}
+
+type stmt interface{ node }
+
+// varDecl declares (and optionally initialises) a scalar variable.
+type varDecl struct {
+	pos
+	name string
+	init expr // nil means zero
+}
+
+// arrDecl declares a fixed-size array.
+type arrDecl struct {
+	pos
+	name string
+	size int64
+}
+
+// assign stores into a variable.
+type assign struct {
+	pos
+	name  string
+	value expr
+}
+
+// arrAssign stores into an array element.
+type arrAssign struct {
+	pos
+	name  string
+	index expr
+	value expr
+}
+
+// ifStmt is if/else; els may be nil.
+type ifStmt struct {
+	pos
+	cond expr
+	then []stmt
+	els  []stmt
+}
+
+// whileStmt is a top-tested loop.
+type whileStmt struct {
+	pos
+	cond expr
+	body []stmt
+}
+
+// doWhileStmt is a bottom-tested loop.
+type doWhileStmt struct {
+	pos
+	body []stmt
+	cond expr
+}
+
+// forStmt is for(init; cond; post) body; any part may be nil.
+type forStmt struct {
+	pos
+	init stmt // assign or varDecl or nil
+	cond expr // nil means true
+	post stmt // assign or nil
+	body []stmt
+}
+
+type breakStmt struct{ pos }
+
+type continueStmt struct{ pos }
+
+// outStmt appends a value to the output stream.
+type outStmt struct {
+	pos
+	value expr
+}
+
+// haltStmt stops the program; code may be nil (0).
+type haltStmt struct {
+	pos
+	code expr
+}
+
+// Expressions.
+
+type expr interface{ node }
+
+// numLit is an integer literal.
+type numLit struct {
+	pos
+	value int64
+}
+
+// varRef reads a variable.
+type varRef struct {
+	pos
+	name string
+}
+
+// arrRef reads an array element.
+type arrRef struct {
+	pos
+	name  string
+	index expr
+}
+
+// unary is -x, !x, or ~x.
+type unary struct {
+	pos
+	op string
+	x  expr
+}
+
+// binary is a binary operator application.
+type binary struct {
+	pos
+	op   string
+	l, r expr
+}

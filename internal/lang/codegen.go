@@ -1,0 +1,516 @@
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Register and memory conventions of generated code:
+//
+//	r8..r27    the first 20 scalar variables
+//	r28..r62   expression-evaluation scratch stack
+//	p1, p2     compare materialisation
+//	20000+     array storage (one base per array)
+//	30000+     spill slots for scalar variables beyond 20
+//
+// Array accesses are not bounds-checked (as in the C the paper's
+// benchmarks were written in).
+const (
+	firstVarReg  = 8
+	lastVarReg   = 27
+	firstScratch = 28
+	lastScratch  = 62
+	arrayBase    = 20000
+	spillBase    = 30000
+	cmpTrue      = isa.PReg(1)
+	cmpFalse     = isa.PReg(2)
+)
+
+// Compile translates PCL source into a P64 program.
+func Compile(name, src string) (*prog.Program, error) {
+	ast, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	g := &codegen{
+		b:         prog.NewBuilder(name),
+		scopes:    []map[string]location{{}},
+		arrays:    map[string]int64{},
+		nextArray: arrayBase,
+		nextSpill: spillBase,
+	}
+	if err := g.stmts(ast.stmts); err != nil {
+		return nil, err
+	}
+	g.b.Halt(0) // implicit normal exit
+	return g.b.Program()
+}
+
+// location is where a scalar variable lives.
+type location struct {
+	reg       isa.Reg // valid when spilled is false
+	slot      int64   // memory address when spilled
+	isSpilled bool
+}
+
+type loop struct {
+	continueLabel string
+	breakLabel    string
+}
+
+type codegen struct {
+	b      *prog.Builder
+	scopes []map[string]location
+	arrays map[string]int64 // name -> base address
+
+	nextVarReg int // count of register-allocated scalars
+	nextSpill  int64
+	nextArray  int64
+	scratch    int // scratch stack depth
+	loops      []loop
+	labels     int
+}
+
+func (g *codegen) label(prefix string) string {
+	g.labels++
+	return fmt.Sprintf(".%s%d", prefix, g.labels)
+}
+
+// --- scopes ---------------------------------------------------------------
+
+func (g *codegen) pushScope() { g.scopes = append(g.scopes, map[string]location{}) }
+
+func (g *codegen) popScope() { g.scopes = g.scopes[:len(g.scopes)-1] }
+
+func (g *codegen) lookup(name string) (location, bool) {
+	for i := len(g.scopes) - 1; i >= 0; i-- {
+		if loc, ok := g.scopes[i][name]; ok {
+			return loc, true
+		}
+	}
+	return location{}, false
+}
+
+func (g *codegen) declare(line int, name string) (location, error) {
+	scope := g.scopes[len(g.scopes)-1]
+	if _, dup := scope[name]; dup {
+		return location{}, errf(line, "variable %q redeclared in the same scope", name)
+	}
+	if _, isArr := g.arrays[name]; isArr {
+		return location{}, errf(line, "%q is already an array", name)
+	}
+	var loc location
+	if firstVarReg+g.nextVarReg <= lastVarReg {
+		loc = location{reg: isa.Reg(firstVarReg + g.nextVarReg)}
+		g.nextVarReg++
+	} else {
+		loc = location{isSpilled: true, slot: g.nextSpill}
+		g.nextSpill++
+	}
+	scope[name] = loc
+	return loc, nil
+}
+
+// --- scratch stack ---------------------------------------------------------
+
+func (g *codegen) pushScratch(line int) (isa.Reg, error) {
+	r := firstScratch + g.scratch
+	if r > lastScratch {
+		return 0, errf(line, "expression too deep (more than %d live temporaries)", lastScratch-firstScratch+1)
+	}
+	g.scratch++
+	return isa.Reg(r), nil
+}
+
+func (g *codegen) popScratch(n int) { g.scratch -= n }
+
+// --- statements ------------------------------------------------------------
+
+func (g *codegen) stmts(list []stmt) error {
+	for _, s := range list {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) stmt(s stmt) error {
+	switch s := s.(type) {
+	case *varDecl:
+		loc, err := g.declare(s.line, s.name)
+		if err != nil {
+			return err
+		}
+		if s.init == nil {
+			return g.storeVar(loc, isa.R0)
+		}
+		r, err := g.expr(s.init)
+		if err != nil {
+			return err
+		}
+		defer g.popScratch(1)
+		return g.storeVar(loc, r)
+	case *arrDecl:
+		if _, dup := g.arrays[s.name]; dup {
+			return errf(s.line, "array %q redeclared", s.name)
+		}
+		if _, isVar := g.lookup(s.name); isVar {
+			return errf(s.line, "%q is already a variable", s.name)
+		}
+		g.arrays[s.name] = g.nextArray
+		g.nextArray += s.size
+		return nil
+	case *assign:
+		loc, ok := g.lookup(s.name)
+		if !ok {
+			return errf(s.line, "undeclared variable %q", s.name)
+		}
+		r, err := g.expr(s.value)
+		if err != nil {
+			return err
+		}
+		defer g.popScratch(1)
+		return g.storeVar(loc, r)
+	case *arrAssign:
+		base, ok := g.arrays[s.name]
+		if !ok {
+			return errf(s.line, "undeclared array %q", s.name)
+		}
+		idx, err := g.expr(s.index)
+		if err != nil {
+			return err
+		}
+		val, err := g.expr(s.value)
+		if err != nil {
+			return err
+		}
+		g.b.St(idx, base, val)
+		g.popScratch(2)
+		return nil
+	case *ifStmt:
+		return g.genIf(s)
+	case *whileStmt:
+		return g.genWhile(s)
+	case *doWhileStmt:
+		return g.genDoWhile(s)
+	case *forStmt:
+		return g.genFor(s)
+	case *breakStmt:
+		if len(g.loops) == 0 {
+			return errf(s.line, "break outside a loop")
+		}
+		g.b.Br(g.loops[len(g.loops)-1].breakLabel)
+		return nil
+	case *continueStmt:
+		if len(g.loops) == 0 {
+			return errf(s.line, "continue outside a loop")
+		}
+		g.b.Br(g.loops[len(g.loops)-1].continueLabel)
+		return nil
+	case *outStmt:
+		r, err := g.expr(s.value)
+		if err != nil {
+			return err
+		}
+		g.b.Out(r)
+		g.popScratch(1)
+		return nil
+	case *haltStmt:
+		if s.code == nil {
+			g.b.Halt(0)
+			return nil
+		}
+		if lit, ok := s.code.(*numLit); ok {
+			g.b.Halt(lit.value)
+			return nil
+		}
+		return errf(s.line, "halt takes a literal exit code")
+	}
+	return errf(s.nodeLine(), "unsupported statement %T", s)
+}
+
+func (g *codegen) storeVar(loc location, from isa.Reg) error {
+	if loc.isSpilled {
+		g.b.St(isa.R0, loc.slot, from)
+		return nil
+	}
+	g.b.Mov(loc.reg, from)
+	return nil
+}
+
+// condBranch evaluates cond and branches to target when the condition's
+// truth matches whenTrue. A top-level comparison fuses directly into the
+// compare-and-branch pair (no 0/1 materialisation) — the shape the
+// if-converter consumes.
+func (g *codegen) condBranch(cond expr, whenTrue bool, target string) error {
+	if bin, ok := cond.(*binary); ok {
+		if cc, isCmp := cmpOps[bin.op]; isCmp {
+			l, err := g.expr(bin.l)
+			if err != nil {
+				return err
+			}
+			r, err := g.expr(bin.r)
+			if err != nil {
+				return err
+			}
+			g.b.Cmp(cc, cmpTrue, cmpFalse, l, r)
+			g.popScratch(2)
+			if whenTrue {
+				g.b.BrIf(cmpTrue, target)
+			} else {
+				g.b.BrIf(cmpFalse, target)
+			}
+			return nil
+		}
+	}
+	r, err := g.expr(cond)
+	if err != nil {
+		return err
+	}
+	g.b.Cmpi(isa.CmpNE, cmpTrue, cmpFalse, r, 0)
+	g.popScratch(1)
+	if whenTrue {
+		g.b.BrIf(cmpTrue, target)
+	} else {
+		g.b.BrIf(cmpFalse, target)
+	}
+	return nil
+}
+
+// branchIfFalse evaluates cond and branches to target when it is zero.
+func (g *codegen) branchIfFalse(cond expr, target string) error {
+	return g.condBranch(cond, false, target)
+}
+
+func (g *codegen) genIf(s *ifStmt) error {
+	elseL := g.label("else")
+	endL := g.label("endif")
+	if err := g.branchIfFalse(s.cond, elseL); err != nil {
+		return err
+	}
+	g.pushScope()
+	err := g.stmts(s.then)
+	g.popScope()
+	if err != nil {
+		return err
+	}
+	if len(s.els) > 0 {
+		g.b.Br(endL)
+	}
+	g.b.Label(elseL)
+	if len(s.els) > 0 {
+		g.pushScope()
+		err := g.stmts(s.els)
+		g.popScope()
+		if err != nil {
+			return err
+		}
+		g.b.Label(endL)
+	}
+	return nil
+}
+
+func (g *codegen) genWhile(s *whileStmt) error {
+	head := g.label("while")
+	end := g.label("wend")
+	g.b.Label(head)
+	if err := g.branchIfFalse(s.cond, end); err != nil {
+		return err
+	}
+	g.loops = append(g.loops, loop{continueLabel: head, breakLabel: end})
+	g.pushScope()
+	err := g.stmts(s.body)
+	g.popScope()
+	g.loops = g.loops[:len(g.loops)-1]
+	if err != nil {
+		return err
+	}
+	g.b.Br(head)
+	g.b.Label(end)
+	return nil
+}
+
+func (g *codegen) genDoWhile(s *doWhileStmt) error {
+	head := g.label("do")
+	cont := g.label("docond")
+	end := g.label("dend")
+	g.b.Label(head)
+	g.loops = append(g.loops, loop{continueLabel: cont, breakLabel: end})
+	g.pushScope()
+	err := g.stmts(s.body)
+	g.popScope()
+	g.loops = g.loops[:len(g.loops)-1]
+	if err != nil {
+		return err
+	}
+	g.b.Label(cont)
+	if err := g.condBranch(s.cond, true, head); err != nil {
+		return err
+	}
+	g.b.Label(end)
+	return nil
+}
+
+func (g *codegen) genFor(s *forStmt) error {
+	g.pushScope() // the init declaration scopes to the loop
+	defer g.popScope()
+	if s.init != nil {
+		if err := g.stmt(s.init); err != nil {
+			return err
+		}
+	}
+	head := g.label("for")
+	cont := g.label("fpost")
+	end := g.label("fend")
+	g.b.Label(head)
+	if s.cond != nil {
+		if err := g.branchIfFalse(s.cond, end); err != nil {
+			return err
+		}
+	}
+	g.loops = append(g.loops, loop{continueLabel: cont, breakLabel: end})
+	g.pushScope()
+	err := g.stmts(s.body)
+	g.popScope()
+	g.loops = g.loops[:len(g.loops)-1]
+	if err != nil {
+		return err
+	}
+	g.b.Label(cont)
+	if s.post != nil {
+		if err := g.stmt(s.post); err != nil {
+			return err
+		}
+	}
+	g.b.Br(head)
+	g.b.Label(end)
+	return nil
+}
+
+// --- expressions -----------------------------------------------------------
+
+// expr generates code computing e into a freshly pushed scratch register.
+func (g *codegen) expr(e expr) (isa.Reg, error) {
+	switch e := e.(type) {
+	case *numLit:
+		r, err := g.pushScratch(e.line)
+		if err != nil {
+			return 0, err
+		}
+		g.b.Movi(r, e.value)
+		return r, nil
+	case *varRef:
+		loc, ok := g.lookup(e.name)
+		if !ok {
+			return 0, errf(e.line, "undeclared variable %q", e.name)
+		}
+		r, err := g.pushScratch(e.line)
+		if err != nil {
+			return 0, err
+		}
+		if loc.isSpilled {
+			g.b.Ld(r, isa.R0, loc.slot)
+		} else {
+			g.b.Mov(r, loc.reg)
+		}
+		return r, nil
+	case *arrRef:
+		base, ok := g.arrays[e.name]
+		if !ok {
+			return 0, errf(e.line, "undeclared array %q", e.name)
+		}
+		idx, err := g.expr(e.index)
+		if err != nil {
+			return 0, err
+		}
+		g.b.Ld(idx, idx, base) // reuse the index scratch for the value
+		return idx, nil
+	case *unary:
+		x, err := g.expr(e.x)
+		if err != nil {
+			return 0, err
+		}
+		switch e.op {
+		case "-":
+			g.b.Sub(x, isa.R0, x)
+		case "~":
+			g.b.Xori(x, x, -1)
+		case "!":
+			g.materialize(isa.CmpEQ, x, x, isa.R0, 0, true)
+		}
+		return x, nil
+	case *binary:
+		return g.genBinary(e)
+	}
+	return 0, errf(e.nodeLine(), "unsupported expression %T", e)
+}
+
+// materialize writes (a CC b) as 0/1 into dst. When immOK is true and b is
+// unused, imm is compared instead.
+func (g *codegen) materialize(cc isa.CmpCond, dst, a, b isa.Reg, imm int64, useImm bool) {
+	if useImm {
+		g.b.Cmpi(cc, cmpTrue, cmpFalse, a, imm)
+	} else {
+		g.b.Cmp(cc, cmpTrue, cmpFalse, a, b)
+	}
+	g.b.Movi(dst, 0)
+	g.b.Movi(dst, 1).QP = cmpTrue
+}
+
+var cmpOps = map[string]isa.CmpCond{
+	"==": isa.CmpEQ, "!=": isa.CmpNE,
+	"<": isa.CmpLT, "<=": isa.CmpLE, ">": isa.CmpGT, ">=": isa.CmpGE,
+}
+
+func (g *codegen) genBinary(e *binary) (isa.Reg, error) {
+	l, err := g.expr(e.l)
+	if err != nil {
+		return 0, err
+	}
+	r, err := g.expr(e.r)
+	if err != nil {
+		return 0, err
+	}
+	defer g.popScratch(1) // the result reuses l's slot; r's is released
+	switch e.op {
+	case "+":
+		g.b.Add(l, l, r)
+	case "-":
+		g.b.Sub(l, l, r)
+	case "*":
+		g.b.Mul(l, l, r)
+	case "/":
+		g.b.Div(l, l, r)
+	case "%":
+		g.b.Mod(l, l, r)
+	case "&":
+		g.b.And(l, l, r)
+	case "|":
+		g.b.Or(l, l, r)
+	case "^":
+		g.b.Xor(l, l, r)
+	case "<<":
+		g.b.Emit(isa.Inst{Op: isa.OpShl, Dst: l, Src1: l, Src2: r})
+	case ">>":
+		g.b.Emit(isa.Inst{Op: isa.OpSar, Dst: l, Src1: l, Src2: r})
+	case "&&", "||":
+		// Eager logical: normalise both sides to 0/1, then AND/OR.
+		g.materialize(isa.CmpNE, l, l, isa.R0, 0, true)
+		g.materialize(isa.CmpNE, r, r, isa.R0, 0, true)
+		if e.op == "&&" {
+			g.b.And(l, l, r)
+		} else {
+			g.b.Or(l, l, r)
+		}
+	default:
+		if cc, ok := cmpOps[e.op]; ok {
+			g.materialize(cc, l, l, r, 0, false)
+		} else {
+			return 0, errf(e.line, "unsupported operator %q", e.op)
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,44 @@
+package lang
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+)
+
+// FuzzCompile checks that the compiler never panics on arbitrary source,
+// and that anything it accepts produces a structurally valid program that
+// the emulator can execute without internal faults other than the defined
+// runtime traps.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"",
+		"out 1;",
+		"var x = 1; out x + 2 * 3;",
+		"arr a[4]; a[1] = 7; out a[1];",
+		"var i = 3; while (i > 0) { i = i - 1; } out i;",
+		"for (var i = 0; i < 4; i = i + 1) { if (i % 2 == 0) { out i; } }",
+		"do { out 1; } while (0);",
+		"var x = 0; while (1) { x = x + 1; if (x == 3) { break; } } out x;",
+		"out (1 < 2) && (3 != 4) || !5;",
+		"halt 2;",
+		"// just a comment",
+		"var x = -9223372036854775807;",
+		"if (1) { var y = 1; out y; } else { out 0; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Compile("fuzz", src)
+		if err != nil {
+			return // rejection is fine; a panic is not
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("compiled program invalid: %v", err)
+		}
+		// Execute with a tight budget; division traps and step-limit
+		// overruns are defined behaviour for arbitrary programs.
+		_, _ = emu.RunProgram(p, 50_000)
+	})
+}

@@ -1,0 +1,277 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/ifconv"
+	"repro/internal/testutil"
+)
+
+// compileRun compiles and runs a program, returning its output stream.
+func compileRun(t *testing.T, src string) []int64 {
+	t.Helper()
+	p, err := Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := emu.RunProgram(p, 5_000_000)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, p)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("exit %d", res.ExitCode)
+	}
+	return res.Output
+}
+
+func wantOutput(t *testing.T, src string, want ...int64) {
+	t.Helper()
+	got := compileRun(t, src)
+	if len(got) != len(want) {
+		t.Fatalf("output %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output[%d] = %d, want %v (full: %v)", i, got[i], want, got)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	wantOutput(t, `
+var x = 2 + 3 * 4;       // precedence
+out x;                   // 14
+out (2 + 3) * 4;         // 20
+out 10 - 2 - 3;          // left assoc: 5
+out 7 / 2; out 7 % 2;    // 3, 1
+out -5 + 1;              // -4
+out ~0;                  // -1
+out 1 << 4; out -16 >> 2;
+`, 14, 20, 5, 3, 1, -4, -1, 16, -4)
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	wantOutput(t, `
+out 3 < 5; out 5 < 3; out 3 <= 3;
+out 4 == 4; out 4 != 4; out 2 > 1; out 1 >= 2;
+out (3 < 5) && (2 == 2);
+out 0 || 7;            // non-zero normalises to 1
+out !0; out !9;
+out 5 & 3; out 5 | 2; out 5 ^ 1;
+`, 1, 0, 1, 1, 0, 1, 0, 1, 1, 1, 0, 1, 7, 4)
+}
+
+func TestVariablesAndScoping(t *testing.T) {
+	wantOutput(t, `
+var x = 1;
+if (1) {
+    var x = 2;         // shadows
+    out x;
+}
+out x;
+var y;                 // zero-initialised
+out y;
+`, 2, 1, 0)
+}
+
+func TestIfElseChain(t *testing.T) {
+	src := `
+var v = %d;
+if (v < 10) { out 1; }
+else if (v < 20) { out 2; }
+else { out 3; }
+`
+	cases := map[string]int64{"5": 1, "15": 2, "25": 3}
+	for sub, want := range cases {
+		wantOutput(t, strings.Replace(src, "%d", sub, 1), want)
+	}
+}
+
+func TestWhileAndBreakContinue(t *testing.T) {
+	wantOutput(t, `
+var i = 0; var sum = 0;
+while (1) {
+    i = i + 1;
+    if (i > 10) { break; }
+    if (i % 2 == 1) { continue; }
+    sum = sum + i;     // 2+4+6+8+10
+}
+out sum;
+`, 30)
+}
+
+func TestDoWhile(t *testing.T) {
+	wantOutput(t, `
+var n = 0; var count = 0;
+do { count = count + 1; } while (n != 0);
+out count;             // body runs once
+var i = 3;
+do { i = i - 1; } while (i > 0);
+out i;
+`, 1, 0)
+}
+
+func TestForLoop(t *testing.T) {
+	wantOutput(t, `
+var sum = 0;
+for (var i = 1; i <= 5; i = i + 1) { sum = sum + i; }
+out sum;
+for (;0;) { out 99; }  // never runs
+var j = 0;
+for (;;) { j = j + 1; if (j == 3) { break; } }
+out j;
+`, 15, 3)
+}
+
+func TestArrays(t *testing.T) {
+	wantOutput(t, `
+arr a[10];
+for (var i = 0; i < 10; i = i + 1) { a[i] = i * i; }
+var sum = 0;
+for (var i = 0; i < 10; i = i + 1) { sum = sum + a[i]; }
+out sum;               // 285
+out a[3 + 4];          // computed index: 49
+`, 285, 49)
+}
+
+func TestSpilledVariables(t *testing.T) {
+	// Declare more scalars than the register pool holds; the extras spill
+	// to memory and must behave identically.
+	var sb strings.Builder
+	sb.WriteString("var acc = 0;\n")
+	for i := 0; i < 30; i++ {
+		sb.WriteString("var v")
+		sb.WriteByte(byte('a' + i%26))
+		if i >= 26 {
+			sb.WriteByte('2')
+		}
+		sb.WriteString(" = ")
+		sb.WriteString(strings.Repeat("1+", i))
+		sb.WriteString("1;\n")
+	}
+	for i := 0; i < 30; i++ {
+		sb.WriteString("acc = acc + v")
+		sb.WriteByte(byte('a' + i%26))
+		if i >= 26 {
+			sb.WriteByte('2')
+		}
+		sb.WriteString(";\n")
+	}
+	sb.WriteString("out acc;\n")
+	// sum of 1..30 = 465
+	wantOutput(t, sb.String(), 465)
+}
+
+func TestFibProgram(t *testing.T) {
+	wantOutput(t, `
+var a = 0; var b = 1;
+for (var i = 0; i < 10; i = i + 1) {
+    out a;
+    var t = a + b;
+    a = b; b = t;
+}
+`, 0, 1, 1, 2, 3, 5, 8, 13, 21, 34)
+}
+
+func TestHaltCode(t *testing.T) {
+	p, err := Compile("t", "halt 3;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := emu.RunProgram(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 3 {
+		t.Errorf("exit %d", res.ExitCode)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		"out x;",                            // undeclared
+		"x = 1;",                            // undeclared assign
+		"a[0] = 1;",                         // undeclared array
+		"var x = 1; var x = 2;",             // redeclared
+		"arr a[4]; arr a[4];",               // array redeclared
+		"arr a[0];",                         // bad size
+		"var a = 1; arr a[4];",              // name collision
+		"break;",                            // outside loop
+		"continue;",                         // outside loop
+		"var = 3;",                          // missing name
+		"if (1) out 1;",                     // missing block
+		"while (1) { ",                      // unclosed
+		"out 1 +;",                          // bad expression
+		"out 9999999999999999999999999999;", // overflow
+		"halt x;",                           // non-literal exit code
+		"@",                                 // lex error
+		"var x = (1;",                       // unbalanced paren
+	}
+	for _, src := range cases {
+		if _, err := Compile("t", src); err == nil {
+			t.Errorf("accepted %q", src)
+		} else if _, ok := err.(*Error); !ok {
+			t.Errorf("%q: error is %T, want *lang.Error", src, err)
+		}
+	}
+}
+
+func TestErrorHasLine(t *testing.T) {
+	_, err := Compile("t", "var a = 1;\nvar b = 2;\nout nope;\n")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error lacks line: %v", err)
+	}
+}
+
+func TestCompiledProgramsConvertEquivalently(t *testing.T) {
+	// PCL programs flow through the same if-conversion correctness oracle
+	// as everything else.
+	srcs := []string{
+		`var s = 0;
+for (var i = 0; i < 50; i = i + 1) {
+    if (i % 3 == 0) { s = s + i; } else { s = s - 1; }
+    if (i == 37) { break; }
+}
+out s;`,
+		`arr h[8];
+for (var i = 0; i < 200; i = i + 1) {
+    var v = (i * 37 + 11) % 97;
+    if (v < 50) { h[v % 8] = h[v % 8] + 1; }
+    else { if (v % 2 == 0) { h[0] = h[0] + 2; } }
+}
+for (var k = 0; k < 8; k = k + 1) { out h[k]; }`,
+	}
+	for i, src := range srcs {
+		p, err := Compile("pcl", src)
+		if err != nil {
+			t.Fatalf("src %d: %v", i, err)
+		}
+		cp, _, err := ifconv.Convert(p, ifconv.Config{})
+		if err != nil {
+			t.Fatalf("src %d: %v", i, err)
+		}
+		if err := testutil.CheckEquivalent(p, cp, 3_000_000); err != nil {
+			t.Fatalf("src %d: %v", i, err)
+		}
+	}
+}
+
+func TestDeepExpressionRejected(t *testing.T) {
+	src := "out " + strings.Repeat("1+(", 40) + "1" + strings.Repeat(")", 40) + ";"
+	if _, err := Compile("t", src); err == nil {
+		t.Fatal("over-deep expression accepted")
+	}
+}
+
+func TestComments(t *testing.T) {
+	wantOutput(t, `
+// leading comment
+var x = 5; // trailing
+out x;
+`, 5)
+}

@@ -1,0 +1,137 @@
+// Package lang implements PCL, a small C-like language compiled to P64.
+// It completes the toolchain the paper's methodology assumes: benchmark
+// source is written in a structured language, compiled to branching
+// predicate-ISA code, if-converted by internal/ifconv, and simulated.
+//
+//	var n = 10;
+//	var a = 0; var b = 1;
+//	while (n > 0) {
+//	    var t = a + b;
+//	    a = b; b = t;
+//	    if (a % 2 == 0) { out a; }
+//	    n = n - 1;
+//	}
+//	halt;
+//
+// The language has int64 variables, fixed-size arrays, full C expression
+// precedence (with eager, value-producing && and ||), if/else, while,
+// do-while, for, break/continue, out, and halt. See GRAMMAR in parser.go.
+package lang
+
+import "fmt"
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokKeyword // var arr if else while do for break continue out halt
+	tokPunct   // operators and delimiters
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// Error is a compile error with a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("lang: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+var keywords = map[string]bool{
+	"var": true, "arr": true, "if": true, "else": true, "while": true,
+	"do": true, "for": true, "break": true, "continue": true,
+	"out": true, "halt": true,
+}
+
+// multi-character operators, longest first.
+var multiOps = []string{"<<", ">>", "<=", ">=", "==", "!=", "&&", "||"}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' ||
+				src[j] == 'x' || src[j] >= 'a' && src[j] <= 'f' ||
+				src[j] >= 'A' && src[j] <= 'F') {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], line})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			text := src[i:j]
+			kind := tokIdent
+			if keywords[text] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind, text, line})
+			i = j
+		default:
+			matched := false
+			for _, op := range multiOps {
+				if len(src)-i >= len(op) && src[i:i+len(op)] == op {
+					toks = append(toks, token{tokPunct, op, line})
+					i += len(op)
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			if isSingleOp(c) {
+				toks = append(toks, token{tokPunct, string(c), line})
+				i++
+				continue
+			}
+			return nil, errf(line, "unexpected character %q", c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func isSingleOp(c byte) bool {
+	switch c {
+	case '+', '-', '*', '/', '%', '&', '|', '^', '~', '!', '<', '>',
+		'=', '(', ')', '{', '}', '[', ']', ';', ',':
+		return true
+	}
+	return false
+}

@@ -1,0 +1,441 @@
+package lang
+
+import "strconv"
+
+// GRAMMAR (recursive descent, C-like precedence):
+//
+//	program   := stmt*
+//	stmt      := "var" ident ("=" expr)? ";"
+//	           | "arr" ident "[" number "]" ";"
+//	           | ident "=" expr ";"
+//	           | ident "[" expr "]" "=" expr ";"
+//	           | "if" "(" expr ")" block ("else" (block | ifstmt))?
+//	           | "while" "(" expr ")" block
+//	           | "do" block "while" "(" expr ")" ";"
+//	           | "for" "(" simple? ";" expr? ";" simple? ")" block
+//	           | "break" ";" | "continue" ";"
+//	           | "out" expr ";"
+//	           | "halt" expr? ";"
+//	simple    := "var" ident ("=" expr)? | ident "=" expr | ident "[" expr "]" "=" expr
+//	block     := "{" stmt* "}"
+//
+// Expression precedence, loosest first:
+//
+//	||  &&  |  ^  &  (== !=)  (< <= > >=)  (<< >>)  (+ -)  (* / %)  unary(- ! ~)
+//
+// Conditions treat any non-zero value as true. && and || are eager and
+// value-producing (0 or 1), not short-circuit: the compiler emits
+// straight-line logic for them, which is the predication-friendly shape.
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(src string) (*program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []stmt
+	for !p.at(tokEOF, "") {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return &program{stmts: stmts}, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) line() int   { return p.peek().line }
+
+// at reports whether the current token matches kind (and text, when text
+// is non-empty).
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		got := p.peek().text
+		if p.peek().kind == tokEOF {
+			got = "end of input"
+		}
+		want := text
+		if want == "" {
+			want = map[tokenKind]string{tokIdent: "identifier", tokNumber: "number"}[kind]
+		}
+		return token{}, errf(p.line(), "expected %q, got %q", want, got)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) stmt() (stmt, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokKeyword && (t.text == "var" || t.text == "arr"):
+		return p.declOrSimple(true)
+	case t.kind == tokKeyword && t.text == "if":
+		return p.ifStmt()
+	case t.kind == tokKeyword && t.text == "while":
+		p.next()
+		cond, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{pos{t.line}, cond, body}, nil
+	case t.kind == tokKeyword && t.text == "do":
+		p.next()
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "while"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &doWhileStmt{pos{t.line}, body, cond}, nil
+	case t.kind == tokKeyword && t.text == "for":
+		return p.forStmt()
+	case t.kind == tokKeyword && t.text == "break":
+		p.next()
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &breakStmt{pos{t.line}}, nil
+	case t.kind == tokKeyword && t.text == "continue":
+		p.next()
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &continueStmt{pos{t.line}}, nil
+	case t.kind == tokKeyword && t.text == "out":
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &outStmt{pos{t.line}, e}, nil
+	case t.kind == tokKeyword && t.text == "halt":
+		p.next()
+		var code expr
+		if !p.at(tokPunct, ";") {
+			var err error
+			if code, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &haltStmt{pos{t.line}, code}, nil
+	case t.kind == tokIdent:
+		s, err := p.declOrSimple(false)
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	return nil, errf(t.line, "unexpected %q", t.text)
+}
+
+// declOrSimple parses a var/arr declaration or an assignment, consuming
+// the trailing semicolon when semi is... it always expects the semicolon.
+func (p *parser) declOrSimple(allowArr bool) (stmt, error) {
+	s, err := p.simple(allowArr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// simple parses a declaration or assignment without the semicolon (used
+// by for-clauses).
+func (p *parser) simple(allowArr bool) (stmt, error) {
+	t := p.peek()
+	if t.kind == tokKeyword && t.text == "var" {
+		p.next()
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		var init expr
+		if p.accept(tokPunct, "=") {
+			if init, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		return &varDecl{pos{t.line}, name.text, init}, nil
+	}
+	if allowArr && t.kind == tokKeyword && t.text == "arr" {
+		p.next()
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "["); err != nil {
+			return nil, err
+		}
+		num, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		size, err := strconv.ParseInt(num.text, 0, 64)
+		if err != nil || size <= 0 {
+			return nil, errf(num.line, "bad array size %q", num.text)
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		return &arrDecl{pos{t.line}, name.text, size}, nil
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokPunct, "[") {
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &arrAssign{pos{name.line}, name.text, idx, val}, nil
+	}
+	if _, err := p.expect(tokPunct, "="); err != nil {
+		return nil, err
+	}
+	val, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &assign{pos{name.line}, name.text, val}, nil
+}
+
+func (p *parser) ifStmt() (stmt, error) {
+	t, err := p.expect(tokKeyword, "if")
+	if err != nil {
+		return nil, err
+	}
+	cond, err := p.parenExpr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	var els []stmt
+	if p.accept(tokKeyword, "else") {
+		if p.at(tokKeyword, "if") {
+			s, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			els = []stmt{s}
+		} else {
+			if els, err = p.block(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &ifStmt{pos{t.line}, cond, then, els}, nil
+}
+
+func (p *parser) forStmt() (stmt, error) {
+	t, err := p.expect(tokKeyword, "for")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var init, post stmt
+	var cond expr
+	if !p.at(tokPunct, ";") {
+		if init, err = p.simple(false); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ";") {
+		if cond, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ")") {
+		if post, err = p.simple(false); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &forStmt{pos{t.line}, init, cond, post, body}, nil
+}
+
+func (p *parser) parenExpr() (expr, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *parser) block() ([]stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var stmts []stmt
+	for !p.at(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, errf(p.line(), "unclosed block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.next()
+	return stmts, nil
+}
+
+// Precedence climbing. Levels loosest-to-tightest.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) expr() (expr, error) { return p.binLevel(0) }
+
+func (p *parser) binLevel(level int) (expr, error) {
+	if level == len(precLevels) {
+		return p.unaryExpr()
+	}
+	l, err := p.binLevel(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		for _, op := range precLevels[level] {
+			if p.at(tokPunct, op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return l, nil
+		}
+		line := p.line()
+		p.next()
+		r, err := p.binLevel(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		l = &binary{pos{line}, matched, l, r}
+	}
+}
+
+func (p *parser) unaryExpr() (expr, error) {
+	t := p.peek()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!" || t.text == "~") {
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &unary{pos{t.line}, t.text, x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 0, 64)
+		if err != nil {
+			return nil, errf(t.line, "bad number %q", t.text)
+		}
+		return &numLit{pos{t.line}, v}, nil
+	case t.kind == tokIdent:
+		p.next()
+		if p.accept(tokPunct, "[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			return &arrRef{pos{t.line}, t.text, idx}, nil
+		}
+		return &varRef{pos{t.line}, t.text}, nil
+	case t.kind == tokPunct && t.text == "(":
+		return p.parenExpr()
+	}
+	return nil, errf(t.line, "expected an expression, got %q", t.text)
+}

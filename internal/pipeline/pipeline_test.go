@@ -1,0 +1,402 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/ifconv"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/workload"
+)
+
+const runLimit = 3_000_000
+
+func runCfg(t *testing.T, p *prog.Program, cfg Config) Stats {
+	t.Helper()
+	st, err := Run(p, cfg, runLimit)
+	if err != nil {
+		t.Fatalf("pipeline run %s: %v", p.Name, err)
+	}
+	return st
+}
+
+func TestStraightLineTiming(t *testing.T) {
+	b := prog.NewBuilder("t")
+	b.Movi(1, 1)
+	b.Movi(2, 2)
+	b.Add(3, 1, 2) // r1 ready at cycle 0+1... depends on movi latency 1
+	b.Halt(0)
+	st := runCfg(t, b.MustProgram(), DefaultConfig(bpred.NewBimodal(8)))
+	if st.Insts != 4 {
+		t.Errorf("insts = %d", st.Insts)
+	}
+	// Independent single-cycle instructions: cycles == insts.
+	if st.Cycles != 4 {
+		t.Errorf("cycles = %d, want 4 (stalls %d)", st.Cycles, st.Stalls)
+	}
+	if st.Branches != 0 {
+		t.Errorf("branches = %d in branch-free code", st.Branches)
+	}
+}
+
+func TestLoadUseStall(t *testing.T) {
+	b := prog.NewBuilder("t")
+	b.Movi(1, 500)
+	b.Ld(2, 1, 0)   // latency 3
+	b.Addi(3, 2, 1) // depends on the load
+	b.Halt(0)
+	st := runCfg(t, b.MustProgram(), DefaultConfig(bpred.NewBimodal(8)))
+	if st.Stalls == 0 {
+		t.Error("no stall on load-use dependence")
+	}
+	// Independent version: no stall.
+	b2 := prog.NewBuilder("t2")
+	b2.Movi(1, 500)
+	b2.Ld(2, 1, 0)
+	b2.Addi(3, 1, 1) // independent
+	b2.Halt(0)
+	st2 := runCfg(t, b2.MustProgram(), DefaultConfig(bpred.NewBimodal(8)))
+	if st2.Stalls != 0 {
+		t.Errorf("unexpected stalls: %d", st2.Stalls)
+	}
+	if st2.Cycles >= st.Cycles {
+		t.Errorf("independent code not faster: %d vs %d", st2.Cycles, st.Cycles)
+	}
+}
+
+func TestMispredictPenaltyCharged(t *testing.T) {
+	// Random branch: ~50% mispredicts; predictable branch: ~0.
+	randP := workload.ByNameMust("rand").Build()
+	streamP := workload.ByNameMust("stream").Build()
+	r := runCfg(t, randP, DefaultConfig(bpred.NewGShare(12, 8)))
+	s := runCfg(t, streamP, DefaultConfig(bpred.NewGShare(12, 8)))
+	if r.MispredictRate() < 0.15 {
+		t.Errorf("rand misprediction rate %.3f suspiciously low", r.MispredictRate())
+	}
+	if s.MispredictRate() > 0.05 {
+		t.Errorf("stream misprediction rate %.3f suspiciously high", s.MispredictRate())
+	}
+	if r.IPC() >= s.IPC() {
+		t.Errorf("rand IPC %.3f >= stream IPC %.3f", r.IPC(), s.IPC())
+	}
+}
+
+func TestPenaltyParameterScales(t *testing.T) {
+	p := workload.ByNameMust("rand").Build()
+	lo := DefaultConfig(bpred.NewGShare(12, 8))
+	lo.MispredictPenalty = 2
+	hi := DefaultConfig(bpred.NewGShare(12, 8))
+	hi.MispredictPenalty = 30
+	slo := runCfg(t, p, lo)
+	shi := runCfg(t, p, hi)
+	if shi.Cycles <= slo.Cycles {
+		t.Errorf("larger penalty not slower: %d vs %d", shi.Cycles, slo.Cycles)
+	}
+	if slo.Mispredicts != shi.Mispredicts {
+		t.Errorf("penalty changed misprediction count: %d vs %d", slo.Mispredicts, shi.Mispredicts)
+	}
+}
+
+func TestNullifiedCounted(t *testing.T) {
+	p := workload.FalsePathDemo(200, 2, 3)
+	st := runCfg(t, p, DefaultConfig(bpred.NewGShare(12, 8)))
+	if st.Nullified == 0 {
+		t.Error("predicated program shows no nullified instructions")
+	}
+}
+
+func TestUnconditionalBranchesNotPredicted(t *testing.T) {
+	b := prog.NewBuilder("t")
+	b.Movi(1, 3)
+	b.Label("top")
+	b.Br("skip") // unconditional
+	b.Label("skip")
+	b.Subi(1, 1, 1)
+	b.Cmpi(isa.CmpGT, 2, 3, 1, 0)
+	b.BrIf(2, "top")
+	b.Halt(0)
+	st := runCfg(t, b.MustProgram(), DefaultConfig(bpred.NewGShare(12, 8)))
+	// Only the guarded loop branch counts: 3 iterations of it.
+	if st.Branches != 3 {
+		t.Errorf("branches = %d, want 3", st.Branches)
+	}
+}
+
+func TestSFPFInPipeline(t *testing.T) {
+	p := workload.FalsePathDemo(2000, 8, 7)
+	base := runCfg(t, p, DefaultConfig(bpred.NewGShare(12, 8)))
+	cfg := DefaultConfig(bpred.NewGShare(12, 8))
+	cfg.UseSFPF = true
+	filt := runCfg(t, p, cfg)
+	if filt.FilterErrors != 0 {
+		t.Fatalf("filter errors: %d", filt.FilterErrors)
+	}
+	if filt.Filtered == 0 {
+		t.Fatal("pipeline filter never fired")
+	}
+	if filt.Mispredicts >= base.Mispredicts {
+		t.Errorf("SFPF did not reduce mispredicts: %d -> %d", base.Mispredicts, filt.Mispredicts)
+	}
+	if filt.Cycles >= base.Cycles {
+		t.Errorf("SFPF did not reduce cycles: %d -> %d", base.Cycles, filt.Cycles)
+	}
+}
+
+func TestSFPFResolveLatencyInPipeline(t *testing.T) {
+	// With only one instruction between define and branch, a 5-cycle
+	// resolve latency leaves the guard unknown; with long filler it is
+	// known.
+	near := workload.FalsePathDemo(500, 1, 8)
+	far := workload.FalsePathDemo(500, 10, 8)
+	cfg := DefaultConfig(bpred.NewGShare(12, 8))
+	cfg.UseSFPF = true
+	sn := runCfg(t, near, cfg)
+	cfg2 := DefaultConfig(bpred.NewGShare(12, 8))
+	cfg2.UseSFPF = true
+	sf := runCfg(t, far, cfg2)
+	if sn.FilterErrors != 0 || sf.FilterErrors != 0 {
+		t.Fatal("filter errors")
+	}
+	if sn.Filtered >= sf.Filtered {
+		t.Errorf("near filter count %d >= far %d", sn.Filtered, sf.Filtered)
+	}
+}
+
+func TestPGUInPipeline(t *testing.T) {
+	p := workload.CorrelatedDemo(3000, 9)
+	base := runCfg(t, p, DefaultConfig(bpred.NewGShare(12, 8)))
+	cfg := DefaultConfig(bpred.NewGShare(12, 8))
+	cfg.PGU = core.PGUAll
+	pgu := runCfg(t, p, cfg)
+	if pgu.InsertedBits == 0 {
+		t.Fatal("no bits inserted")
+	}
+	if pgu.Mispredicts*2 > base.Mispredicts {
+		t.Errorf("PGU ineffective in pipeline: %d -> %d", base.Mispredicts, pgu.Mispredicts)
+	}
+}
+
+func TestPipelineMatchesEmulatorResults(t *testing.T) {
+	// Timing must not change architectural behaviour.
+	for _, w := range workload.All() {
+		p := w.Build()
+		st := runCfg(t, p, DefaultConfig(bpred.NewGShare(12, 8)))
+		if st.ExitCode != 0 {
+			t.Errorf("%s exited %d under the pipeline", w.Name, st.ExitCode)
+		}
+		if st.Cycles < st.Insts {
+			t.Errorf("%s: cycles %d < insts %d", w.Name, st.Cycles, st.Insts)
+		}
+	}
+}
+
+func TestPredicationTradeoffEndToEnd(t *testing.T) {
+	// The paper's core performance claim, end to end on the timing model:
+	// on a hard-to-predict diamond (rand), if-converted code beats
+	// branching code; on predictable code (stream), predication must not
+	// win big (it can only add nullified slots).
+	newPred := func() bpred.Predictor { return bpred.NewGShare(12, 8) }
+	run := func(p *prog.Program) Stats { return runCfg(t, p, DefaultConfig(newPred())) }
+	conv := func(p *prog.Program) *prog.Program {
+		cp, _, err := ifconv.Convert(p, ifconv.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cp
+	}
+	randP := workload.ByNameMust("rand").Build()
+	if o, c := run(randP), run(conv(randP)); c.Cycles >= o.Cycles {
+		t.Errorf("rand: predication lost: %d -> %d cycles", o.Cycles, c.Cycles)
+	}
+	streamP := workload.ByNameMust("stream").Build()
+	o, c := run(streamP), run(conv(streamP))
+	if float64(c.Cycles) > 1.15*float64(o.Cycles) {
+		t.Errorf("stream: predication regressed too much: %d -> %d cycles", o.Cycles, c.Cycles)
+	}
+}
+
+func TestIssueWidthSpeedsUp(t *testing.T) {
+	p := workload.ByNameMust("classify").Build()
+	w1 := DefaultConfig(bpred.NewGShare(12, 8))
+	w4 := DefaultConfig(bpred.NewGShare(12, 8))
+	w4.IssueWidth = 4
+	s1 := runCfg(t, p, w1)
+	s4 := runCfg(t, p, w4)
+	if s4.Cycles >= s1.Cycles {
+		t.Errorf("width 4 not faster: %d vs %d cycles", s4.Cycles, s1.Cycles)
+	}
+	if s1.Mispredicts != s4.Mispredicts {
+		t.Errorf("width changed misprediction count: %d vs %d", s1.Mispredicts, s4.Mispredicts)
+	}
+	// On independent straight-line code, a width-4 machine must exceed one
+	// instruction per cycle.
+	b := prog.NewBuilder("wide")
+	for r := 1; r <= 16; r++ {
+		b.Movi(isa.Reg(r), int64(r))
+	}
+	b.Halt(0)
+	w4s := DefaultConfig(bpred.NewGShare(12, 8))
+	w4s.IssueWidth = 4
+	if st := runCfg(t, b.MustProgram(), w4s); st.IPC() <= 2 {
+		t.Errorf("independent code at width 4: IPC = %.3f, expected > 2", st.IPC())
+	}
+}
+
+func TestWidthAmplifiesPredicationWin(t *testing.T) {
+	// Nullified slots get cheaper on wide machines while mispredict
+	// penalties stay flat: the predication speedup must grow with width.
+	p := workload.ByNameMust("rand").Build()
+	cp, _, err := ifconv.Convert(p, ifconv.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := func(width int) float64 {
+		mk := func() Config {
+			c := DefaultConfig(bpred.NewGShare(12, 8))
+			c.IssueWidth = width
+			return c
+		}
+		o := runCfg(t, p, mk())
+		c := runCfg(t, cp, mk())
+		return float64(o.Cycles) / float64(c.Cycles)
+	}
+	if s1, s4 := speedup(1), speedup(4); s4 <= s1 {
+		t.Errorf("predication speedup did not grow with width: %.3f -> %.3f", s1, s4)
+	}
+}
+
+func TestZeroWidthDefaultsToOne(t *testing.T) {
+	b := prog.NewBuilder("t")
+	b.Movi(1, 1)
+	b.Halt(0)
+	cfg := Config{Predictor: bpred.NewBimodal(4)}
+	st, err := Run(b.MustProgram(), cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles != 2 {
+		t.Errorf("cycles = %d, want 2", st.Cycles)
+	}
+}
+
+func TestRASPredictsReturns(t *testing.T) {
+	p := workload.ByNameMust("queens").Build()
+	deep := DefaultConfig(bpred.NewGShare(12, 8)) // default depth 8 covers 7 levels
+	sd := runCfg(t, p, deep)
+	if sd.IndirectBranches == 0 {
+		t.Fatal("queens shows no indirect branches")
+	}
+	if sd.RASMisses != 0 {
+		t.Errorf("deep RAS missed %d of %d returns", sd.RASMisses, sd.IndirectBranches)
+	}
+	off := DefaultConfig(bpred.NewGShare(12, 8))
+	off.NoRAS = true
+	so := runCfg(t, p, off)
+	if so.RASMisses != so.IndirectBranches {
+		t.Errorf("disabled RAS should miss every return: %d of %d", so.RASMisses, so.IndirectBranches)
+	}
+	if so.Cycles <= sd.Cycles {
+		t.Errorf("RAS gave no speedup: %d vs %d cycles", sd.Cycles, so.Cycles)
+	}
+}
+
+func TestRASDepthMatters(t *testing.T) {
+	// 7-queens recurses 8 deep: a depth-2 stack must miss far more than a
+	// depth-8 one, and more depth can only help.
+	p := workload.ByNameMust("queens").Build()
+	misses := func(depth int) uint64 {
+		cfg := DefaultConfig(bpred.NewGShare(12, 8))
+		cfg.RASDepth = depth
+		return runCfg(t, p, cfg).RASMisses
+	}
+	m2, m4, m8 := misses(2), misses(4), misses(8)
+	if !(m2 > m4 && m4 > m8) {
+		t.Errorf("RAS misses not decreasing with depth: %d, %d, %d", m2, m4, m8)
+	}
+	if m8 != 0 {
+		t.Errorf("depth-8 RAS missed %d returns on depth-8 recursion", m8)
+	}
+}
+
+func TestRunErrorsWithoutPredictor(t *testing.T) {
+	b := prog.NewBuilder("t")
+	b.Halt(0)
+	if _, err := Run(b.MustProgram(), Config{}, 10); err == nil {
+		t.Fatal("run without predictor succeeded")
+	}
+}
+
+func TestPipelineInvariants(t *testing.T) {
+	// Over random programs and configurations, the timing model must
+	// respect its structural invariants.
+	rounds := 25
+	if testing.Short() {
+		rounds = 6
+	}
+	for i := 0; i < rounds; i++ {
+		p := workload.Synth(uint64(i)*101+3, 50)
+		if i%2 == 1 {
+			cp, _, err := ifconv.Convert(p, ifconv.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p = cp
+		}
+		cfg := DefaultConfig(bpred.NewGShare(10, 6))
+		cfg.IssueWidth = 1 + i%4
+		cfg.MispredictPenalty = uint64(2 + i%15)
+		cfg.UseSFPF = i%3 == 0
+		cfg.PGU = core.PGUPolicy(i % 4)
+		st, err := Run(p, cfg, 3_000_000)
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if st.ExitCode != 0 {
+			t.Fatalf("round %d: exit %d", i, st.ExitCode)
+		}
+		// A width-W machine cannot beat W instructions per cycle.
+		minCycles := st.Insts / uint64(cfg.IssueWidth)
+		if st.Cycles < minCycles {
+			t.Fatalf("round %d: cycles %d < insts/width %d", i, st.Cycles, minCycles)
+		}
+		if st.Mispredicts+st.Filtered+st.FilteredTrue > st.Branches {
+			t.Fatalf("round %d: branch accounting broken: %+v", i, st)
+		}
+		if st.FilterErrors != 0 {
+			t.Fatalf("round %d: filter errors %d", i, st.FilterErrors)
+		}
+		if st.Nullified > st.Insts {
+			t.Fatalf("round %d: nullified %d > insts %d", i, st.Nullified, st.Insts)
+		}
+	}
+}
+
+func TestPipelineFunctionalAgreement(t *testing.T) {
+	// The timing model must execute programs identically to the plain
+	// emulator (same exit, same dynamic instruction count).
+	for _, w := range workload.All() {
+		p := w.Build()
+		st, err := Run(p, DefaultConfig(bpred.NewBimodal(10)), 0)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		res, err := emu.RunProgram(w.Build(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Insts != res.Steps || st.ExitCode != res.ExitCode || st.Nullified != res.Nullified {
+			t.Errorf("%s: pipeline (%d insts, %d nullified, exit %d) disagrees with emulator (%d, %d, %d)",
+				w.Name, st.Insts, st.Nullified, st.ExitCode, res.Steps, res.Nullified, res.ExitCode)
+		}
+	}
+}
+
+func TestStatsZeroSafe(t *testing.T) {
+	var s Stats
+	if s.IPC() != 0 || s.MispredictRate() != 0 {
+		t.Error("zero stats not zero")
+	}
+}

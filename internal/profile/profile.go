@@ -1,0 +1,85 @@
+// Package profile collects execution profiles used for profile-guided
+// if-conversion, mirroring the IMPACT methodology the paper's binaries
+// came from: hyperblock formation there was driven by profiled execution
+// weights and branch behaviour, converting a region only when the expected
+// misprediction savings outweigh the cost of fetching both paths.
+package profile
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Profile holds per-instruction execution counts and per-branch predictor
+// behaviour for one program run.
+type Profile struct {
+	// Exec[i] is the number of times instruction i was fetched.
+	Exec []uint64
+	// Taken[i] is the number of times branch i redirected control.
+	Taken []uint64
+	// Mispredict[i] is the number of times the reference predictor
+	// mispredicted conditional branch i.
+	Mispredict []uint64
+	// Insts is the total dynamic instruction count.
+	Insts uint64
+}
+
+// BlockExec returns the execution count of the block spanning
+// [start, end) using its first instruction as the representative.
+func (p *Profile) BlockExec(start int) uint64 {
+	if start < 0 || start >= len(p.Exec) {
+		return 0
+	}
+	return p.Exec[start]
+}
+
+// Collect runs the program to completion, counting fetches per
+// instruction and mispredictions per conditional branch under the given
+// reference predictor (reset before use). A nil predictor defaults to
+// gshare 12/8.
+func Collect(pr *prog.Program, pred bpred.Predictor, limit uint64) (*Profile, error) {
+	if pred == nil {
+		pred = bpred.NewGShare(12, 8)
+	}
+	pred.Reset()
+	m, err := emu.New(pr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Profile{
+		Exec:       make([]uint64, len(pr.Insts)),
+		Taken:      make([]uint64, len(pr.Insts)),
+		Mispredict: make([]uint64, len(pr.Insts)),
+	}
+	for !m.Halted {
+		if limit > 0 && m.Steps >= limit {
+			return nil, fmt.Errorf("profile: %w (%d steps in %s)", emu.ErrLimit, m.Steps, pr.Name)
+		}
+		si, err := m.Step()
+		if err != nil {
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+		p.Exec[si.Index]++
+		in := si.Inst
+		if !in.IsBranch() {
+			continue
+		}
+		if si.Taken {
+			p.Taken[si.Index]++
+		}
+		conditional := (in.Op == isa.OpBr || in.Op == isa.OpBrl) && in.QP != isa.P0 ||
+			in.Op == isa.OpCloop
+		if conditional {
+			if pred.Predict(uint64(si.Index)) != si.Taken {
+				p.Mispredict[si.Index]++
+			}
+			pred.Update(uint64(si.Index), si.Taken)
+		}
+	}
+	p.Insts = m.Steps
+	return p, nil
+}

@@ -1,0 +1,86 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/workload"
+)
+
+func TestCollectCounts(t *testing.T) {
+	b := prog.NewBuilder("t")
+	b.Movi(1, 3)
+	b.Label("loop")
+	b.Subi(1, 1, 1)
+	b.Cmpi(isa.CmpGT, 2, 3, 1, 0)
+	b.BrIf(2, "loop")
+	b.Halt(0)
+	p := b.MustProgram()
+	prof, err := Collect(p, nil, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Exec[0] != 1 {
+		t.Errorf("entry executed %d times", prof.Exec[0])
+	}
+	if prof.Exec[1] != 3 { // loop body runs 3 times
+		t.Errorf("loop body executed %d times", prof.Exec[1])
+	}
+	if prof.Taken[3] != 2 { // back edge taken twice
+		t.Errorf("back edge taken %d times", prof.Taken[3])
+	}
+	if prof.Insts == 0 {
+		t.Error("no instruction count")
+	}
+}
+
+func TestCollectMispredicts(t *testing.T) {
+	// A random 50/50 branch must show substantial mispredictions; a
+	// constant-direction loop branch must show almost none.
+	p := workload.ByNameMust("rand").Build()
+	prof, err := Collect(p, bpred.NewGShare(12, 8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, m := range prof.Mispredict {
+		total += m
+	}
+	if total < 1000 {
+		t.Errorf("rand profile shows only %d mispredicts", total)
+	}
+
+	p2 := workload.ByNameMust("stream").Build()
+	prof2, err := Collect(p2, bpred.NewGShare(12, 8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total2 uint64
+	for _, m := range prof2.Mispredict {
+		total2 += m
+	}
+	if total2 > 200 {
+		t.Errorf("stream profile shows %d mispredicts", total2)
+	}
+}
+
+func TestBlockExecBounds(t *testing.T) {
+	p := &Profile{Exec: []uint64{5, 7}}
+	if p.BlockExec(-1) != 0 || p.BlockExec(2) != 0 {
+		t.Error("out-of-range BlockExec not zero")
+	}
+	if p.BlockExec(1) != 7 {
+		t.Error("BlockExec wrong")
+	}
+}
+
+func TestCollectLimit(t *testing.T) {
+	b := prog.NewBuilder("t")
+	b.Label("x")
+	b.Br("x")
+	if _, err := Collect(b.MustProgram(), nil, 50); err == nil {
+		t.Fatal("infinite loop did not hit limit")
+	}
+}

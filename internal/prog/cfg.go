@@ -1,0 +1,184 @@
+package prog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Block is a basic block: a maximal straight-line instruction range
+// [Start, End) ending at a branch, halt, trap, or the start of another
+// block.
+type Block struct {
+	Index int
+	Start int // first instruction index
+	End   int // one past the last instruction index
+	Succs []int
+	Preds []int
+}
+
+// Len returns the number of instructions in the block.
+func (b *Block) Len() int { return b.End - b.Start }
+
+// Terminator returns the index of the block's last instruction, or -1 for
+// an empty block.
+func (b *Block) Terminator() int {
+	if b.Len() == 0 {
+		return -1
+	}
+	return b.End - 1
+}
+
+// CFG is the control-flow graph of a program. Block 0 is the entry block.
+type CFG struct {
+	Prog    *Program
+	Blocks  []*Block
+	blockOf []int // instruction index -> block index
+}
+
+// BlockOf returns the block containing instruction index i.
+func (g *CFG) BlockOf(i int) *Block {
+	return g.Blocks[g.blockOf[i]]
+}
+
+// blockEnders reports whether the instruction terminates a basic block.
+func blockEnder(in *isa.Inst) bool {
+	if in.IsBranch() {
+		return true
+	}
+	switch in.Op {
+	case isa.OpHalt, isa.OpTrap:
+		return true
+	}
+	return false
+}
+
+// BuildCFG constructs the control-flow graph for a resolved program.
+//
+// Edge rules:
+//   - (p0) br T: unconditional, single successor T.
+//   - (p) br T with p != p0, and cloop: two successors (target, fallthrough).
+//   - brl (call): successors are the target and the fallthrough; the
+//     fallthrough edge models the return.
+//   - brr (indirect): no static target successors; a fallthrough edge is
+//     added when guarded, since a false guard nullifies the branch.
+//   - halt/trap: no successors when unguarded, fallthrough when guarded.
+func BuildCFG(p *Program) (*CFG, error) {
+	if err := p.Resolve(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Insts)
+	if n == 0 {
+		return &CFG{Prog: p}, nil
+	}
+	leader := make([]bool, n)
+	leader[0] = true
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if in.IsDirectBranch() {
+			leader[in.Target] = true
+		}
+		if blockEnder(in) && i+1 < n {
+			leader[i+1] = true
+		}
+	}
+	// Labels referenced only via Labels map (e.g. data labels for branches
+	// resolved later) also start blocks.
+	for _, idx := range p.Labels {
+		if idx < n {
+			leader[idx] = true
+		}
+	}
+
+	g := &CFG{Prog: p, blockOf: make([]int, n)}
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || leader[i] {
+			b := &Block{Index: len(g.Blocks), Start: start, End: i}
+			g.Blocks = append(g.Blocks, b)
+			for j := start; j < i; j++ {
+				g.blockOf[j] = b.Index
+			}
+			start = i
+		}
+	}
+
+	addEdge := func(from, toInst int) {
+		if toInst >= n {
+			return // branch to end-of-program label: treated as exit
+		}
+		to := g.blockOf[toInst]
+		g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+	}
+	for _, b := range g.Blocks {
+		t := b.Terminator()
+		if t < 0 {
+			continue
+		}
+		in := &p.Insts[t]
+		switch {
+		case in.Op == isa.OpBr && in.QP == isa.P0:
+			addEdge(b.Index, in.Target)
+		case in.Op == isa.OpBr || in.Op == isa.OpCloop:
+			addEdge(b.Index, in.Target)
+			addEdge(b.Index, t+1)
+		case in.Op == isa.OpBrl:
+			addEdge(b.Index, in.Target)
+			addEdge(b.Index, t+1)
+		case in.Op == isa.OpBrr:
+			if in.QP != isa.P0 {
+				addEdge(b.Index, t+1)
+			}
+		case in.Op == isa.OpHalt || in.Op == isa.OpTrap:
+			if in.QP != isa.P0 {
+				addEdge(b.Index, t+1)
+			}
+		default:
+			// Block ended because the next instruction is a leader.
+			addEdge(b.Index, t+1)
+		}
+	}
+	// Deduplicate successor lists (a conditional branch to the fallthrough
+	// produces a duplicate edge) and build predecessor lists.
+	for _, b := range g.Blocks {
+		b.Succs = dedupInts(b.Succs)
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			g.Blocks[s].Preds = append(g.Blocks[s].Preds, b.Index)
+		}
+	}
+	for _, b := range g.Blocks {
+		b.Preds = dedupInts(b.Preds)
+	}
+	return g, nil
+}
+
+func dedupInts(xs []int) []int {
+	if len(xs) < 2 {
+		return xs
+	}
+	sort.Ints(xs)
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// String renders the CFG structure for debugging.
+func (g *CFG) String() string {
+	var b strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&b, "B%d [%d,%d) -> %v (preds %v)\n",
+			blk.Index, blk.Start, blk.End, blk.Succs, blk.Preds)
+	}
+	return b.String()
+}

@@ -1,0 +1,326 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder("t")
+	b.Movi(1, 5)
+	b.Addi(2, 1, 3)
+	b.Out(2)
+	b.Halt(0)
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 4 {
+		t.Fatalf("got %d insts", len(p.Insts))
+	}
+	if p.Insts[1].Op != isa.OpAdd || !p.Insts[1].HasImm || p.Insts[1].Imm != 3 {
+		t.Errorf("addi wrong: %+v", p.Insts[1])
+	}
+}
+
+func TestBuilderLabelsResolve(t *testing.T) {
+	b := NewBuilder("t")
+	b.Movi(1, 3)
+	b.Label("loop")
+	b.Subi(1, 1, 1)
+	b.Cmpi(isa.CmpGT, 1, 2, 1, 0)
+	b.BrIf(1, "loop")
+	b.Halt(0)
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := p.Insts[3]
+	if br.Target != 1 {
+		t.Errorf("branch target = %d, want 1", br.Target)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Br("nowhere")
+	b.Halt(0)
+	if _, err := b.Program(); err == nil {
+		t.Fatal("undefined label accepted")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("x")
+	b.Halt(0)
+	b.Label("x")
+	if _, err := b.Program(); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+}
+
+func TestResolveMoviLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Emit(isa.Inst{Op: isa.OpMovi, Dst: 1, Label: "tgt"})
+	b.Brr(1)
+	b.Label("tgt")
+	b.Halt(0)
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Imm != 2 {
+		t.Errorf("movi label resolved to %d, want 2", p.Insts[0].Imm)
+	}
+}
+
+func TestValidateBadTarget(t *testing.T) {
+	p := New("t")
+	p.Insts = []isa.Inst{{Op: isa.OpBr, Target: 99}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := New("t")
+	p.Insts = []isa.Inst{{Op: isa.OpHalt}}
+	p.Labels["a"] = 0
+	p.SetData(10, []int64{1, 2})
+	q := p.Clone()
+	q.Insts[0].Imm = 9
+	q.Labels["a"] = 5
+	q.Data[10][0] = 99
+	if p.Insts[0].Imm != 0 || p.Labels["a"] != 0 || p.Data[10][0] != 1 {
+		t.Error("clone shares state with original")
+	}
+}
+
+func TestMaxPredUsed(t *testing.T) {
+	b := NewBuilder("t")
+	b.Cmpi(isa.CmpEQ, 5, 9, 1, 0)
+	b.Emit(isa.Inst{Op: isa.OpPand, PD1: 11, PS1: 5, PS2: 9})
+	b.Halt(0)
+	p := b.MustProgram()
+	if got := p.MaxPredUsed(); got != 11 {
+		t.Errorf("MaxPredUsed = %d, want 11", got)
+	}
+}
+
+func TestStaticStats(t *testing.T) {
+	b := NewBuilder("t")
+	b.Cmpi(isa.CmpEQ, 1, 2, 3, 0)
+	b.BrIf(1, "end")
+	b.Emit(isa.Inst{Op: isa.OpBr, QP: 2, Label: "end", Region: true})
+	b.Label("end")
+	b.Halt(0)
+	p := b.MustProgram()
+	s := p.StaticStats()
+	if s.Insts != 4 || s.Branches != 2 || s.RegionBranches != 1 || s.PredDefs != 1 || s.Guarded != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestDisassemblyContainsLabels(t *testing.T) {
+	b := NewBuilder("t")
+	b.Movi(1, 1)
+	b.Label("top")
+	b.Out(1)
+	b.Br("top")
+	p := b.MustProgram()
+	s := p.String()
+	if !strings.Contains(s, "top:") || !strings.Contains(s, "br top") {
+		t.Errorf("disassembly missing labels:\n%s", s)
+	}
+}
+
+func TestStructuredIfElse(t *testing.T) {
+	b := NewBuilder("t")
+	b.Movi(1, 10)
+	b.IfElse(RI(isa.CmpGT, 1, 5),
+		func() { b.Movi(2, 100) },
+		func() { b.Movi(2, 200) },
+	)
+	b.Out(2)
+	b.Halt(0)
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape: movi, cmp, guarded br, movi(then), br, movi(else), out, halt.
+	if len(p.Insts) != 8 {
+		t.Fatalf("got %d insts:\n%s", len(p.Insts), p)
+	}
+	if p.Insts[2].Op != isa.OpBr || p.Insts[2].QP == isa.P0 {
+		t.Errorf("expected guarded branch at 2: %+v", p.Insts[2])
+	}
+}
+
+func TestCountedLoopRejectsZero(t *testing.T) {
+	b := NewBuilder("t")
+	b.CountedLoop(1, 0, func() {})
+	if _, err := b.Program(); err == nil {
+		t.Fatal("CountedLoop(0) accepted")
+	}
+}
+
+func TestDoWhileRunsAtLeastOnce(t *testing.T) {
+	b := NewBuilder("t")
+	b.Movi(1, 0) // condition already false
+	b.Movi(2, 0)
+	b.DoWhile(RI(isa.CmpGT, 1, 0), func() {
+		b.Addi(2, 2, 1)
+	})
+	b.Halt(0)
+	p := b.MustProgram()
+	// Structure: the body precedes a single guarded backward branch.
+	var backward int
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if in.Op == isa.OpBr && in.Target <= i {
+			backward++
+			if in.QP == isa.P0 {
+				t.Error("do-while back edge unguarded")
+			}
+		}
+	}
+	if backward != 1 {
+		t.Errorf("do-while has %d backward branches", backward)
+	}
+}
+
+func TestSwitchShape(t *testing.T) {
+	b := NewBuilder("t")
+	b.Movi(1, 2)
+	b.Switch(1, []SwitchCase{
+		{Value: 1, Body: func() { b.Movi(2, 10) }},
+		{Value: 2, Body: func() { b.Movi(2, 20) }},
+	}, func() { b.Movi(2, 99) })
+	b.Out(2)
+	b.Halt(0)
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two compares, two guarded branches, two unconditional jumps to end.
+	s := p.StaticStats()
+	if s.PredDefs != 2 || s.Branches != 4 {
+		t.Errorf("switch stats: %+v", s)
+	}
+}
+
+func TestSwitchWithoutDefault(t *testing.T) {
+	b := NewBuilder("t")
+	b.Movi(1, 7)
+	b.Switch(1, []SwitchCase{{Value: 1, Body: func() { b.Movi(2, 1) }}}, nil)
+	b.Halt(0)
+	if _, err := b.Program(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildCFGDiamond(t *testing.T) {
+	b := NewBuilder("t")
+	b.Movi(1, 1)
+	b.IfElse(RI(isa.CmpGT, 1, 0),
+		func() { b.Movi(2, 1) },
+		func() { b.Movi(2, 2) },
+	)
+	b.Out(2)
+	b.Halt(0)
+	p := b.MustProgram()
+	g, err := BuildCFG(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks: entry(movi,cmp,br), then(movi,br), else(movi), join(out,halt).
+	if len(g.Blocks) != 4 {
+		t.Fatalf("got %d blocks:\n%s\n%s", len(g.Blocks), g, p)
+	}
+	entry := g.Blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Errorf("entry succs = %v", entry.Succs)
+	}
+	join := g.Blocks[3]
+	if len(join.Preds) != 2 {
+		t.Errorf("join preds = %v", join.Preds)
+	}
+	if len(join.Succs) != 0 {
+		t.Errorf("join succs = %v", join.Succs)
+	}
+}
+
+func TestBuildCFGLoop(t *testing.T) {
+	b := NewBuilder("t")
+	b.Movi(1, 5)
+	b.While(RI(isa.CmpGT, 1, 0), func() {
+		b.Subi(1, 1, 1)
+	})
+	b.Halt(0)
+	p := b.MustProgram()
+	g, err := BuildCFG(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a back edge: some block whose successor has a smaller start.
+	found := false
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			if g.Blocks[s].Start < blk.Start {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no back edge in loop CFG:\n%s", g)
+	}
+}
+
+func TestBuildCFGUnconditionalNoFallthrough(t *testing.T) {
+	b := NewBuilder("t")
+	b.Br("end")
+	b.Movi(1, 1) // dead
+	b.Label("end")
+	b.Halt(0)
+	p := b.MustProgram()
+	g, err := BuildCFG(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks[0].Succs) != 1 {
+		t.Errorf("unconditional branch block has succs %v", g.Blocks[0].Succs)
+	}
+}
+
+func TestBuildCFGGuardedHaltFallsThrough(t *testing.T) {
+	b := NewBuilder("t")
+	b.Emit(isa.Inst{Op: isa.OpHalt, QP: 3})
+	b.Halt(1)
+	p := b.MustProgram()
+	g, err := BuildCFG(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks[0].Succs) != 1 {
+		t.Errorf("guarded halt should fall through: %v", g.Blocks[0].Succs)
+	}
+}
+
+func TestBlockOf(t *testing.T) {
+	b := NewBuilder("t")
+	b.Movi(1, 1)
+	b.Br("end")
+	b.Label("end")
+	b.Halt(0)
+	p := b.MustProgram()
+	g, err := BuildCFG(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.BlockOf(0).Index != 0 || g.BlockOf(2).Index != 1 {
+		t.Errorf("BlockOf wrong: %d %d", g.BlockOf(0).Index, g.BlockOf(2).Index)
+	}
+}

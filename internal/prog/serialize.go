@@ -1,0 +1,181 @@
+package prog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Binary program format:
+//
+//	magic "P64P", u32 version
+//	u32 name length, name bytes
+//	u32 instruction count, instructions (isa.EncodedSize bytes each)
+//	u32 label count, { u32 name length, name bytes, u32 index }*
+//	u32 data segment count, { i64 base, u32 word count, i64 words* }*
+//
+// All integers little-endian. Programs must be resolved before marshalling
+// (encoded instructions carry numeric targets only).
+
+var progMagic = [4]byte{'P', '6', '4', 'P'}
+
+const progVersion = 1
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (p *Program) MarshalBinary() ([]byte, error) {
+	if err := p.Resolve(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Write(progMagic[:])
+	writeU32(&buf, progVersion)
+	writeString(&buf, p.Name)
+
+	enc, err := isa.EncodeAll(p.Insts)
+	if err != nil {
+		return nil, fmt.Errorf("prog: marshal %s: %w", p.Name, err)
+	}
+	writeU32(&buf, uint32(len(p.Insts)))
+	buf.Write(enc)
+
+	names := make([]string, 0, len(p.Labels))
+	for name := range p.Labels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	writeU32(&buf, uint32(len(names)))
+	for _, name := range names {
+		writeString(&buf, name)
+		writeU32(&buf, uint32(p.Labels[name]))
+	}
+
+	bases := make([]int64, 0, len(p.Data))
+	for base := range p.Data {
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	writeU32(&buf, uint32(len(bases)))
+	for _, base := range bases {
+		writeI64(&buf, base)
+		words := p.Data[base]
+		writeU32(&buf, uint32(len(words)))
+		for _, w := range words {
+			writeI64(&buf, w)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (p *Program) UnmarshalBinary(data []byte) error {
+	r := &reader{data: data}
+	var magic [4]byte
+	r.bytes(magic[:])
+	if magic != progMagic {
+		return fmt.Errorf("prog: bad magic %q", magic)
+	}
+	if v := r.u32(); v != progVersion {
+		return fmt.Errorf("prog: unsupported version %d", v)
+	}
+	name := r.str()
+	n := int(r.u32())
+	if n < 0 || n > 1<<24 {
+		return fmt.Errorf("prog: implausible instruction count %d", n)
+	}
+	raw := make([]byte, n*isa.EncodedSize)
+	r.bytes(raw)
+	if r.err != nil {
+		return fmt.Errorf("prog: truncated input: %w", r.err)
+	}
+	insts, err := isa.DecodeAll(raw)
+	if err != nil {
+		return err
+	}
+	labels := make(map[string]int)
+	for i, ln := 0, int(r.u32()); i < ln && r.err == nil; i++ {
+		lname := r.str()
+		labels[lname] = int(r.u32())
+	}
+	dataSegs := make(map[int64][]int64)
+	for i, dn := 0, int(r.u32()); i < dn && r.err == nil; i++ {
+		base := r.i64()
+		words := make([]int64, r.u32())
+		for j := range words {
+			words[j] = r.i64()
+		}
+		dataSegs[base] = words
+	}
+	if r.err != nil {
+		return fmt.Errorf("prog: truncated input: %w", r.err)
+	}
+	p.Name = name
+	p.Insts = insts
+	p.Labels = labels
+	p.Data = dataSegs
+	return p.Validate()
+}
+
+// --- small read/write helpers shared with the trace codec ---------------
+
+func writeU32(w io.Writer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+func writeI64(w io.Writer, v int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	w.Write(b[:])
+}
+
+func writeString(w io.Writer, s string) {
+	writeU32(w, uint32(len(s)))
+	io.WriteString(w, s)
+}
+
+type reader struct {
+	data []byte
+	err  error
+}
+
+func (r *reader) bytes(dst []byte) {
+	if r.err != nil {
+		return
+	}
+	if len(r.data) < len(dst) {
+		r.err = io.ErrUnexpectedEOF
+		return
+	}
+	copy(dst, r.data)
+	r.data = r.data[len(dst):]
+}
+
+func (r *reader) u32() uint32 {
+	var b [4]byte
+	r.bytes(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (r *reader) i64() int64 {
+	var b [8]byte
+	r.bytes(b[:])
+	return int64(binary.LittleEndian.Uint64(b[:]))
+}
+
+func (r *reader) str() string {
+	n := r.u32()
+	if r.err != nil || n > 1<<20 {
+		if r.err == nil {
+			r.err = fmt.Errorf("implausible string length %d", n)
+		}
+		return ""
+	}
+	b := make([]byte, n)
+	r.bytes(b)
+	return string(b)
+}

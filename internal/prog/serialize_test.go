@@ -1,0 +1,99 @@
+package prog
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func sampleProgram() *Program {
+	b := NewBuilder("sample")
+	b.SetData(100, []int64{1, -2, 3})
+	b.SetData(500, []int64{42})
+	b.Movi(1, 5)
+	b.Label("loop")
+	b.Subi(1, 1, 1)
+	b.Cmpi(isa.CmpGT, 2, 3, 1, 0)
+	b.BrIf(2, "loop")
+	b.Out(1)
+	b.Halt(0)
+	return b.MustProgram()
+}
+
+func TestProgramBinaryRoundTrip(t *testing.T) {
+	p := sampleProgram()
+	data, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Program
+	if err := q.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name {
+		t.Errorf("name %q", q.Name)
+	}
+	if len(q.Insts) != len(p.Insts) {
+		t.Fatalf("inst counts differ")
+	}
+	for i := range p.Insts {
+		want := p.Insts[i]
+		want.Label = "" // labels are not encoded; targets are
+		if q.Insts[i] != want {
+			t.Errorf("inst %d: got %+v want %+v", i, q.Insts[i], want)
+		}
+	}
+	if q.Labels["loop"] != p.Labels["loop"] {
+		t.Errorf("label loop = %d", q.Labels["loop"])
+	}
+	if len(q.Data) != 2 || q.Data[100][1] != -2 || q.Data[500][0] != 42 {
+		t.Errorf("data wrong: %v", q.Data)
+	}
+}
+
+func TestProgramBinaryDeterministic(t *testing.T) {
+	p := sampleProgram()
+	a, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("marshalling is not deterministic")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var q Program
+	if err := q.UnmarshalBinary(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if err := q.UnmarshalBinary([]byte("XXXX\x01\x00\x00\x00")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	p := sampleProgram()
+	data, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.UnmarshalBinary(data[:len(data)/2]); err == nil {
+		t.Error("truncated input accepted")
+	}
+	// Corrupt the version.
+	bad := append([]byte(nil), data...)
+	bad[4] = 99
+	if err := q.UnmarshalBinary(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestMarshalUnresolvedFails(t *testing.T) {
+	p := New("t")
+	p.Insts = []isa.Inst{{Op: isa.OpBr, Label: "missing", Target: -1}}
+	if _, err := p.MarshalBinary(); err == nil {
+		t.Error("unresolved program marshalled")
+	}
+}

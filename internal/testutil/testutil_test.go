@@ -1,0 +1,106 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+func simple(name string, outVal int64) *prog.Program {
+	b := prog.NewBuilder(name)
+	b.Movi(1, outVal)
+	b.Out(1)
+	b.St(0, 100, 1)
+	b.Halt(0)
+	return b.MustProgram()
+}
+
+func TestCheckEquivalentAccepts(t *testing.T) {
+	if err := CheckEquivalent(simple("a", 5), simple("b", 5), 100); err != nil {
+		t.Fatalf("identical programs rejected: %v", err)
+	}
+}
+
+func TestCheckEquivalentCatchesOutput(t *testing.T) {
+	err := CheckEquivalent(simple("a", 5), simple("b", 6), 100)
+	if err == nil {
+		t.Fatal("differing programs accepted")
+	}
+	// Registers differ first (r1), which is fine: any discrepancy must be
+	// reported.
+	if !strings.Contains(err.Error(), "differ") {
+		t.Errorf("error uninformative: %v", err)
+	}
+}
+
+func TestCheckEquivalentCatchesExitCode(t *testing.T) {
+	b := prog.NewBuilder("x")
+	b.Halt(2)
+	if err := CheckEquivalent(simple("a", 5), b.MustProgram(), 100); err == nil {
+		t.Fatal("differing exit codes accepted")
+	}
+}
+
+func TestCheckEquivalentCatchesMemory(t *testing.T) {
+	mk := func(addr int64) *prog.Program {
+		b := prog.NewBuilder("m")
+		b.Movi(1, 9)
+		b.St(0, addr, 1)
+		b.Out(1)
+		b.Halt(0)
+		return b.MustProgram()
+	}
+	if err := CheckEquivalent(mk(50), mk(51), 100); err == nil {
+		t.Fatal("differing memory accepted")
+	}
+}
+
+func TestCheckEquivalentCatchesOutputLength(t *testing.T) {
+	b := prog.NewBuilder("two")
+	b.Movi(1, 5)
+	b.Out(1)
+	b.Out(1)
+	b.St(0, 100, 1)
+	b.Halt(0)
+	if err := CheckEquivalent(simple("a", 5), b.MustProgram(), 100); err == nil {
+		t.Fatal("differing output lengths accepted")
+	}
+}
+
+func TestCheckEquivalentPropagatesRunErrors(t *testing.T) {
+	bad := prog.NewBuilder("bad")
+	bad.Trap()
+	if err := CheckEquivalent(bad.MustProgram(), simple("b", 5), 100); err == nil {
+		t.Fatal("trapping program accepted")
+	}
+}
+
+func TestCheckEquivalentIgnoresPredicates(t *testing.T) {
+	// Programs that differ only in predicate state must be equivalent.
+	a := prog.NewBuilder("a")
+	a.Movi(1, 3)
+	a.Out(1)
+	a.St(0, 100, 1)
+	a.Halt(0)
+	b := prog.NewBuilder("b")
+	b.Movi(1, 3)
+	b.Emit(isa.Inst{Op: isa.OpPinit, PD1: 7, Imm: 1})
+	b.Out(1)
+	b.St(0, 100, 1)
+	b.Halt(0)
+	if err := CheckEquivalent(a.MustProgram(), b.MustProgram(), 100); err != nil {
+		t.Fatalf("predicate-only difference rejected: %v", err)
+	}
+}
+
+func TestRunFull(t *testing.T) {
+	m, res, err := RunFull(simple("a", 7), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[1] != 7 || res.ExitCode != 0 {
+		t.Errorf("r1=%d exit=%d", m.Regs[1], res.ExitCode)
+	}
+}

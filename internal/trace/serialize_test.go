@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ifconv"
+	"repro/internal/workload"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	p := workload.ByNameMust("scan").Build()
+	cp, _, err := ifconv.Convert(p, ifconv.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Collect(cp, 3_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != tr.Name || back.Insts != tr.Insts || back.Nullified != tr.Nullified ||
+		back.Branches != tr.Branches || back.RegionBranches != tr.RegionBranches ||
+		back.PredDefs != tr.PredDefs {
+		t.Fatalf("header mismatch: %+v vs %+v", back, tr)
+	}
+	if len(back.Events) != len(tr.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(back.Events), len(tr.Events))
+	}
+	for i := range tr.Events {
+		if back.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d differs:\n got %+v\nwant %+v", i, back.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader([]byte("NOPE1234"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated valid prefix.
+	p := workload.ByNameMust("stream").Build()
+	tr, err := Collect(p, 3_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadTrace(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}

@@ -1,0 +1,142 @@
+// Package trace captures branch and predicate-define event streams from
+// emulated program runs. Trace-driven simulation over these events is how
+// the predictor experiments run (fast, repeatable), mirroring the paper's
+// trace-driven methodology; the cycle-level model in internal/pipeline
+// provides the timing view.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Kind distinguishes event types.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindBranch is a conditional branch: a guarded br/brl or a cloop.
+	// Unconditional (p0-guarded) branches are not direction-prediction
+	// events and are not recorded.
+	KindBranch Kind = iota
+	// KindPredDef is a compare instruction (the predicate defines the
+	// predicate global update mechanism feeds on).
+	KindPredDef
+)
+
+// Event is one dynamic branch or predicate-define occurrence.
+type Event struct {
+	Kind Kind
+	Step uint64 // dynamic instruction number at which the event fetched
+	PC   uint64 // static instruction index
+
+	// Branch fields.
+	Taken    bool
+	Guard    isa.PReg
+	GuardVal bool
+	// GuardDist is the number of dynamic instructions since the guard
+	// predicate was last written. The squash false path filter can act on
+	// a branch only if this distance covers the predicate resolve latency.
+	GuardDist uint64
+	// Region marks region-based branches (branches the if-converter left
+	// inside predicated regions).
+	Region bool
+	// GuardImpliesTaken is true for br/brl (taken iff guard true) and
+	// false for cloop (a true guard still tests its counter).
+	GuardImpliesTaken bool
+
+	// Predicate-define fields.
+	Executed          bool // the compare's own guard was true
+	Value             bool // evaluated condition (meaningful when Executed)
+	FeedsBranch       bool // statically feeds some branch guard
+	FeedsRegionBranch bool // statically feeds some region-based branch guard
+}
+
+// Trace is an ordered event stream plus run-level counts.
+type Trace struct {
+	Name           string
+	Events         []Event
+	Insts          uint64 // total dynamic instructions
+	Nullified      uint64 // dynamic instructions nullified by a false guard
+	Branches       uint64 // conditional branch events
+	RegionBranches uint64
+	PredDefs       uint64
+}
+
+// Collect runs the program to completion and records its event stream.
+func Collect(p *prog.Program, limit uint64) (*Trace, error) {
+	m, err := emu.New(p)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{Name: p.Name}
+
+	// Static classification: which predicate registers guard branches and
+	// region-based branches, and hence which compares feed them. Predicate
+	// register reuse makes this conservative-approximate, as a hardware or
+	// compiler-table implementation would be.
+	var branchGuards, regionGuards uint64
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if in.IsBranch() && in.QP != isa.P0 {
+			branchGuards |= 1 << in.QP
+			if in.Region {
+				regionGuards |= 1 << in.QP
+			}
+		}
+	}
+
+	var lastDef [isa.NumPRegs]uint64
+	for !m.Halted {
+		if limit > 0 && m.Steps >= limit {
+			return nil, fmt.Errorf("trace: %w (%d steps in %s)", emu.ErrLimit, m.Steps, p.Name)
+		}
+		step := m.Steps // dynamic number of the instruction about to run
+		si, err := m.Step()
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		in := si.Inst
+		switch {
+		case in.Op == isa.OpCmp:
+			ev := Event{
+				Kind:              KindPredDef,
+				Step:              step,
+				PC:                uint64(si.Index),
+				Executed:          si.GuardTrue,
+				Value:             si.CmpValue,
+				FeedsBranch:       branchGuards&(1<<in.PD1|1<<in.PD2) != 0,
+				FeedsRegionBranch: regionGuards&(1<<in.PD1|1<<in.PD2) != 0,
+			}
+			tr.Events = append(tr.Events, ev)
+			tr.PredDefs++
+		case (in.Op == isa.OpBr || in.Op == isa.OpBrl) && in.QP != isa.P0,
+			in.Op == isa.OpCloop:
+			ev := Event{
+				Kind:              KindBranch,
+				Step:              step,
+				PC:                uint64(si.Index),
+				Taken:             si.Taken,
+				Guard:             in.QP,
+				GuardVal:          si.GuardTrue,
+				GuardDist:         step - lastDef[in.QP],
+				Region:            in.Region,
+				GuardImpliesTaken: in.Op != isa.OpCloop,
+			}
+			tr.Events = append(tr.Events, ev)
+			tr.Branches++
+			if in.Region {
+				tr.RegionBranches++
+			}
+		}
+		for _, w := range si.PredWrites {
+			lastDef[w.P] = step
+		}
+	}
+	tr.Insts = m.Steps
+	tr.Nullified = m.Nullified
+	return tr, nil
+}

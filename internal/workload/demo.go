@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/rng"
+)
+
+// FalsePathDemo builds a hand-predicated loop whose region-based branch is
+// guarded by a data-dependent predicate defined `filler` instructions
+// before the branch, taken with ~50% probability. It is the minimal
+// showcase for the squash false path filter: with the guard resolved at
+// fetch, every false-guard instance is filtered with certainty and the
+// surviving stream is all-taken.
+func FalsePathDemo(n int64, filler int, seed uint64) *prog.Program {
+	b := prog.NewBuilder("falsepath-demo")
+	r := rng.New(seed)
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(r.Uint64() & 1)
+	}
+	b.SetData(100, data)
+	b.Movi(1, 0)   // i
+	b.Movi(2, 100) // base
+	b.Movi(6, 0)   // acc
+	b.Label("loop")
+	b.Add(4, 2, 1)
+	b.Ld(5, 4, 0) // x
+	b.Emit(isa.Inst{Op: isa.OpCmp, CC: isa.CmpEQ, CT: isa.CmpUnc, PD1: 10, PD2: 11, Src1: 5, Imm: 1, HasImm: true})
+	b.Nopn(filler)
+	b.Emit(isa.Inst{Op: isa.OpBr, QP: 10, Label: "taken", Target: -1, Region: true})
+	b.Addi(6, 6, 1) // false path
+	b.Br("next")
+	b.Label("taken")
+	b.Addi(6, 6, 100)
+	b.Label("next")
+	b.Addi(1, 1, 1)
+	b.Cmpi(isa.CmpLT, 12, 13, 1, n)
+	b.BrIf(12, "loop")
+	b.Out(6)
+	b.Halt(0)
+	return b.MustProgram()
+}
+
+// CorrelatedDemo builds a hand-predicated loop where an early compare's
+// outcome (an if-converted condition) perfectly determines a later branch,
+// while no intervening branch outcome carries that information. It is the
+// minimal showcase for the predicate global update mechanism: only a
+// history containing the compare's outcome can predict the branch.
+func CorrelatedDemo(n int64, seed uint64) *prog.Program {
+	b := prog.NewBuilder("correlated-demo")
+	r := rng.New(seed)
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(r.Uint64() & 1)
+	}
+	b.SetData(100, data)
+	b.Movi(1, 0)   // i
+	b.Movi(2, 100) // base
+	b.Movi(6, 0)   // acc
+	b.Label("loop")
+	b.Add(4, 2, 1)
+	b.Ld(5, 4, 0) // x
+	// If-converted diamond: acc += x ? 3 : 5.
+	b.Emit(isa.Inst{Op: isa.OpCmp, CC: isa.CmpEQ, CT: isa.CmpUnc, PD1: 10, PD2: 11, Src1: 5, Imm: 1, HasImm: true})
+	b.Addi(6, 6, 3).QP = 10
+	b.Addi(6, 6, 5).QP = 11
+	b.Nopn(3)
+	// A later branch on the same condition, recomputed just before the
+	// branch so the filter cannot know it; history is the only help.
+	b.Cmpi(isa.CmpEQ, 12, 13, 5, 1)
+	b.Emit(isa.Inst{Op: isa.OpBr, QP: 12, Label: "skip", Target: -1, Region: true})
+	b.Addi(6, 6, 1)
+	b.Label("skip")
+	b.Addi(1, 1, 1)
+	b.Cmpi(isa.CmpLT, 14, 15, 1, n)
+	b.BrIf(14, "loop")
+	b.Out(6)
+	b.Halt(0)
+	return b.MustProgram()
+}

@@ -1,0 +1,558 @@
+package workload
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/rng"
+)
+
+// The workload suite. Each kernel is written in conventional branching
+// style; the experiments if-convert them with internal/ifconv. Sizes are
+// chosen so each runs tens to a few hundred thousand dynamic instructions.
+//
+// Paper-analogue roles:
+//
+//	sort      – data-dependent inner-loop compare, moderate predictability
+//	bsearch   – near-random search branches (hard)
+//	strmatch  – heavily biased mismatch branches
+//	fsm       – state-correlated branches (history-friendly)
+//	interp    – multiway dispatch chains (hard, aliasing-prone)
+//	classify  – nested diamonds, fully if-convertible
+//	filter    – conditions plus rare early exit (region branches)
+//	corr      – later branch perfectly correlated with an earlier,
+//	            if-converted condition (the PGU case)
+//	rand      – 50/50 branch with balanced arms (predication headline win)
+//	stream    – predictable loop code (no-regression control)
+//	sieve     – biased flag tests around a non-convertible inner loop
+func init() {
+	register(Workload{Name: "sort", Description: "insertion sort of 220 random values", Build: buildSort})
+	register(Workload{Name: "bsearch", Description: "1500 binary searches over 1024 sorted keys", Build: buildBsearch})
+	register(Workload{Name: "strmatch", Description: "naive substring search, 4-symbol alphabet", Build: buildStrmatch})
+	register(Workload{Name: "fsm", Description: "3-state machine over 6000 random symbols", Build: buildFSM})
+	register(Workload{Name: "interp", Description: "bytecode interpreter, 6-op dispatch chain", Build: buildInterp})
+	register(Workload{Name: "classify", Description: "nested range classification of 5000 values", Build: buildClassify})
+	register(Workload{Name: "filter", Description: "two-condition filter with rare early exit", Build: buildFilter})
+	register(Workload{Name: "corr", Description: "branch correlated with an earlier converted condition", Build: buildCorr})
+	register(Workload{Name: "rand", Description: "50/50 branch with balanced arms", Build: buildRand})
+	register(Workload{Name: "scan", Description: "diamond with rare exits in both arms", Build: buildScan})
+	register(Workload{Name: "stream", Description: "predictable streaming loop with rare saturation", Build: buildStream})
+	register(Workload{Name: "sieve", Description: "sieve of Eratosthenes to 2000", Build: buildSieve})
+}
+
+const dataBase = 1000
+
+func randArray(seed uint64, n int, bound int64) []int64 {
+	r := rng.New(seed)
+	a := make([]int64, n)
+	r.Fill(a, bound)
+	return a
+}
+
+// buildSort: insertion sort.
+//
+//	r1=i r2=j r3=key r4=tmp/addr r5=val r6=n r7=base
+func buildSort() *prog.Program {
+	const n = 220
+	b := prog.NewBuilder("sort")
+	b.SetData(dataBase, randArray(101, n, 10000))
+	b.Movi(7, dataBase)
+	b.Movi(6, n)
+	b.Movi(1, 1)
+	b.Label("outer")
+	b.Cmpi(isa.CmpLT, 1, 2, 1, n)
+	b.BrIf(2, "done") // i >= n
+	b.Add(4, 7, 1)
+	b.Ld(3, 4, 0) // key = a[i]
+	b.Subi(2, 1, 1)
+	b.Label("inner")
+	b.Cmpi(isa.CmpGE, 3, 4, 2, 0)
+	b.BrIf(4, "insert") // j < 0
+	b.Add(4, 7, 2)
+	b.Ld(5, 4, 0) // a[j]
+	b.Cmp(isa.CmpGT, 5, 6, 5, 3)
+	b.BrIf(6, "insert") // a[j] <= key
+	b.St(4, 1, 5)       // a[j+1] = a[j]
+	b.Subi(2, 2, 1)
+	b.Br("inner")
+	b.Label("insert")
+	b.Add(4, 7, 2)
+	b.St(4, 1, 3) // a[j+1] = key
+	b.Addi(1, 1, 1)
+	b.Br("outer")
+	b.Label("done")
+	// Checksum: weighted sum of the sorted array.
+	b.Movi(1, 0)
+	b.Movi(8, 0)
+	b.Label("ck")
+	b.Add(4, 7, 1)
+	b.Ld(5, 4, 0)
+	b.Mul(9, 5, 1)
+	b.Add(8, 8, 9)
+	b.Addi(1, 1, 1)
+	b.Cmpi(isa.CmpLT, 1, 2, 1, n)
+	b.BrIf(1, "ck")
+	b.Out(8)
+	b.Halt(0)
+	return b.MustProgram()
+}
+
+// buildBsearch: repeated binary search.
+//
+//	r1=q r2=key r3=lo r4=hi r5=mid r6=v r7=addr r8=found-count r9=keybase
+func buildBsearch() *prog.Program {
+	const n = 1024
+	const queries = 1500
+	b := prog.NewBuilder("bsearch")
+	arr := make([]int64, n)
+	for i := range arr {
+		arr[i] = int64(2 * i)
+	}
+	b.SetData(dataBase, arr)
+	b.SetData(5000, randArray(202, queries, 2*n))
+	b.Movi(9, 5000)
+	b.Movi(8, 0)
+	b.Movi(1, 0)
+	b.Label("query")
+	b.Add(7, 9, 1)
+	b.Ld(2, 7, 0) // key
+	b.Movi(3, 0)
+	b.Movi(4, n-1)
+	b.Label("search")
+	b.Cmp(isa.CmpLE, 5, 6, 3, 4)
+	b.BrIf(6, "next") // lo > hi
+	b.Add(5, 3, 4)
+	b.Sari(5, 5, 1) // mid
+	b.Addi(7, 5, dataBase)
+	b.Ld(6, 7, 0) // v = a[mid]
+	b.Cmp(isa.CmpEQ, 10, 11, 6, 2)
+	b.BrIf(10, "hit")
+	b.Cmp(isa.CmpLT, 12, 13, 6, 2)
+	b.BrIf(13, "goleft")
+	b.Addi(3, 5, 1) // lo = mid+1
+	b.Br("search")
+	b.Label("goleft")
+	b.Subi(4, 5, 1) // hi = mid-1
+	b.Br("search")
+	b.Label("hit")
+	b.Addi(8, 8, 1)
+	b.Label("next")
+	b.Addi(1, 1, 1)
+	b.Cmpi(isa.CmpLT, 10, 11, 1, queries)
+	b.BrIf(10, "query")
+	b.Out(8)
+	b.Halt(0)
+	return b.MustProgram()
+}
+
+// buildStrmatch: naive substring search.
+//
+//	r1=i r2=k r3=addr r4=tc r5=pc r6=count r7=ok
+func buildStrmatch() *prog.Program {
+	const n = 4000
+	const m = 4
+	b := prog.NewBuilder("strmatch")
+	b.SetData(dataBase, randArray(303, n, 4))
+	pat := []int64{1, 2, 1, 3}
+	b.SetData(6000, pat)
+	b.Movi(6, 0)
+	b.Movi(1, 0)
+	b.Label("outer")
+	b.Movi(7, 1)
+	b.Movi(2, 0)
+	b.Label("inner")
+	b.Add(3, 1, 2)
+	b.Addi(3, 3, dataBase)
+	b.Ld(4, 3, 0) // text[i+k]
+	b.Addi(3, 2, 6000)
+	b.Ld(5, 3, 0) // pat[k]
+	b.Cmp(isa.CmpEQ, 8, 9, 4, 5)
+	b.BrIf(9, "mismatch")
+	b.Addi(2, 2, 1)
+	b.Cmpi(isa.CmpLT, 8, 9, 2, m)
+	b.BrIf(8, "inner")
+	b.Br("endinner")
+	b.Label("mismatch")
+	b.Movi(7, 0)
+	b.Label("endinner")
+	b.Add(6, 6, 7)
+	b.Addi(1, 1, 1)
+	b.Cmpi(isa.CmpLE, 8, 9, 1, n-m)
+	b.BrIf(8, "outer")
+	b.Out(6)
+	b.Halt(0)
+	return b.MustProgram()
+}
+
+// buildFSM: three-state machine with state-correlated branches.
+//
+//	r1=i r2=sym r3=state r4=acc r5=addr
+func buildFSM() *prog.Program {
+	const n = 6000
+	b := prog.NewBuilder("fsm")
+	b.SetData(dataBase, randArray(404, n, 2))
+	b.Movi(3, 0)
+	b.Movi(4, 0)
+	b.Movi(1, 0)
+	b.Label("loop")
+	b.Addi(5, 1, dataBase)
+	b.Ld(2, 5, 0)
+	b.IfElse(prog.RI(isa.CmpEQ, 3, 0),
+		func() {
+			b.IfElse(prog.RI(isa.CmpNE, 2, 0),
+				func() { b.Movi(3, 1) },
+				func() { b.Addi(4, 4, 1) },
+			)
+		},
+		func() {
+			b.IfElse(prog.RI(isa.CmpEQ, 3, 1),
+				func() {
+					b.IfElse(prog.RI(isa.CmpNE, 2, 0),
+						func() { b.Movi(3, 2); b.Addi(4, 4, 2) },
+						func() { b.Movi(3, 0) },
+					)
+				},
+				func() {
+					b.IfElse(prog.RI(isa.CmpNE, 2, 0),
+						func() { b.Addi(4, 4, 3) },
+						func() { b.Movi(3, 0) },
+					)
+				},
+			)
+		},
+	)
+	b.Addi(1, 1, 1)
+	b.Cmpi(isa.CmpLT, 10, 11, 1, n)
+	b.BrIf(10, "loop")
+	b.Out(4)
+	b.Out(3)
+	b.Halt(0)
+	return b.MustProgram()
+}
+
+// buildInterp: bytecode interpreter with a compare-chain dispatch.
+//
+//	r1=pc r2=op r3=acc r4=x r5=addr
+func buildInterp() *prog.Program {
+	const n = 6000
+	b := prog.NewBuilder("interp")
+	// Skewed opcode mix: op 0 is common, the rest tail off.
+	r := rng.New(505)
+	code := make([]int64, n)
+	for i := range code {
+		v := r.Intn(10)
+		switch {
+		case v < 4:
+			code[i] = 0
+		case v < 6:
+			code[i] = 1
+		case v < 7:
+			code[i] = 2
+		case v < 8:
+			code[i] = 3
+		case v < 9:
+			code[i] = 4
+		default:
+			code[i] = 5
+		}
+	}
+	b.SetData(dataBase, code)
+	b.Movi(3, 0)
+	b.Movi(4, 7)
+	b.Movi(1, 0)
+	b.Label("loop")
+	b.Addi(5, 1, dataBase)
+	b.Ld(2, 5, 0)
+	b.IfElse(prog.RI(isa.CmpEQ, 2, 0), func() { b.Addi(3, 3, 1) }, func() {
+		b.IfElse(prog.RI(isa.CmpEQ, 2, 1), func() { b.Subi(3, 3, 1) }, func() {
+			b.IfElse(prog.RI(isa.CmpEQ, 2, 2), func() { b.Add(3, 3, 4) }, func() {
+				b.IfElse(prog.RI(isa.CmpEQ, 2, 3), func() { b.Mov(4, 3) }, func() {
+					b.IfElse(prog.RI(isa.CmpEQ, 2, 4),
+						func() { b.Shli(3, 3, 1); b.Andi(3, 3, 0xffff) },
+						func() { b.Xor(3, 3, 4) },
+					)
+				})
+			})
+		})
+	})
+	b.Addi(1, 1, 1)
+	b.Cmpi(isa.CmpLT, 10, 11, 1, n)
+	b.BrIf(10, "loop")
+	b.Out(3)
+	b.Out(4)
+	b.Halt(0)
+	return b.MustProgram()
+}
+
+// buildClassify: nested range classification — fully convertible diamonds.
+//
+//	r1=i r2=v r3..r7 buckets r8=addr
+func buildClassify() *prog.Program {
+	const n = 5000
+	b := prog.NewBuilder("classify")
+	b.SetData(dataBase, randArray(606, n, 256))
+	for r := isa.Reg(3); r <= 7; r++ {
+		b.Movi(r, 0)
+	}
+	b.Movi(1, 0)
+	b.Label("loop")
+	b.Addi(8, 1, dataBase)
+	b.Ld(2, 8, 0)
+	b.IfElse(prog.RI(isa.CmpLT, 2, 128),
+		func() {
+			b.IfElse(prog.RI(isa.CmpLT, 2, 32),
+				func() { b.Addi(3, 3, 1) },
+				func() { b.Addi(4, 4, 1) },
+			)
+		},
+		func() {
+			b.IfElse(prog.RI(isa.CmpLT, 2, 192),
+				func() { b.Addi(5, 5, 1) },
+				func() {
+					b.IfElse(prog.RI(isa.CmpLT, 2, 224),
+						func() { b.Addi(6, 6, 1) },
+						func() { b.Addi(7, 7, 1) },
+					)
+				},
+			)
+		},
+	)
+	b.Addi(1, 1, 1)
+	b.Cmpi(isa.CmpLT, 10, 11, 1, n)
+	b.BrIf(10, "loop")
+	for r := isa.Reg(3); r <= 7; r++ {
+		b.Out(r)
+	}
+	b.Halt(0)
+	return b.MustProgram()
+}
+
+// buildFilter: two-condition filter with a rare early exit from the loop.
+// The sentinel test is computed right after the load — as a scheduling
+// compiler would emit it — with the filterable exit branch several
+// instructions downstream.
+//
+//	r1=i r2=v r3=count r4=sum r5=addr r6=v&7 r7/r8 scratch
+func buildFilter() *prog.Program {
+	const n = 4000
+	b := prog.NewBuilder("filter")
+	data := randArray(707, n, 4096)
+	data[n-37] = -1 // sentinel triggers the early exit near the end
+	b.SetData(dataBase, data)
+	b.Movi(3, 0)
+	b.Movi(4, 0)
+	b.Movi(1, 0)
+	b.Label("loop")
+	b.Addi(5, 1, dataBase)
+	b.Ld(2, 5, 0)
+	b.Cmpi(isa.CmpEQ, 10, 11, 2, -1) // sentinel test, scheduled early
+	b.Andi(6, 2, 7)
+	b.Shri(7, 2, 3)
+	b.Xor(8, 2, 7)
+	b.Andi(8, 8, 0xfff)
+	b.Add(7, 7, 8)
+	b.BrIf(10, "done") // rare early exit, far from its compare
+	b.If(prog.RI(isa.CmpEQ, 6, 0), func() {
+		b.IfElse(prog.RI(isa.CmpGT, 2, 2048),
+			func() { b.Addi(3, 3, 1) },
+			func() { b.Add(4, 4, 2) },
+		)
+	})
+	b.Addi(1, 1, 1)
+	b.Cmpi(isa.CmpLT, 10, 11, 1, n)
+	b.BrIf(10, "loop")
+	b.Label("done")
+	b.Out(3)
+	b.Out(4)
+	b.Out(1)
+	b.Halt(0)
+	return b.MustProgram()
+}
+
+// buildScan: a 50/50 diamond whose two arms each contain several
+// instructions of work and a rare exit branch to an out-of-region handler
+// (the handler's inner loop keeps it unconvertible). After if-conversion,
+// every iteration fetches both arms' exit branches; the arm not taken has
+// a false guard resolved well before the branch — the squash false path
+// filter's target case.
+//
+//	r1=i r2=v r3=a r4=c r5=addr r6/r7 scratch r9=rare-count
+func buildScan() *prog.Program {
+	const n = 6000
+	b := prog.NewBuilder("scan")
+	b.SetData(dataBase, randArray(313, n, 1024))
+	b.Movi(3, 0)
+	b.Movi(4, 0)
+	b.Movi(9, 0)
+	b.Movi(1, 0)
+	b.Label("loop")
+	b.Addi(5, 1, dataBase)
+	b.Ld(2, 5, 0)
+	b.Andi(6, 2, 1)
+	b.IfElse(prog.RI(isa.CmpEQ, 6, 1),
+		func() {
+			b.Add(3, 3, 2)
+			b.Xori(3, 3, 0x55)
+			b.Sari(7, 3, 1)
+			b.Add(3, 7, 2)
+			b.Muli(7, 2, 3)
+			b.Add(3, 3, 7)
+			b.Cmpi(isa.CmpEQ, 12, 13, 2, 1023)
+			b.BrIf(12, "rare1")
+		},
+		func() {
+			b.Add(4, 4, 2)
+			b.Ori(4, 4, 3)
+			b.Shri(7, 2, 2)
+			b.Sub(4, 4, 7)
+			b.Muli(7, 2, 5)
+			b.Xor(4, 4, 7)
+			b.Cmpi(isa.CmpEQ, 14, 15, 2, 1022)
+			b.BrIf(14, "rare2")
+		},
+	)
+	b.Label("next")
+	b.Addi(1, 1, 1)
+	b.Cmpi(isa.CmpLT, 10, 11, 1, n)
+	b.BrIf(10, "loop")
+	b.Out(3)
+	b.Out(4)
+	b.Out(9)
+	b.Halt(0)
+	// Rare handlers: the inner counted loops keep these blocks out of any
+	// region, so the branches to them stay region-based exits.
+	b.Label("rare1")
+	b.Addi(9, 9, 1)
+	b.CountedLoop(24, 3, func() { b.Addi(3, 3, 11) })
+	b.Br("next")
+	b.Label("rare2")
+	b.Addi(9, 9, 1)
+	b.CountedLoop(24, 3, func() { b.Addi(4, 4, 13) })
+	b.Br("next")
+	return b.MustProgram()
+}
+
+// buildCorr: a diamond on condition x followed, a few instructions later,
+// by a branch on the same x whose block contains a tiny inner loop (so
+// if-conversion cannot absorb it and the branch survives). After
+// conversion, only a history containing the first compare's outcome can
+// predict the surviving branch.
+//
+//	r1=i r2=x r3=a r4=b r5=addr r6=t
+func buildCorr() *prog.Program {
+	const n = 4000
+	b := prog.NewBuilder("corr")
+	b.SetData(dataBase, randArray(808, n, 2))
+	b.Movi(3, 0)
+	b.Movi(4, 0)
+	b.Movi(1, 0)
+	b.Label("loop")
+	b.Addi(5, 1, dataBase)
+	b.Ld(2, 5, 0)
+	// Convertible diamond on x.
+	b.IfElse(prog.RI(isa.CmpEQ, 2, 1),
+		func() { b.Addi(3, 3, 3) },
+		func() { b.Addi(3, 3, 5) },
+	)
+	b.Addi(6, 3, 0)
+	b.Sari(6, 6, 2)
+	// Branch on the same x; its then-arm holds an inner loop so the
+	// region cannot swallow it.
+	b.IfElse(prog.RI(isa.CmpEQ, 2, 1),
+		func() {
+			b.CountedLoop(22, 2, func() { b.Addi(4, 4, 1) })
+		},
+		func() { b.Addi(4, 4, 7) },
+	)
+	b.Addi(1, 1, 1)
+	b.Cmpi(isa.CmpLT, 10, 11, 1, n)
+	b.BrIf(10, "loop")
+	b.Out(3)
+	b.Out(4)
+	b.Halt(0)
+	return b.MustProgram()
+}
+
+// buildRand: a 50/50 branch with balanced arms — the case where
+// predication removes a maximally unpredictable branch at minimal
+// nullification cost.
+//
+//	r1=i r2=x r3=a r4=addr
+func buildRand() *prog.Program {
+	const n = 6000
+	b := prog.NewBuilder("rand")
+	b.SetData(dataBase, randArray(909, n, 2))
+	b.Movi(3, 0)
+	b.Movi(1, 0)
+	b.Label("loop")
+	b.Addi(4, 1, dataBase)
+	b.Ld(2, 4, 0)
+	b.IfElse(prog.RI(isa.CmpEQ, 2, 1),
+		func() { b.Addi(3, 3, 1); b.Xori(3, 3, 5) },
+		func() { b.Addi(3, 3, 2); b.Xori(3, 3, 9) },
+	)
+	b.Addi(1, 1, 1)
+	b.Cmpi(isa.CmpLT, 10, 11, 1, n)
+	b.BrIf(10, "loop")
+	b.Out(3)
+	b.Halt(0)
+	return b.MustProgram()
+}
+
+// buildStream: predictable streaming loop with a rarely-true saturation
+// check — the control case where predication should not win.
+//
+//	r1=i r2=v r3=sum r4=k r5=addr
+func buildStream() *prog.Program {
+	const n = 5000
+	b := prog.NewBuilder("stream")
+	b.SetData(dataBase, randArray(111, n, 1000))
+	b.Movi(3, 0)
+	b.Movi(4, 0)
+	b.Movi(1, 0)
+	b.Label("loop")
+	b.Addi(5, 1, dataBase)
+	b.Ld(2, 5, 0)
+	b.Add(3, 3, 2)
+	b.If(prog.RI(isa.CmpGT, 3, 100000), func() {
+		b.Subi(3, 3, 100000)
+		b.Addi(4, 4, 1)
+	})
+	b.Addi(1, 1, 1)
+	b.Cmpi(isa.CmpLT, 10, 11, 1, n)
+	b.BrIf(10, "loop")
+	b.Out(3)
+	b.Out(4)
+	b.Halt(0)
+	return b.MustProgram()
+}
+
+// buildSieve: sieve of Eratosthenes; the "not yet marked" test wraps a
+// non-convertible marking loop, so it survives as a branch; the test is
+// increasingly biased as the sieve fills.
+//
+//	r1=i r2=j r3=addr r4=flag r5=primes
+func buildSieve() *prog.Program {
+	const n = 2000
+	b := prog.NewBuilder("sieve")
+	b.Movi(5, 0)
+	b.Movi(1, 2)
+	b.Label("outer")
+	b.Addi(3, 1, dataBase)
+	b.Ld(4, 3, 0)
+	b.If(prog.RI(isa.CmpEQ, 4, 0), func() {
+		b.Addi(5, 5, 1) // i is prime
+		b.Mul(2, 1, 1)  // j = i*i
+		b.While(prog.RI(isa.CmpLT, 2, n), func() {
+			b.Addi(3, 2, dataBase)
+			b.Movi(6, 1)
+			b.St(3, 0, 6)
+			b.Add(2, 2, 1)
+		})
+	})
+	b.Addi(1, 1, 1)
+	b.Cmpi(isa.CmpLT, 10, 11, 1, n)
+	b.BrIf(10, "outer")
+	b.Out(5)
+	b.Halt(0)
+	return b.MustProgram()
+}

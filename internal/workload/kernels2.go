@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/rng"
+)
+
+// Second batch of kernels: a variable-length-code decoder and a cellular
+// automaton step, widening the branch-behaviour coverage of the suite.
+func init() {
+	register(Workload{Name: "huff", Description: "variable-length code decoder over a skewed bitstream", Build: buildHuff})
+	register(Workload{Name: "life", Description: "one Conway life generation on a 32x32 board", Build: buildLife})
+}
+
+// buildHuff decodes a prefix code (0 -> A, 10 -> B, 110 -> C, 111 -> D)
+// from a biased random bitstream. The decode branches are correlated —
+// the second test only runs when the first bit was 1 — and skewed.
+//
+//	r1=pos r2=bit r3..r6 symbol counts r7=n r8=addr
+func buildHuff() *prog.Program {
+	const n = 12000
+	b := prog.NewBuilder("huff")
+	r := rng.New(1212)
+	bits := make([]int64, n+3) // padding so lookahead never overruns
+	for i := range bits {
+		if r.Chance(0.6) {
+			bits[i] = 0
+		} else {
+			bits[i] = 1
+		}
+	}
+	b.SetData(dataBase, bits)
+	for reg := isa.Reg(3); reg <= 6; reg++ {
+		b.Movi(reg, 0)
+	}
+	b.Movi(7, n)
+	b.Movi(1, 0)
+	b.Label("loop")
+	b.Addi(8, 1, dataBase)
+	b.Ld(2, 8, 0)
+	b.IfElse(prog.RI(isa.CmpEQ, 2, 0),
+		func() { // 0 -> A
+			b.Addi(3, 3, 1)
+			b.Addi(1, 1, 1)
+		},
+		func() {
+			b.Ld(2, 8, 1)
+			b.IfElse(prog.RI(isa.CmpEQ, 2, 0),
+				func() { // 10 -> B
+					b.Addi(4, 4, 1)
+					b.Addi(1, 1, 2)
+				},
+				func() {
+					b.Ld(2, 8, 2)
+					b.IfElse(prog.RI(isa.CmpEQ, 2, 0),
+						func() { b.Addi(5, 5, 1) }, // 110 -> C
+						func() { b.Addi(6, 6, 1) }, // 111 -> D
+					)
+					b.Addi(1, 1, 3)
+				},
+			)
+		},
+	)
+	b.Cmp(isa.CmpLT, 10, 11, 1, 7)
+	b.BrIf(10, "loop")
+	for reg := isa.Reg(3); reg <= 6; reg++ {
+		b.Out(reg)
+	}
+	b.Halt(0)
+	return b.MustProgram()
+}
+
+// buildLife runs one generation of Conway's Game of Life on a 32x32 board
+// (with a dead border), reading from one buffer and writing the next
+// generation to another. The survive/birth rules are nested conditions on
+// the neighbour count — a classic if-conversion shape whose branch
+// behaviour depends on board density.
+//
+//	r1=y r2=x r3=idx r4=ncount r5=addr r6=tmp r7=alive r8=next r9=pop
+func buildLife() *prog.Program {
+	const dim = 32
+	b := prog.NewBuilder("life")
+	r := rng.New(3434)
+	board := make([]int64, dim*dim)
+	for i := range board {
+		if r.Chance(0.35) {
+			board[i] = 1
+		}
+	}
+	const cur = dataBase         // current generation
+	const next = dataBase + 2048 // next generation
+	b.SetData(cur, board)
+	b.Movi(9, 0)
+	b.Movi(1, 1)
+	b.Label("yloop")
+	b.Movi(2, 1)
+	b.Label("xloop")
+	// idx = y*dim + x
+	b.Muli(3, 1, dim)
+	b.Add(3, 3, 2)
+	// Neighbour count: eight loads around idx.
+	b.Movi(4, 0)
+	for _, off := range []int64{-dim - 1, -dim, -dim + 1, -1, 1, dim - 1, dim, dim + 1} {
+		b.Addi(5, 3, cur+off)
+		b.Ld(6, 5, 0)
+		b.Add(4, 4, 6)
+	}
+	b.Addi(5, 3, cur)
+	b.Ld(7, 5, 0) // alive?
+	b.Movi(8, 0)
+	b.IfElse(prog.RI(isa.CmpNE, 7, 0),
+		func() { // survival: 2 or 3 neighbours
+			b.If(prog.RI(isa.CmpGE, 4, 2), func() {
+				b.If(prog.RI(isa.CmpLE, 4, 3), func() { b.Movi(8, 1) })
+			})
+		},
+		func() { // birth: exactly 3 neighbours
+			b.If(prog.RI(isa.CmpEQ, 4, 3), func() { b.Movi(8, 1) })
+		},
+	)
+	b.Addi(5, 3, next)
+	b.St(5, 0, 8)
+	b.Add(9, 9, 8) // population of the next generation
+	b.Addi(2, 2, 1)
+	b.Cmpi(isa.CmpLT, 10, 11, 2, dim-1)
+	b.BrIf(10, "xloop")
+	b.Addi(1, 1, 1)
+	b.Cmpi(isa.CmpLT, 10, 11, 1, dim-1)
+	b.BrIf(10, "yloop")
+	b.Out(9)
+	b.Halt(0)
+	return b.MustProgram()
+}

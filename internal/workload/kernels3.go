@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Third batch: a recursive backtracking solver. It is the only workload
+// with real calls (brl/brr and a memory call stack), exercising the
+// if-converter's call-hazard handling and giving the predictors the
+// irregular, depth-correlated branch behaviour of search codes.
+func init() {
+	register(Workload{Name: "queens", Description: "7-queens backtracking with recursive calls", Build: buildQueens})
+}
+
+// buildQueens counts the solutions of the 7-queens problem with the
+// classic recursive occupancy-array algorithm.
+//
+// Register conventions:
+//
+//	r1 = row (argument)     r2 = col (local)      r3 = n (constant)
+//	r4 = solution count     r5 = stack pointer    r6..r9 = scratch
+//	r10 = constant 1        r30 = link register
+//
+// Memory: cols[] at 8000, diag1[row+col] at 8100, diag2[row-col+n] at
+// 8300, the call stack at 9000 (3 words per frame: link, row, col).
+func buildQueens() *prog.Program {
+	const n = 7
+	b := prog.NewBuilder("queens")
+	b.Movi(3, n)
+	b.Movi(4, 0)
+	b.Movi(5, 9000)
+	b.Movi(10, 1)
+	b.Movi(1, 0)
+	b.Brl(30, "solve")
+	b.Out(4)
+	b.Halt(0)
+
+	b.Label("solve")
+	// Base case: row == n.
+	b.Cmp(isa.CmpEQ, 1, 2, 1, 3)
+	b.BrIf(1, "found")
+	b.Movi(2, 0)
+
+	b.Label("cols")
+	// Occupancy tests: any conflict skips this column.
+	b.Addi(6, 2, 8000)
+	b.Ld(7, 6, 0)
+	b.Cmpi(isa.CmpNE, 3, 4, 7, 0)
+	b.BrIf(3, "skip")
+	b.Add(6, 1, 2)
+	b.Addi(6, 6, 8100)
+	b.Ld(8, 6, 0)
+	b.Cmpi(isa.CmpNE, 5, 6, 8, 0)
+	b.BrIf(5, "skip")
+	b.Sub(6, 1, 2)
+	b.Addi(6, 6, 8300+n)
+	b.Ld(9, 6, 0)
+	b.Cmpi(isa.CmpNE, 7, 8, 9, 0)
+	b.BrIf(7, "skip")
+
+	// Place the queen: mark all three arrays.
+	b.Addi(6, 2, 8000)
+	b.St(6, 0, 10)
+	b.Add(6, 1, 2)
+	b.Addi(6, 6, 8100)
+	b.St(6, 0, 10)
+	b.Sub(6, 1, 2)
+	b.Addi(6, 6, 8300+n)
+	b.St(6, 0, 10)
+
+	// Push the frame (link, row, col) and recurse on row+1.
+	b.St(5, 0, 30)
+	b.St(5, 1, 1)
+	b.St(5, 2, 2)
+	b.Addi(5, 5, 3)
+	b.Addi(1, 1, 1)
+	b.Brl(30, "solve")
+	// Pop the frame.
+	b.Subi(5, 5, 3)
+	b.Ld(30, 5, 0)
+	b.Ld(1, 5, 1)
+	b.Ld(2, 5, 2)
+
+	// Remove the queen: unmark all three arrays.
+	b.Addi(6, 2, 8000)
+	b.St(6, 0, 0)
+	b.Add(6, 1, 2)
+	b.Addi(6, 6, 8100)
+	b.St(6, 0, 0)
+	b.Sub(6, 1, 2)
+	b.Addi(6, 6, 8300+n)
+	b.St(6, 0, 0)
+
+	b.Label("skip")
+	b.Addi(2, 2, 1)
+	b.Cmp(isa.CmpLT, 9, 10, 2, 3)
+	b.BrIf(9, "cols")
+	b.Brr(30)
+
+	b.Label("found")
+	b.Addi(4, 4, 1)
+	b.Brr(30)
+	return b.MustProgram()
+}

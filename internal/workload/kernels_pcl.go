@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+	"repro/internal/prog"
+)
+
+// Workloads written in PCL and compiled by internal/lang — the same
+// front-end path the paper's benchmarks took (C source, compiled, then
+// if-converted). The hailstone parity branch is the canonical
+// hard-to-predict data-dependent diamond.
+func init() {
+	register(Workload{
+		Name:        "collatz",
+		Description: "hailstone trajectories for 3..400 (PCL-compiled)",
+		Build:       func() *prog.Program { return mustCompile("collatz", collatzSrc) },
+	})
+}
+
+func mustCompile(name, src string) *prog.Program {
+	p, err := lang.Compile(name, src)
+	if err != nil {
+		panic(fmt.Sprintf("workload: compiling %s: %v", name, err))
+	}
+	return p
+}
+
+const collatzSrc = `
+// Total stopping times of hailstone trajectories, plus a step histogram.
+// The n%2 diamond inside the inner loop is data-dependent and close to
+// 50/50 — the branch predication is for.
+var total = 0;
+var longest = 0;
+arr hist[16];
+for (var s = 3; s < 400; s = s + 1) {
+    var n = s;
+    var steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) { n = n / 2; }
+        else { n = 3 * n + 1; }
+        steps = steps + 1;
+        if (steps > 300) { break; }
+    }
+    total = total + steps;
+    if (steps > longest) { longest = steps; }
+    hist[steps % 16] = hist[steps % 16] + 1;
+}
+out total;
+out longest;
+for (var k = 0; k < 16; k = k + 1) { out hist[k]; }
+`

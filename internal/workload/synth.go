@@ -1,0 +1,176 @@
+// Package workload provides the benchmark programs used by the
+// experiments — behavioural stand-ins for the compiled SPEC binaries the
+// paper measured — plus a seeded random structured-program generator used
+// by property tests.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/rng"
+)
+
+// Synth generates a random but well-formed structured program: seeded
+// arithmetic over a small register file with nested ifs, if/elses, bounded
+// while loops and counted loops, plus stores/loads to a scratch area and
+// observable output. Every generated program terminates.
+//
+// The if-converter's central correctness property is tested against these:
+// the converted program must be observationally equivalent to the original.
+func Synth(seed uint64, stmts int) *prog.Program {
+	g := &synthGen{
+		b:      prog.NewBuilder(fmt.Sprintf("synth-%d", seed)),
+		r:      rng.New(seed),
+		budget: stmts,
+	}
+	// Seed the data registers with deterministic values.
+	for i := range g.dataRegs() {
+		g.b.Movi(g.dataRegs()[i], g.r.Int64n(200)-100)
+	}
+	g.block(0, stmts)
+	// Make all final state observable.
+	for _, r := range g.dataRegs() {
+		g.b.Out(r)
+	}
+	for k := int64(0); k < scratchWords; k++ {
+		g.b.Ld(1, 0, scratchBase+k)
+		g.b.Out(1)
+	}
+	g.b.Halt(0)
+	return g.b.MustProgram()
+}
+
+const (
+	scratchBase  = 2000
+	scratchWords = 8
+	maxDepth     = 3
+)
+
+type synthGen struct {
+	b      *prog.Builder
+	r      *rng.Source
+	budget int
+}
+
+func (g *synthGen) dataRegs() []isa.Reg {
+	return []isa.Reg{1, 2, 3, 4, 5, 6, 7, 8}
+}
+
+func (g *synthGen) dreg() isa.Reg {
+	rs := g.dataRegs()
+	return rs[g.r.Intn(len(rs))]
+}
+
+// counterReg returns the dedicated loop-counter register for a nesting
+// depth; statement bodies never touch these.
+func counterReg(depth int) isa.Reg { return isa.Reg(20 + depth) }
+
+func cloopReg(depth int) isa.Reg { return isa.Reg(28 + depth) }
+
+func (g *synthGen) cond() prog.Cond {
+	ccs := []isa.CmpCond{
+		isa.CmpEQ, isa.CmpNE, isa.CmpLT, isa.CmpLE,
+		isa.CmpGT, isa.CmpGE, isa.CmpLTU, isa.CmpGEU,
+	}
+	cc := ccs[g.r.Intn(len(ccs))]
+	if g.r.Bool() {
+		return prog.RI(cc, g.dreg(), g.r.Int64n(40)-20)
+	}
+	return prog.RR(cc, g.dreg(), g.dreg())
+}
+
+func (g *synthGen) block(depth, n int) {
+	for i := 0; i < n && g.budget > 0; i++ {
+		g.stmt(depth)
+	}
+}
+
+func (g *synthGen) stmt(depth int) {
+	g.budget--
+	// Weighted choice; control flow becomes rarer with depth.
+	max := 12
+	if depth >= maxDepth {
+		max = 6 // straight-line statements only
+	}
+	switch g.r.Intn(max) {
+	case 0, 1:
+		g.arith()
+	case 2:
+		g.b.Out(g.dreg())
+	case 3:
+		g.b.St(0, scratchBase+g.r.Int64n(scratchWords), g.dreg())
+	case 4:
+		g.b.Ld(g.dreg(), 0, scratchBase+g.r.Int64n(scratchWords))
+	case 5:
+		g.arith()
+	case 6:
+		inner := 1 + g.r.Intn(3)
+		g.b.If(g.cond(), func() { g.block(depth+1, inner) })
+	case 7:
+		inner := 1 + g.r.Intn(3)
+		g.b.IfElse(g.cond(),
+			func() { g.block(depth+1, inner) },
+			func() { g.block(depth+1, inner) },
+		)
+	case 8:
+		// Bounded while loop with a dedicated counter.
+		ctr := counterReg(depth)
+		g.b.Movi(ctr, 1+g.r.Int64n(4))
+		inner := 1 + g.r.Intn(3)
+		g.b.While(prog.RI(isa.CmpGT, ctr, 0), func() {
+			g.block(depth+1, inner)
+			g.b.Subi(ctr, ctr, 1)
+		})
+	case 9:
+		inner := 1 + g.r.Intn(3)
+		g.b.CountedLoop(cloopReg(depth), 1+g.r.Int64n(4), func() {
+			g.block(depth+1, inner)
+		})
+	case 10:
+		// Bounded do-while with a dedicated counter.
+		ctr := counterReg(depth)
+		g.b.Movi(ctr, 1+g.r.Int64n(3))
+		inner := 1 + g.r.Intn(2)
+		g.b.DoWhile(prog.RI(isa.CmpGT, ctr, 0), func() {
+			g.block(depth+1, inner)
+			g.b.Subi(ctr, ctr, 1)
+		})
+	case 11:
+		// A small switch over a data register.
+		ncases := 1 + g.r.Intn(3)
+		cases := make([]prog.SwitchCase, ncases)
+		for i := range cases {
+			v := int64(i)
+			cases[i] = prog.SwitchCase{Value: v, Body: func() { g.arith() }}
+		}
+		var def func()
+		if g.r.Bool() {
+			def = func() { g.arith() }
+		}
+		g.b.Switch(g.dreg(), cases, def)
+	}
+}
+
+func (g *synthGen) arith() {
+	d, s := g.dreg(), g.dreg()
+	switch g.r.Intn(8) {
+	case 0:
+		g.b.Add(d, s, g.dreg())
+	case 1:
+		g.b.Subi(d, s, g.r.Int64n(20))
+	case 2:
+		g.b.Xor(d, s, g.dreg())
+	case 3:
+		g.b.Andi(d, s, 0xff)
+	case 4:
+		g.b.Muli(d, s, g.r.Int64n(5)-2)
+	case 5:
+		g.b.Modi(d, s, 3+g.r.Int64n(7)) // divisor never zero
+	case 6:
+		g.b.Sari(d, s, g.r.Int64n(4))
+	case 7:
+		g.b.Movi(d, g.r.Int64n(100)-50)
+	}
+}
