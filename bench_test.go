@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -38,7 +39,7 @@ func benchExperiment(b *testing.B, id string) {
 	cfg := harness.Config{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tables, err := e.Run(s, cfg)
+		tables, err := e.Run(context.Background(), s, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,28 @@
+#!/bin/sh
+# ci.sh — the repository's check suite: formatting, vet, and the full
+# test suite under the race detector (the engine's sweeps are parallel,
+# so every CI run doubles as a concurrency audit).
+#
+# Usage: ./ci.sh
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "CI OK"

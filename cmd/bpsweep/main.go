@@ -1,6 +1,7 @@
 // Command bpsweep sweeps branch predictor configurations over a workload's
 // trace and prints a table of misprediction rates, with and without the
-// paper's mechanisms.
+// paper's mechanisms. The grid runs on the engine's parallel sweep pool;
+// rows print in grid order regardless of scheduling.
 //
 // Usage:
 //
@@ -9,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -17,6 +19,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -48,8 +51,17 @@ func run(args []string, out io.Writer) error {
 	sizes := fs.String("sizes", "8,10,12,14", "gshare table bits to sweep")
 	hists := fs.String("hists", "8", "history lengths to sweep")
 	limit := fs.Uint64("limit", 10_000_000, "dynamic instruction limit")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "abort the sweep after this duration (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	if *wname == "" {
@@ -80,30 +92,49 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	var specs []sim.Spec
+	for _, t := range tb {
+		for _, h := range hb {
+			specs = append(specs, sim.For("gshare", t, h))
+		}
+	}
+	type row struct {
+		name               string
+		base, sf, pg, both repro.Metrics
+	}
+	// The trace is shared read-only: every evaluation gets its own replay
+	// cursor and a fresh predictor, so grid points are independent jobs.
+	rows, err := sim.Map(ctx, specs, *workers, func(_ context.Context, sp sim.Spec) (row, error) {
+		mk := func() repro.Predictor { return sp.MustNew() }
+		return row{
+			name: mk().Name(),
+			base: repro.Evaluate(tr, repro.EvalConfig{Predictor: mk()}),
+			sf: repro.Evaluate(tr, repro.EvalConfig{
+				Predictor: mk(), UseSFPF: true, ResolveDelay: repro.DefaultResolveDelay,
+			}),
+			pg: repro.Evaluate(tr, repro.EvalConfig{
+				Predictor: mk(), PGU: repro.PGUAll, PGUDelay: repro.DefaultPGUDelay,
+			}),
+			both: repro.Evaluate(tr, repro.EvalConfig{
+				Predictor: mk(), UseSFPF: true, ResolveDelay: repro.DefaultResolveDelay,
+				PGU: repro.PGUAll, PGUDelay: repro.DefaultPGUDelay,
+			}),
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintf(out, "workload %s: %d insts, %d cond branches (%d region-based), %d predicate defines\n\n",
 		p.Name, tr.Insts, tr.Branches, tr.RegionBranches, tr.PredDefs)
 	fmt.Fprintf(out, "%-16s %10s %10s %10s %10s %10s\n",
 		"predictor", "base", "+sfpf", "+pgu", "+both", "coverage")
-	for _, t := range tb {
-		for _, h := range hb {
-			mk := func() repro.Predictor { return repro.NewGShare(t, h) }
-			base := repro.Evaluate(tr, repro.EvalConfig{Predictor: mk()})
-			sf := repro.Evaluate(tr, repro.EvalConfig{
-				Predictor: mk(), UseSFPF: true, ResolveDelay: repro.DefaultResolveDelay,
-			})
-			pg := repro.Evaluate(tr, repro.EvalConfig{
-				Predictor: mk(), PGU: repro.PGUAll, PGUDelay: repro.DefaultPGUDelay,
-			})
-			both := repro.Evaluate(tr, repro.EvalConfig{
-				Predictor: mk(), UseSFPF: true, ResolveDelay: repro.DefaultResolveDelay,
-				PGU: repro.PGUAll, PGUDelay: repro.DefaultPGUDelay,
-			})
-			fmt.Fprintf(out, "%-16s %9.2f%% %9.2f%% %9.2f%% %9.2f%% %9.1f%%\n",
-				fmt.Sprintf("gshare-%d.%d", t, h),
-				100*base.MispredictRate(), 100*sf.MispredictRate(),
-				100*pg.MispredictRate(), 100*both.MispredictRate(),
-				100*both.FilterCoverage())
-		}
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-16s %9.2f%% %9.2f%% %9.2f%% %9.2f%% %9.1f%%\n",
+			r.name,
+			100*r.base.MispredictRate(), 100*r.sf.MispredictRate(),
+			100*r.pg.MispredictRate(), 100*r.both.MispredictRate(),
+			100*r.both.FilterCoverage())
 	}
 	return nil
 }

@@ -1,13 +1,14 @@
 // Command experiments regenerates every reconstructed table/figure from
-// the paper (experiments E1–E12, see DESIGN.md) and prints them as text,
+// the paper (experiments E1–E14, see DESIGN.md) and prints them as text,
 // markdown, or CSV.
 //
 // Usage:
 //
-//	experiments [-format text|markdown|csv] [-quick] [-id E3] [-list]
+//	experiments [-format text|markdown|csv] [-quick] [-id E3] [-list] [-timeout 5m]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -33,8 +34,16 @@ func run(args []string, out io.Writer) error {
 	list := fs.Bool("list", false, "list experiments and exit")
 	limit := fs.Uint64("limit", 0, "emulation step limit per program (0 = default)")
 	outdir := fs.String("outdir", "", "additionally write each table as CSV into this directory")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	if *list {
@@ -67,18 +76,18 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		s, err := harness.NewSuite(cfg)
+		s, err := harness.NewSuiteContext(ctx, cfg)
 		if err != nil {
 			return err
 		}
-		tables, err := e.Run(s, cfg)
+		tables, err := e.Run(ctx, s, cfg)
 		if err != nil {
 			return err
 		}
 		results = []harness.Result{{Experiment: e, Tables: tables}}
 	} else {
 		var err error
-		results, err = harness.RunAll(cfg)
+		results, err = harness.RunAllContext(ctx, cfg)
 		if err != nil {
 			return err
 		}

@@ -28,30 +28,10 @@ func main() {
 	}
 }
 
+// newPredictor resolves a predictor spec ("gshare", "gshare:14:10", ...)
+// through the registry shared with bpsweep and the harness.
 func newPredictor(spec string) (repro.Predictor, error) {
-	switch spec {
-	case "bimodal":
-		return repro.NewBimodal(12), nil
-	case "gshare":
-		return repro.NewGShare(12, 8), nil
-	case "gselect":
-		return repro.NewGSelect(12, 6), nil
-	case "gag":
-		return repro.NewGAg(12), nil
-	case "local":
-		return repro.NewLocal(8, 10, 12), nil
-	case "tournament":
-		return repro.NewTournament(12, 8), nil
-	case "agree":
-		return repro.NewAgree(12, 8), nil
-	case "perceptron":
-		return repro.NewPerceptron(8, 24), nil
-	case "taken":
-		return repro.NewStatic(true), nil
-	case "nottaken":
-		return repro.NewStatic(false), nil
-	}
-	return nil, fmt.Errorf("unknown predictor %q (bimodal, gshare, gselect, gag, local, tournament, agree, perceptron, taken, nottaken)", spec)
+	return repro.NewPredictor(spec)
 }
 
 func pguPolicy(spec string) (repro.PGUPolicy, error) {
@@ -94,7 +74,7 @@ func run(args []string, out io.Writer) error {
 	file := fs.String("f", "", "P64 assembly file to run")
 	convert := fs.Bool("convert", false, "if-convert the program before running")
 	profiled := fs.Bool("profiled", false, "with -convert: use profile-guided region selection")
-	predictor := fs.String("predictor", "gshare", "branch predictor")
+	predictor := fs.String("predictor", "gshare", "branch predictor spec, e.g. gshare or gshare:14:10 (see -listp)")
 	sfpf := fs.Bool("sfpf", false, "enable the squash false path filter")
 	filterTrue := fs.Bool("filter-true", false, "also filter known-true guards")
 	pgu := fs.String("pgu", "off", "predicate global update policy: off, region, branch, all")
@@ -103,6 +83,7 @@ func run(args []string, out io.Writer) error {
 	width := fs.Int("width", 1, "issue width (instructions per cycle)")
 	limit := fs.Uint64("limit", 10_000_000, "dynamic instruction limit")
 	listw := fs.Bool("listw", false, "list built-in workloads and exit")
+	listp := fs.Bool("listp", false, "list predictor kinds and spec syntax, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,6 +92,10 @@ func run(args []string, out io.Writer) error {
 		for _, w := range repro.Workloads() {
 			fmt.Fprintf(out, "%-10s %s\n", w.Name, w.Description)
 		}
+		return nil
+	}
+	if *listp {
+		fmt.Fprint(out, repro.PredictorUsage())
 		return nil
 	}
 

@@ -33,7 +33,7 @@ func run(args []string, out io.Writer) error {
 	convert := fs.Bool("convert", false, "if-convert before tracing")
 	outFile := fs.String("o", "", "write the trace to this file")
 	statsFile := fs.String("stats", "", "read a trace file and print statistics")
-	eval := fs.String("eval", "", "with -stats: replay through a predictor (gshare, bimodal, tournament, agree)")
+	eval := fs.String("eval", "", "with -stats: replay through a predictor spec (e.g. gshare, agree:12:8)")
 	top := fs.Int("top", 0, "with -eval: show the N most-mispredicting branches")
 	limit := fs.Uint64("limit", 10_000_000, "dynamic instruction limit")
 	if err := fs.Parse(args); err != nil {
@@ -109,18 +109,9 @@ func showStats(out io.Writer, path, eval string, top int) error {
 	if eval == "" {
 		return nil
 	}
-	var pred repro.Predictor
-	switch eval {
-	case "gshare":
-		pred = repro.NewGShare(12, 8)
-	case "bimodal":
-		pred = repro.NewBimodal(12)
-	case "tournament":
-		pred = repro.NewTournament(12, 8)
-	case "agree":
-		pred = repro.NewAgree(12, 8)
-	default:
-		return fmt.Errorf("unknown predictor %q", eval)
+	pred, err := repro.NewPredictor(eval)
+	if err != nil {
+		return err
 	}
 	m := repro.Evaluate(tr, repro.EvalConfig{Predictor: pred, PerBranch: top > 0})
 	fmt.Fprintf(out, "%s:    %.2f%% mispredicted (%d/%d)\n",

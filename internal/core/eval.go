@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/bpred"
@@ -148,15 +149,29 @@ type pendingBit struct {
 	bit     bool
 }
 
-// Evaluate replays the trace through the configured predictor and
-// mechanisms and returns the resulting metrics.
-func Evaluate(tr *trace.Trace, cfg EvalConfig) Metrics {
+// Evaluate replays a trace source through the configured predictor and
+// mechanisms and returns the resulting metrics. The source's replay must
+// be error-free (an in-memory *trace.Trace always is); replaying a live
+// source that can fail, e.g. trace.Stream, goes through EvaluateStream.
+func Evaluate(src trace.Source, cfg EvalConfig) Metrics {
+	m, err := EvaluateStream(src.Replay(), cfg)
+	if err != nil {
+		panic(fmt.Sprintf("core: replay failed mid-evaluation: %v", err))
+	}
+	return m
+}
+
+// EvaluateStream replays one event stream through the configured
+// predictor and mechanisms and returns the resulting metrics. It is the
+// streaming core of the trace-driven evaluator: events are consumed as
+// produced, so a reader backed by a live emulator run evaluates in
+// constant memory.
+func EvaluateStream(r trace.Reader, cfg EvalConfig) (Metrics, error) {
 	p := cfg.Predictor
 	p.Reset()
 	pgu := NewPGU(cfg.PGU, p)
 
 	var m Metrics
-	m.Insts = tr.Insts
 
 	var pending []pendingBit
 	flush := func(now uint64) {
@@ -172,8 +187,9 @@ func Evaluate(tr *trace.Trace, cfg EvalConfig) Metrics {
 		}
 	}
 
-	for i := range tr.Events {
-		ev := &tr.Events[i]
+	var evBuf trace.Event
+	for r.Next(&evBuf) {
+		ev := &evBuf
 		flush(ev.Step)
 		switch ev.Kind {
 		case trace.KindPredDef:
@@ -244,5 +260,9 @@ func Evaluate(tr *trace.Trace, cfg EvalConfig) Metrics {
 			p.Update(ev.PC, ev.Taken)
 		}
 	}
-	return m
+	if err := r.Err(); err != nil {
+		return m, err
+	}
+	m.Insts = r.Counts().Insts
+	return m, nil
 }

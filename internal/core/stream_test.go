@@ -1,0 +1,49 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestEvaluateStreamMatchesMaterialized runs the same evaluation over a
+// live emulator stream and over the collected trace; metrics must be
+// identical — the guarantee that lets callers pick either replay path.
+func TestEvaluateStreamMatchesMaterialized(t *testing.T) {
+	p := workload.ByNameMust("bsearch").Build()
+	tr, err := trace.Collect(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkCfg := func() EvalConfig {
+		return EvalConfig{
+			Predictor: sim.For("gshare", 12, 8).MustNew(),
+			UseSFPF:   true, ResolveDelay: DefaultResolveDelay,
+			PGU: PGUAll, PGUDelay: DefaultPGUDelay,
+		}
+	}
+	fromTrace := Evaluate(tr, mkCfg())
+	fromStream, err := EvaluateStream(trace.Stream(p, 0).Replay(), mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromTrace, fromStream) {
+		t.Errorf("metrics differ:\ntrace:  %+v\nstream: %+v", fromTrace, fromStream)
+	}
+	if fromStream.Insts == 0 || fromStream.Branches == 0 {
+		t.Errorf("empty evaluation: %+v", fromStream)
+	}
+}
+
+// TestEvaluateStreamSurfacesReplayErrors checks that a step-limited live
+// stream reports its error instead of returning truncated metrics.
+func TestEvaluateStreamSurfacesReplayErrors(t *testing.T) {
+	p := workload.ByNameMust("scan").Build()
+	cfg := EvalConfig{Predictor: sim.For("bimodal", 12).MustNew()}
+	if _, err := EvaluateStream(trace.Stream(p, 5).Replay(), cfg); err == nil {
+		t.Fatal("limit error swallowed")
+	}
+}

@@ -1,15 +1,13 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/bpred"
 	"repro/internal/core"
-	"repro/internal/ifconv"
 	"repro/internal/pipeline"
-	"repro/internal/profile"
+	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/trace"
 )
 
 func init() {
@@ -38,7 +36,7 @@ func e1() Experiment {
 		Expect: "if-conversion removes a large fraction of dynamic conditional branches; " +
 			"a visible fraction of the remaining branches are region-based; " +
 			"nullified instructions appear as the predication cost",
-		Run: func(s *Suite, cfg Config) ([]*stats.Table, error) {
+		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
 			t := stats.NewTable("E1: workload characterisation (orig -> if-converted)",
 				"workload", "static insts", "dyn insts", "dyn cond branches",
 				"branches removed", "region br (dyn)", "nullified")
@@ -76,23 +74,32 @@ func e2() Experiment {
 		Expect: "the misprediction *rate* of the remaining branches rises after if-conversion " +
 			"(easy branches were removed and correlation bits vanished from the history), " +
 			"even though the total misprediction count drops",
-		Run: func(s *Suite, cfg Config) ([]*stats.Table, error) {
-			preds := []func() bpred.Predictor{
-				func() bpred.Predictor { return bpred.NewBimodal(defTableBits) },
-				func() bpred.Predictor { return newGshare() },
-				func() bpred.Predictor { return bpred.NewLocal(8, 10, defTableBits) },
-				func() bpred.Predictor { return bpred.NewTournament(defTableBits, defHistBits) },
-				func() bpred.Predictor { return bpred.NewAgree(defTableBits, defHistBits) },
+		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
+			specs := []sim.Spec{
+				sim.For("bimodal", defTableBits),
+				defSpec,
+				sim.For("local", 8, 10, defTableBits),
+				sim.For("tournament", defTableBits, defHistBits),
+				sim.For("agree", defTableBits, defHistBits),
 			}
 			if cfg.Quick {
-				preds = preds[1:2]
+				specs = specs[1:2]
 			}
 			var tables []*stats.Table
+			type pair struct{ mo, mc core.Metrics }
+			pairs, err := overEntries(ctx, s, func(e *Entry) (pair, error) {
+				return pair{
+					mo: core.Evaluate(e.OrigTrace, core.EvalConfig{Predictor: newGshare()}),
+					mc: core.Evaluate(e.ConvTrace, core.EvalConfig{Predictor: newGshare()}),
+				}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
 			per := stats.NewTable("E2a: per-workload misprediction rate with gshare (orig -> converted)",
 				"workload", "rate orig", "rate conv", "misses orig", "misses conv")
-			for _, e := range s.Entries {
-				mo := core.Evaluate(e.OrigTrace, core.EvalConfig{Predictor: newGshare()})
-				mc := core.Evaluate(e.ConvTrace, core.EvalConfig{Predictor: newGshare()})
+			for i, e := range s.Entries {
+				mo, mc := pairs[i].mo, pairs[i].mc
 				per.AddRow(e.Name, stats.Pct(mo.MispredictRate()), stats.Pct(mc.MispredictRate()),
 					stats.N(mo.Mispredicts), stats.N(mc.Mispredicts))
 			}
@@ -100,14 +107,21 @@ func e2() Experiment {
 
 			geo := stats.NewTable("E2b: geomean misprediction rate across the suite, per predictor",
 				"predictor", "rate orig", "rate conv", "delta")
-			for _, nf := range preds {
+			for _, sp := range specs {
+				sp := sp
+				name := sp.MustNew().Name()
+				rr, err := overEntries(ctx, s, func(e *Entry) ([2]float64, error) {
+					mo := core.Evaluate(e.OrigTrace, core.EvalConfig{Predictor: sp.MustNew()})
+					mc := core.Evaluate(e.ConvTrace, core.EvalConfig{Predictor: sp.MustNew()})
+					return [2]float64{mo.MispredictRate(), mc.MispredictRate()}, nil
+				})
+				if err != nil {
+					return nil, err
+				}
 				var ro, rc []float64
-				name := nf().Name()
-				for _, e := range s.Entries {
-					mo := core.Evaluate(e.OrigTrace, core.EvalConfig{Predictor: nf()})
-					mc := core.Evaluate(e.ConvTrace, core.EvalConfig{Predictor: nf()})
-					ro = append(ro, mo.MispredictRate())
-					rc = append(rc, mc.MispredictRate())
+				for _, r := range rr {
+					ro = append(ro, r[0])
+					rc = append(rc, r[1])
 				}
 				go_, gc := stats.Geomean(ro), stats.Geomean(rc)
 				geo.AddRow(name, stats.Pct(go_), stats.Pct(gc), stats.Ratio(gc, go_))
@@ -118,31 +132,36 @@ func e2() Experiment {
 			// hard branches survive alongside converted neighbours, which is
 			// where the remaining-branch degradation shows.
 			if !cfg.Quick {
-				pg := stats.NewTable("E2c: remaining-branch rate under profile-guided conversion (gshare 12/8)",
-					"workload", "rate orig", "rate conv", "delta")
-				var ro, rc []float64
-				for _, e := range s.Entries {
-					prof, err := profile.Collect(e.Orig, bpred.NewGShare(defTableBits, defHistBits), cfg.Limit)
+				type row struct {
+					skip   bool
+					ro, rc float64
+				}
+				rows, err := overEntries(ctx, s, func(e *Entry) (row, error) {
+					_, rep, tr, err := e.Profiled()
 					if err != nil {
-						return nil, err
-					}
-					pc, rep, err := ifconv.Convert(e.Orig, ifconv.Config{Profile: prof})
-					if err != nil {
-						return nil, err
+						return row{}, err
 					}
 					if len(rep.Regions) == 0 {
-						continue // nothing converted: no remaining-branch story
-					}
-					tr, err := trace.Collect(pc, cfg.Limit)
-					if err != nil {
-						return nil, err
+						return row{skip: true}, nil // nothing converted: no remaining-branch story
 					}
 					mo := core.Evaluate(e.OrigTrace, core.EvalConfig{Predictor: newGshare()})
 					mc := core.Evaluate(tr, core.EvalConfig{Predictor: newGshare()})
-					pg.AddRow(e.Name, stats.Pct(mo.MispredictRate()), stats.Pct(mc.MispredictRate()),
-						stats.Ratio(mc.MispredictRate(), mo.MispredictRate()))
-					ro = append(ro, mo.MispredictRate())
-					rc = append(rc, mc.MispredictRate())
+					return row{ro: mo.MispredictRate(), rc: mc.MispredictRate()}, nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				pg := stats.NewTable("E2c: remaining-branch rate under profile-guided conversion (gshare 12/8)",
+					"workload", "rate orig", "rate conv", "delta")
+				var ro, rc []float64
+				for i, e := range s.Entries {
+					r := rows[i]
+					if r.skip {
+						continue
+					}
+					pg.AddRow(e.Name, stats.Pct(r.ro), stats.Pct(r.rc), stats.Ratio(r.rc, r.ro))
+					ro = append(ro, r.ro)
+					rc = append(rc, r.rc)
 				}
 				pg.AddRow("geomean", stats.Pct(stats.Geomean(ro)), stats.Pct(stats.Geomean(rc)),
 					stats.Ratio(stats.Geomean(rc), stats.Geomean(ro)))
@@ -161,16 +180,25 @@ func e3() Experiment {
 		Paper: "figure: fraction of branches filtered and misprediction rate with/without the SFPF, across predictor sizes",
 		Expect: "the filter covers a visible fraction of region-based branches with zero errors; " +
 			"misprediction rate drops, more at small table sizes where pollution hurts most",
-		Run: func(s *Suite, cfg Config) ([]*stats.Table, error) {
+		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
+			type row struct{ base, f core.Metrics }
+			rows, err := overEntries(ctx, s, func(e *Entry) (row, error) {
+				return row{
+					base: core.Evaluate(e.ConvTrace, core.EvalConfig{Predictor: newGshare()}),
+					f: core.Evaluate(e.ConvTrace, core.EvalConfig{
+						Predictor: newGshare(), UseSFPF: true, ResolveDelay: defResolve,
+					}),
+				}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
 			per := stats.NewTable("E3a: per-workload SFPF effect (gshare 12-bit, resolve delay 6)",
 				"workload", "cond branches", "region br", "filtered", "coverage",
 				"rate base", "rate sfpf", "filter errors")
 			var errs uint64
-			for _, e := range s.Entries {
-				base := core.Evaluate(e.ConvTrace, core.EvalConfig{Predictor: newGshare()})
-				f := core.Evaluate(e.ConvTrace, core.EvalConfig{
-					Predictor: newGshare(), UseSFPF: true, ResolveDelay: defResolve,
-				})
+			for i, e := range s.Entries {
+				base, f := rows[i].base, rows[i].f
 				errs += f.FilterErrors
 				per.AddRow(e.Name, stats.N(f.Branches), stats.N(f.RegionBranches),
 					stats.N(f.Filtered), stats.Pct(f.FilterCoverage()),
@@ -187,15 +215,21 @@ func e3() Experiment {
 				"table bits", "rate base", "rate sfpf", "improvement")
 			for _, bits := range sizes {
 				b := bits
-				rb := geoRates(s, func(*Entry) core.EvalConfig {
-					return core.EvalConfig{Predictor: bpred.NewGShare(b, defHistBits)}
+				rb, err := geoRates(ctx, s, func(*Entry) core.EvalConfig {
+					return core.EvalConfig{Predictor: sim.For("gshare", b, defHistBits).MustNew()}
 				})
-				rf := geoRates(s, func(*Entry) core.EvalConfig {
+				if err != nil {
+					return nil, err
+				}
+				rf, err := geoRates(ctx, s, func(*Entry) core.EvalConfig {
 					return core.EvalConfig{
-						Predictor: bpred.NewGShare(b, defHistBits),
+						Predictor: sim.For("gshare", b, defHistBits).MustNew(),
 						UseSFPF:   true, ResolveDelay: defResolve,
 					}
 				})
+				if err != nil {
+					return nil, err
+				}
 				sweep.AddRow(stats.N(bits), stats.Pct(rb), stats.Pct(rf), stats.Ratio(rb, rf))
 			}
 			return []*stats.Table{per, sweep}, nil
@@ -212,14 +246,23 @@ func e4() Experiment {
 		Expect: "inserting predicate-define outcomes into the history recovers the correlation " +
 			"if-conversion removed; the gap is largest on correlation-heavy workloads (corr, fsm) " +
 			"and neutral on uncorrelated ones",
-		Run: func(s *Suite, cfg Config) ([]*stats.Table, error) {
+		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
+			type row struct{ base, pgu core.Metrics }
+			rows, err := overEntries(ctx, s, func(e *Entry) (row, error) {
+				return row{
+					base: core.Evaluate(e.ConvTrace, core.EvalConfig{Predictor: newGshare()}),
+					pgu: core.Evaluate(e.ConvTrace, core.EvalConfig{
+						Predictor: newGshare(), PGU: core.PGUAll, PGUDelay: defPGUDelay,
+					}),
+				}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
 			per := stats.NewTable("E4a: per-workload misprediction rate (gshare 12/8)",
 				"workload", "rate base", "rate pgu-all", "inserted bits", "improvement")
-			for _, e := range s.Entries {
-				base := core.Evaluate(e.ConvTrace, core.EvalConfig{Predictor: newGshare()})
-				pgu := core.Evaluate(e.ConvTrace, core.EvalConfig{
-					Predictor: newGshare(), PGU: core.PGUAll, PGUDelay: defPGUDelay,
-				})
+			for i, e := range s.Entries {
+				base, pgu := rows[i].base, rows[i].pgu
 				per.AddRow(e.Name, stats.Pct(base.MispredictRate()), stats.Pct(pgu.MispredictRate()),
 					stats.N(pgu.InsertedBits), stats.Ratio(base.MispredictRate(), pgu.MispredictRate()))
 			}
@@ -232,15 +275,21 @@ func e4() Experiment {
 				"history bits", "rate base", "rate pgu-all", "improvement")
 			for _, h := range hists {
 				hb := h
-				rb := geoRates(s, func(*Entry) core.EvalConfig {
-					return core.EvalConfig{Predictor: bpred.NewGShare(defTableBits, hb)}
+				rb, err := geoRates(ctx, s, func(*Entry) core.EvalConfig {
+					return core.EvalConfig{Predictor: sim.For("gshare", defTableBits, hb).MustNew()}
 				})
-				rp := geoRates(s, func(*Entry) core.EvalConfig {
+				if err != nil {
+					return nil, err
+				}
+				rp, err := geoRates(ctx, s, func(*Entry) core.EvalConfig {
 					return core.EvalConfig{
-						Predictor: bpred.NewGShare(defTableBits, hb),
+						Predictor: sim.For("gshare", defTableBits, hb).MustNew(),
 						PGU:       core.PGUAll, PGUDelay: defPGUDelay,
 					}
 				})
+				if err != nil {
+					return nil, err
+				}
 				sweep.AddRow(stats.N(h), stats.Pct(rb), stats.Pct(rp), stats.Ratio(rb, rp))
 			}
 			return []*stats.Table{per, sweep}, nil
@@ -256,29 +305,38 @@ func e5() Experiment {
 		Paper: "figure: misprediction rate for baseline, +SFPF, +PGU, +both",
 		Expect: "the mechanisms are complementary (one removes false-path branches, the other " +
 			"restores correlation); combined is at least as good as the better individual one on most workloads",
-		Run: func(s *Suite, cfg Config) ([]*stats.Table, error) {
+		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
+			type row struct{ base, sf, pg, both core.Metrics }
+			rows, err := overEntries(ctx, s, func(e *Entry) (row, error) {
+				return row{
+					base: core.Evaluate(e.ConvTrace, core.EvalConfig{Predictor: newGshare()}),
+					sf: core.Evaluate(e.ConvTrace, core.EvalConfig{
+						Predictor: newGshare(), UseSFPF: true, ResolveDelay: defResolve,
+					}),
+					pg: core.Evaluate(e.ConvTrace, core.EvalConfig{
+						Predictor: newGshare(), PGU: core.PGUAll, PGUDelay: defPGUDelay,
+					}),
+					both: core.Evaluate(e.ConvTrace, core.EvalConfig{
+						Predictor: newGshare(), UseSFPF: true, ResolveDelay: defResolve,
+						PGU: core.PGUAll, PGUDelay: defPGUDelay,
+					}),
+				}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
 			t := stats.NewTable("E5: misprediction rate on predicated code (gshare 12/8)",
 				"workload", "base", "+sfpf", "+pgu", "+both", "MPKI base", "MPKI both")
 			var rb, rs, rp, rc []float64
-			for _, e := range s.Entries {
-				base := core.Evaluate(e.ConvTrace, core.EvalConfig{Predictor: newGshare()})
-				sf := core.Evaluate(e.ConvTrace, core.EvalConfig{
-					Predictor: newGshare(), UseSFPF: true, ResolveDelay: defResolve,
-				})
-				pg := core.Evaluate(e.ConvTrace, core.EvalConfig{
-					Predictor: newGshare(), PGU: core.PGUAll, PGUDelay: defPGUDelay,
-				})
-				both := core.Evaluate(e.ConvTrace, core.EvalConfig{
-					Predictor: newGshare(), UseSFPF: true, ResolveDelay: defResolve,
-					PGU: core.PGUAll, PGUDelay: defPGUDelay,
-				})
-				t.AddRow(e.Name, stats.Pct(base.MispredictRate()), stats.Pct(sf.MispredictRate()),
-					stats.Pct(pg.MispredictRate()), stats.Pct(both.MispredictRate()),
-					stats.F2(base.MPKI()), stats.F2(both.MPKI()))
-				rb = append(rb, base.MispredictRate())
-				rs = append(rs, sf.MispredictRate())
-				rp = append(rp, pg.MispredictRate())
-				rc = append(rc, both.MispredictRate())
+			for i, e := range s.Entries {
+				r := rows[i]
+				t.AddRow(e.Name, stats.Pct(r.base.MispredictRate()), stats.Pct(r.sf.MispredictRate()),
+					stats.Pct(r.pg.MispredictRate()), stats.Pct(r.both.MispredictRate()),
+					stats.F2(r.base.MPKI()), stats.F2(r.both.MPKI()))
+				rb = append(rb, r.base.MispredictRate())
+				rs = append(rs, r.sf.MispredictRate())
+				rp = append(rp, r.pg.MispredictRate())
+				rc = append(rc, r.both.MispredictRate())
 			}
 			t.AddRow("geomean", stats.Pct(stats.Geomean(rb)), stats.Pct(stats.Geomean(rs)),
 				stats.Pct(stats.Geomean(rp)), stats.Pct(stats.Geomean(rc)), "", "")
@@ -295,48 +353,60 @@ func e6() Experiment {
 		Paper: "figure: speedup of predicated code with the proposed predictors over branching code",
 		Expect: "predication wins on hard-to-predict workloads and costs a little on predictable ones; " +
 			"SFPF and PGU recover most of the predictor-induced losses and extend the wins",
-		Run: func(s *Suite, cfg Config) ([]*stats.Table, error) {
-			t := stats.NewTable("E6: cycles and speedup over branching code (gshare 12/8, 10-cycle penalty)",
-				"workload", "cycles orig", "IPC orig", "speedup conv", "conv+sfpf", "conv+pgu", "conv+both")
-			var sp1, sp2, sp3, sp4 []float64
-			for _, e := range s.Entries {
+		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
+			type row struct {
+				orig                  pipeline.Stats
+				conv, sfpf, pgu, both uint64 // cycles
+			}
+			rows, err := overEntries(ctx, s, func(e *Entry) (row, error) {
 				orig, err := pipeline.Run(e.Orig, pipeline.DefaultConfig(newGshare()), cfg.Limit)
 				if err != nil {
-					return nil, err
+					return row{}, err
 				}
 				conv, err := pipeline.Run(e.Conv, pipeline.DefaultConfig(newGshare()), cfg.Limit)
 				if err != nil {
-					return nil, err
+					return row{}, err
 				}
 				cs := pipeline.DefaultConfig(newGshare())
 				cs.UseSFPF = true
 				sfpf, err := pipeline.Run(e.Conv, cs, cfg.Limit)
 				if err != nil {
-					return nil, err
+					return row{}, err
 				}
 				cp := pipeline.DefaultConfig(newGshare())
 				cp.PGU = core.PGUAll
 				pgu, err := pipeline.Run(e.Conv, cp, cfg.Limit)
 				if err != nil {
-					return nil, err
+					return row{}, err
 				}
 				cb := pipeline.DefaultConfig(newGshare())
 				cb.UseSFPF = true
 				cb.PGU = core.PGUAll
 				both, err := pipeline.Run(e.Conv, cb, cfg.Limit)
 				if err != nil {
-					return nil, err
+					return row{}, err
 				}
-				o := float64(orig.Cycles)
-				t.AddRow(e.Name, stats.N(orig.Cycles), stats.F2(orig.IPC()),
-					stats.Ratio(o, float64(conv.Cycles)),
-					stats.Ratio(o, float64(sfpf.Cycles)),
-					stats.Ratio(o, float64(pgu.Cycles)),
-					stats.Ratio(o, float64(both.Cycles)))
-				sp1 = append(sp1, o/float64(conv.Cycles))
-				sp2 = append(sp2, o/float64(sfpf.Cycles))
-				sp3 = append(sp3, o/float64(pgu.Cycles))
-				sp4 = append(sp4, o/float64(both.Cycles))
+				return row{orig: orig, conv: conv.Cycles, sfpf: sfpf.Cycles,
+					pgu: pgu.Cycles, both: both.Cycles}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			t := stats.NewTable("E6: cycles and speedup over branching code (gshare 12/8, 10-cycle penalty)",
+				"workload", "cycles orig", "IPC orig", "speedup conv", "conv+sfpf", "conv+pgu", "conv+both")
+			var sp1, sp2, sp3, sp4 []float64
+			for i, e := range s.Entries {
+				r := rows[i]
+				o := float64(r.orig.Cycles)
+				t.AddRow(e.Name, stats.N(r.orig.Cycles), stats.F2(r.orig.IPC()),
+					stats.Ratio(o, float64(r.conv)),
+					stats.Ratio(o, float64(r.sfpf)),
+					stats.Ratio(o, float64(r.pgu)),
+					stats.Ratio(o, float64(r.both)))
+				sp1 = append(sp1, o/float64(r.conv))
+				sp2 = append(sp2, o/float64(r.sfpf))
+				sp3 = append(sp3, o/float64(r.pgu))
+				sp4 = append(sp4, o/float64(r.both))
 			}
 			t.AddRow("geomean", "", "",
 				fmt.Sprintf("%.2fx", stats.Geomean(sp1)),
@@ -356,7 +426,7 @@ func e7() Experiment {
 		Paper: "sensitivity analysis: how deep pipelines (late predicate resolution) erode the filter",
 		Expect: "filter coverage falls monotonically as the resolve delay grows; misprediction rate " +
 			"degrades back toward the unfiltered baseline",
-		Run: func(s *Suite, cfg Config) ([]*stats.Table, error) {
+		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
 			delays := []uint64{0, 2, 4, 6, 8, 12, 16, 24}
 			if cfg.Quick {
 				delays = []uint64{0, 6, 16}
@@ -364,13 +434,20 @@ func e7() Experiment {
 			t := stats.NewTable("E7: geomean SFPF coverage and misprediction rate vs resolve delay (gshare 12/8)",
 				"resolve delay", "coverage", "rate")
 			for _, d := range delays {
-				var cov, rate []float64
-				for _, e := range s.Entries {
+				d := d
+				pairs, err := overEntries(ctx, s, func(e *Entry) ([2]float64, error) {
 					m := core.Evaluate(e.ConvTrace, core.EvalConfig{
 						Predictor: newGshare(), UseSFPF: true, ResolveDelay: d,
 					})
-					cov = append(cov, m.FilterCoverage())
-					rate = append(rate, m.MispredictRate())
+					return [2]float64{m.FilterCoverage(), m.MispredictRate()}, nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				var cov, rate []float64
+				for _, p := range pairs {
+					cov = append(cov, p[0])
+					rate = append(rate, p[1])
 				}
 				t.AddRow(stats.N(d), stats.Pct(stats.Mean(cov)), stats.Pct(stats.Geomean(rate)))
 			}
@@ -387,20 +464,30 @@ func e8() Experiment {
 		Paper: "design-space discussion: which predicate defines should update the history",
 		Expect: "more insertion gives more correlation but consumes history capacity; " +
 			"region/branch-guard policies spend fewer bits for most of the benefit",
-		Run: func(s *Suite, cfg Config) ([]*stats.Table, error) {
+		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
 			policies := []core.PGUPolicy{core.PGUOff, core.PGURegionGuards, core.PGUBranchGuards, core.PGUAll}
 			t := stats.NewTable("E8: geomean misprediction rate per insertion policy (gshare 12/8)",
 				"policy", "rate", "inserted bits (suite)")
 			for _, pol := range policies {
 				p := pol
-				var rates []float64
-				var bits uint64
-				for _, e := range s.Entries {
+				type cell struct {
+					rate float64
+					bits uint64
+				}
+				cells, err := overEntries(ctx, s, func(e *Entry) (cell, error) {
 					m := core.Evaluate(e.ConvTrace, core.EvalConfig{
 						Predictor: newGshare(), PGU: p, PGUDelay: defPGUDelay,
 					})
-					rates = append(rates, m.MispredictRate())
-					bits += m.InsertedBits
+					return cell{rate: m.MispredictRate(), bits: m.InsertedBits}, nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				var rates []float64
+				var bits uint64
+				for _, c := range cells {
+					rates = append(rates, c.rate)
+					bits += c.bits
 				}
 				t.AddRow(p.String(), stats.Pct(stats.Geomean(rates)), stats.N(bits))
 			}
@@ -417,25 +504,27 @@ func e10() Experiment {
 		Paper: "methodology dependency: the paper's compiler schedules compares early; this quantifies how much the SFPF relies on that",
 		Expect: "without compare scheduling, guard defines sit next to their branches, guards rarely " +
 			"resolve before fetch, and filter coverage collapses",
-		Run: func(s *Suite, cfg Config) ([]*stats.Table, error) {
-			t := stats.NewTable("E10: SFPF coverage with and without compare scheduling (gshare 12/8, resolve delay 6)",
-				"workload", "coverage scheduled", "coverage unscheduled")
-			for _, e := range s.Entries {
+		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
+			rows, err := overEntries(ctx, s, func(e *Entry) ([2]float64, error) {
 				sched := core.Evaluate(e.ConvTrace, core.EvalConfig{
 					Predictor: newGshare(), UseSFPF: true, ResolveDelay: defResolve,
 				})
-				raw, _, err := ifconv.Convert(e.Orig, ifconv.Config{NoCompareScheduling: true})
+				rawTr, err := e.Unscheduled()
 				if err != nil {
-					return nil, err
-				}
-				rawTr, err := trace.Collect(raw, cfg.Limit)
-				if err != nil {
-					return nil, err
+					return [2]float64{}, err
 				}
 				unsched := core.Evaluate(rawTr, core.EvalConfig{
 					Predictor: newGshare(), UseSFPF: true, ResolveDelay: defResolve,
 				})
-				t.AddRow(e.Name, stats.Pct(sched.FilterCoverage()), stats.Pct(unsched.FilterCoverage()))
+				return [2]float64{sched.FilterCoverage(), unsched.FilterCoverage()}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			t := stats.NewTable("E10: SFPF coverage with and without compare scheduling (gshare 12/8, resolve delay 6)",
+				"workload", "coverage scheduled", "coverage unscheduled")
+			for i, e := range s.Entries {
+				t.AddRow(e.Name, stats.Pct(rows[i][0]), stats.Pct(rows[i][1]))
 			}
 			return []*stats.Table{t}, nil
 		},
@@ -451,36 +540,44 @@ func e11() Experiment {
 		Expect: "profile-guided selection skips regions whose nullification cost exceeds their " +
 			"misprediction savings, eliminating the pathological predication losses greedy " +
 			"conversion shows, at the price of converting less",
-		Run: func(s *Suite, cfg Config) ([]*stats.Table, error) {
-			t := stats.NewTable("E11: speedup over branching code, greedy vs profile-guided conversion (gshare 12/8)",
-				"workload", "greedy regions", "profiled regions", "speedup greedy", "speedup profiled")
-			var sg, sp []float64
-			for _, e := range s.Entries {
-				prof, err := profile.Collect(e.Orig, bpred.NewGShare(defTableBits, defHistBits), cfg.Limit)
+		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
+			type row struct {
+				profRegions            int
+				orig, greedy, profiled uint64 // cycles
+			}
+			rows, err := overEntries(ctx, s, func(e *Entry) (row, error) {
+				pc, prep, _, err := e.Profiled()
 				if err != nil {
-					return nil, err
-				}
-				pc, prep, err := ifconv.Convert(e.Orig, ifconv.Config{Profile: prof})
-				if err != nil {
-					return nil, err
+					return row{}, err
 				}
 				orig, err := pipeline.Run(e.Orig, pipeline.DefaultConfig(newGshare()), cfg.Limit)
 				if err != nil {
-					return nil, err
+					return row{}, err
 				}
 				greedy, err := pipeline.Run(e.Conv, pipeline.DefaultConfig(newGshare()), cfg.Limit)
 				if err != nil {
-					return nil, err
+					return row{}, err
 				}
 				profiled, err := pipeline.Run(pc, pipeline.DefaultConfig(newGshare()), cfg.Limit)
 				if err != nil {
-					return nil, err
+					return row{}, err
 				}
-				o := float64(orig.Cycles)
-				t.AddRow(e.Name, stats.N(len(e.Report.Regions)), stats.N(len(prep.Regions)),
-					stats.Ratio(o, float64(greedy.Cycles)), stats.Ratio(o, float64(profiled.Cycles)))
-				sg = append(sg, o/float64(greedy.Cycles))
-				sp = append(sp, o/float64(profiled.Cycles))
+				return row{profRegions: len(prep.Regions), orig: orig.Cycles,
+					greedy: greedy.Cycles, profiled: profiled.Cycles}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			t := stats.NewTable("E11: speedup over branching code, greedy vs profile-guided conversion (gshare 12/8)",
+				"workload", "greedy regions", "profiled regions", "speedup greedy", "speedup profiled")
+			var sg, sp []float64
+			for i, e := range s.Entries {
+				r := rows[i]
+				o := float64(r.orig)
+				t.AddRow(e.Name, stats.N(len(e.Report.Regions)), stats.N(r.profRegions),
+					stats.Ratio(o, float64(r.greedy)), stats.Ratio(o, float64(r.profiled)))
+				sg = append(sg, o/float64(r.greedy))
+				sp = append(sp, o/float64(r.profiled))
 			}
 			t.AddRow("geomean", "", "",
 				fmt.Sprintf("%.2fx", stats.Geomean(sg)), fmt.Sprintf("%.2fx", stats.Geomean(sp)))
@@ -497,7 +594,7 @@ func e12() Experiment {
 		Paper: "context: the paper targets wide EPIC machines; width amortises nullified slots while misprediction penalties stay flat",
 		Expect: "the geomean speedup of predicated code (and of predicated+mechanisms) over branching " +
 			"code grows with issue width",
-		Run: func(s *Suite, cfg Config) ([]*stats.Table, error) {
+		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
 			widths := []int{1, 2, 4, 8}
 			if cfg.Quick {
 				widths = []int{1, 4}
@@ -505,8 +602,9 @@ func e12() Experiment {
 			t := stats.NewTable("E12: geomean speedup over branching code vs issue width (gshare 12/8)",
 				"issue width", "IPC orig (geomean)", "speedup conv", "speedup conv+both")
 			for _, w := range widths {
-				var ipcs, sc, sb []float64
-				for _, e := range s.Entries {
+				w := w
+				type cell struct{ ipc, sc, sb float64 }
+				cells, err := overEntries(ctx, s, func(e *Entry) (cell, error) {
 					mk := func() pipeline.Config {
 						c := pipeline.DefaultConfig(newGshare())
 						c.IssueWidth = w
@@ -514,22 +612,33 @@ func e12() Experiment {
 					}
 					orig, err := pipeline.Run(e.Orig, mk(), cfg.Limit)
 					if err != nil {
-						return nil, err
+						return cell{}, err
 					}
 					conv, err := pipeline.Run(e.Conv, mk(), cfg.Limit)
 					if err != nil {
-						return nil, err
+						return cell{}, err
 					}
 					cb := mk()
 					cb.UseSFPF = true
 					cb.PGU = core.PGUAll
 					both, err := pipeline.Run(e.Conv, cb, cfg.Limit)
 					if err != nil {
-						return nil, err
+						return cell{}, err
 					}
-					ipcs = append(ipcs, orig.IPC())
-					sc = append(sc, float64(orig.Cycles)/float64(conv.Cycles))
-					sb = append(sb, float64(orig.Cycles)/float64(both.Cycles))
+					return cell{
+						ipc: orig.IPC(),
+						sc:  float64(orig.Cycles) / float64(conv.Cycles),
+						sb:  float64(orig.Cycles) / float64(both.Cycles),
+					}, nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				var ipcs, sc, sb []float64
+				for _, c := range cells {
+					ipcs = append(ipcs, c.ipc)
+					sc = append(sc, c.sc)
+					sb = append(sb, c.sb)
 				}
 				t.AddRow(stats.N(w), stats.F2(stats.Geomean(ipcs)),
 					fmt.Sprintf("%.3fx", stats.Geomean(sc)),
@@ -548,37 +657,48 @@ func e13() Experiment {
 		Paper: "extension: the paper used counter-based global predictors; this asks whether the mechanism generalises",
 		Expect: "every global-history architecture benefits on correlated workloads, and none regresses " +
 			"materially on the rest: the mechanism is predictor-agnostic, needing only an open history",
-		Run: func(s *Suite, cfg Config) ([]*stats.Table, error) {
-			kinds := []struct {
-				name string
-				mk   func() bpred.Predictor
-			}{
-				{"gshare-12.8", func() bpred.Predictor { return bpred.NewGShare(12, 8) }},
-				{"agree-12.8", func() bpred.Predictor { return bpred.NewAgree(12, 8) }},
-				{"perceptron-8.24", func() bpred.Predictor { return bpred.NewPerceptron(8, 24) }},
+		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
+			specs := []sim.Spec{
+				sim.For("gshare", 12, 8),
+				sim.For("agree", 12, 8),
+				sim.For("perceptron", 8, 24),
 			}
 			t := stats.NewTable("E13: geomean misprediction rate on predicated code, base vs PGU-all",
 				"predictor", "rate base", "rate pgu-all", "improvement", "worst per-workload ratio")
-			for _, k := range kinds {
+			for _, sp := range specs {
+				sp := sp
+				type cell struct {
+					rb, rp            float64
+					missBase, missPGU uint64
+				}
+				cells, err := overEntries(ctx, s, func(e *Entry) (cell, error) {
+					base := core.Evaluate(e.ConvTrace, core.EvalConfig{Predictor: sp.MustNew()})
+					pgu := core.Evaluate(e.ConvTrace, core.EvalConfig{
+						Predictor: sp.MustNew(), PGU: core.PGUAll, PGUDelay: defPGUDelay,
+					})
+					return cell{
+						rb: base.MispredictRate(), rp: pgu.MispredictRate(),
+						missBase: base.Mispredicts, missPGU: pgu.Mispredicts,
+					}, nil
+				})
+				if err != nil {
+					return nil, err
+				}
 				var rb, rp []float64
 				worst := 0.0
-				for _, e := range s.Entries {
-					base := core.Evaluate(e.ConvTrace, core.EvalConfig{Predictor: k.mk()})
-					pgu := core.Evaluate(e.ConvTrace, core.EvalConfig{
-						Predictor: k.mk(), PGU: core.PGUAll, PGUDelay: defPGUDelay,
-					})
-					rb = append(rb, base.MispredictRate())
-					rp = append(rp, pgu.MispredictRate())
+				for _, c := range cells {
+					rb = append(rb, c.rb)
+					rp = append(rp, c.rp)
 					// ratio > 1 means PGU hurt this workload; tiny baselines
 					// are excluded as noise.
-					if base.Mispredicts >= 50 {
-						if r := float64(pgu.Mispredicts) / float64(base.Mispredicts); r > worst {
+					if c.missBase >= 50 {
+						if r := float64(c.missPGU) / float64(c.missBase); r > worst {
 							worst = r
 						}
 					}
 				}
 				gb, gp := stats.Geomean(rb), stats.Geomean(rp)
-				t.AddRow(k.name, stats.Pct(gb), stats.Pct(gp), stats.Ratio(gb, gp),
+				t.AddRow(sp.MustNew().Name(), stats.Pct(gb), stats.Pct(gp), stats.Ratio(gb, gp),
 					stats.F2(worst))
 			}
 			t.AddNote("worst per-workload ratio: pgu/base misprediction counts; > 1 means insertion hurt that workload")
@@ -595,7 +715,7 @@ func e14() Experiment {
 		Paper: "front-end context: the paper assumes targets are handled; this quantifies the indirect-branch side on the one recursive workload",
 		Expect: "misses fall monotonically with stack depth and reach zero once the depth covers the " +
 			"recursion; cycles follow",
-		Run: func(s *Suite, cfg Config) ([]*stats.Table, error) {
+		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
 			var entry *Entry
 			for _, e := range s.Entries {
 				if e.Name == "queens" {
@@ -609,26 +729,29 @@ func e14() Experiment {
 			if cfg.Quick {
 				depths = []int{2, 8}
 			}
-			t := stats.NewTable("E14: RAS depth vs return mispredictions on queens (gshare 12/8)",
-				"ras depth", "indirect branches", "misses", "cycles", "IPC")
-			run := func(depth int, disable bool) (pipeline.Stats, error) {
-				c := pipeline.DefaultConfig(newGshare())
-				c.RASDepth = depth
-				c.NoRAS = disable
-				return pipeline.Run(entry.Orig, c, cfg.Limit)
+			type point struct {
+				label   string
+				depth   int
+				disable bool
 			}
-			off, err := run(0, true)
+			points := []point{{label: "0 (off)", disable: true}}
+			for _, d := range depths {
+				points = append(points, point{label: stats.N(d), depth: d})
+			}
+			rows, err := sim.Map(ctx, points, 0, func(_ context.Context, pt point) (pipeline.Stats, error) {
+				c := pipeline.DefaultConfig(newGshare())
+				c.RASDepth = pt.depth
+				c.NoRAS = pt.disable
+				return pipeline.Run(entry.Orig, c, cfg.Limit)
+			})
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow("0 (off)", stats.N(off.IndirectBranches), stats.N(off.RASMisses),
-				stats.N(off.Cycles), stats.F2(off.IPC()))
-			for _, d := range depths {
-				st, err := run(d, false)
-				if err != nil {
-					return nil, err
-				}
-				t.AddRow(stats.N(d), stats.N(st.IndirectBranches), stats.N(st.RASMisses),
+			t := stats.NewTable("E14: RAS depth vs return mispredictions on queens (gshare 12/8)",
+				"ras depth", "indirect branches", "misses", "cycles", "IPC")
+			for i, pt := range points {
+				st := rows[i]
+				t.AddRow(pt.label, stats.N(st.IndirectBranches), stats.N(st.RASMisses),
 					stats.N(st.Cycles), stats.F2(st.IPC()))
 			}
 			return []*stats.Table{t}, nil
@@ -644,17 +767,26 @@ func e9() Experiment {
 		Paper: "the abstract claims only the known-false case; this quantifies the symmetric case",
 		Expect: "guard-implies-taken branches with resolved true guards are also 100% predictable; " +
 			"coverage roughly doubles on predicated code with near-50% path predicates",
-		Run: func(s *Suite, cfg Config) ([]*stats.Table, error) {
+		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
+			type row struct{ f, b core.Metrics }
+			rows, err := overEntries(ctx, s, func(e *Entry) (row, error) {
+				return row{
+					f: core.Evaluate(e.ConvTrace, core.EvalConfig{
+						Predictor: newGshare(), UseSFPF: true, ResolveDelay: defResolve,
+					}),
+					b: core.Evaluate(e.ConvTrace, core.EvalConfig{
+						Predictor: newGshare(), UseSFPF: true, FilterTrue: true, ResolveDelay: defResolve,
+					}),
+				}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
 			t := stats.NewTable("E9: SFPF false-only vs both directions (gshare 12/8, resolve delay 6)",
 				"workload", "coverage false-only", "coverage both", "rate false-only", "rate both", "errors")
 			var errs uint64
-			for _, e := range s.Entries {
-				f := core.Evaluate(e.ConvTrace, core.EvalConfig{
-					Predictor: newGshare(), UseSFPF: true, ResolveDelay: defResolve,
-				})
-				b := core.Evaluate(e.ConvTrace, core.EvalConfig{
-					Predictor: newGshare(), UseSFPF: true, FilterTrue: true, ResolveDelay: defResolve,
-				})
+			for i, e := range s.Entries {
+				f, b := rows[i].f, rows[i].b
 				errs += b.FilterErrors
 				t.AddRow(e.Name, stats.Pct(f.FilterCoverage()), stats.Pct(b.FilterCoverage()),
 					stats.Pct(f.MispredictRate()), stats.Pct(b.MispredictRate()), stats.N(b.FilterErrors))

@@ -2,9 +2,15 @@
 // table and figure reconstructed from the paper (see DESIGN.md), one
 // experiment that regenerates it from this repository's workloads,
 // if-converter, predictors and timing model.
+//
+// Experiments run on the unified simulation engine in internal/sim: all
+// predictor construction goes through the sim registry, and every
+// predictor × workload grid fans out over sim.Sweep's worker pool while
+// keeping deterministic, suite-ordered results.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -12,7 +18,9 @@ import (
 	"repro/internal/bpred"
 	"repro/internal/core"
 	"repro/internal/ifconv"
+	"repro/internal/profile"
 	"repro/internal/prog"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -42,9 +50,18 @@ const (
 	defPGUDelay  = core.DefaultPGUDelay
 )
 
+// defSpec is the default global predictor every experiment keys on.
+var defSpec = sim.Spec{Kind: "gshare", TableBits: defTableBits, HistBits: defHistBits}
+
+// newGshare builds the default global predictor through the registry.
+func newGshare() bpred.Predictor { return defSpec.MustNew() }
+
 // Entry is one workload prepared for experimentation: the original
 // branching program, its if-converted form, the conversion report, and
-// traces of both.
+// traces of both. Derived artifacts that only some experiments need —
+// the profile-guided conversion and the unscheduled-compare conversion —
+// are built lazily and memoized, so experiments share one copy instead
+// of re-materializing traces per evaluation.
 type Entry struct {
 	Name      string
 	Orig      *prog.Program
@@ -52,6 +69,61 @@ type Entry struct {
 	Report    *ifconv.Report
 	OrigTrace *trace.Trace
 	ConvTrace *trace.Trace
+
+	// limit is the suite's emulation bound, shared by derived artifacts.
+	limit uint64
+
+	profiledOnce sync.Once
+	profiledProg *prog.Program
+	profiledRep  *ifconv.Report
+	profiledTr   *trace.Trace
+	profiledErr  error
+
+	unschedOnce sync.Once
+	unschedTr   *trace.Trace
+	unschedErr  error
+}
+
+// Profiled returns the workload's profile-guided if-conversion (the
+// paper's compiler mode): converted program, conversion report, and the
+// trace of the converted program. It is computed on first use and cached
+// for the suite's lifetime, so E2c, E11, and any future experiment share
+// one profile+convert+trace instead of redoing it per experiment.
+func (e *Entry) Profiled() (*prog.Program, *ifconv.Report, *trace.Trace, error) {
+	e.profiledOnce.Do(func() {
+		prof, err := profile.Collect(e.Orig, newGshare(), e.limit)
+		if err != nil {
+			e.profiledErr = fmt.Errorf("harness: profiling %s: %w", e.Name, err)
+			return
+		}
+		e.profiledProg, e.profiledRep, err = ifconv.Convert(e.Orig, ifconv.Config{Profile: prof})
+		if err != nil {
+			e.profiledErr = fmt.Errorf("harness: profile-converting %s: %w", e.Name, err)
+			return
+		}
+		e.profiledTr, err = trace.Collect(e.profiledProg, e.limit)
+		if err != nil {
+			e.profiledErr = fmt.Errorf("harness: tracing %s (profiled): %w", e.Name, err)
+		}
+	})
+	return e.profiledProg, e.profiledRep, e.profiledTr, e.profiledErr
+}
+
+// Unscheduled returns the trace of greedy if-conversion without compare
+// scheduling (the E10 ablation), memoized like Profiled.
+func (e *Entry) Unscheduled() (*trace.Trace, error) {
+	e.unschedOnce.Do(func() {
+		raw, _, err := ifconv.Convert(e.Orig, ifconv.Config{NoCompareScheduling: true})
+		if err != nil {
+			e.unschedErr = fmt.Errorf("harness: unscheduled-converting %s: %w", e.Name, err)
+			return
+		}
+		e.unschedTr, err = trace.Collect(raw, e.limit)
+		if err != nil {
+			e.unschedErr = fmt.Errorf("harness: tracing %s (unscheduled): %w", e.Name, err)
+		}
+	})
+	return e.unschedTr, e.unschedErr
 }
 
 // Suite is the prepared workload set shared by all experiments.
@@ -61,43 +133,36 @@ type Suite struct {
 }
 
 // NewSuite builds, converts, and traces every workload; it is the
-// expensive shared setup, done once per harness invocation. Workloads are
-// prepared concurrently (they are independent); the resulting entry order
-// is the deterministic workload order regardless of scheduling.
+// expensive shared setup, done once per harness invocation.
 func NewSuite(cfg Config) (*Suite, error) {
+	return NewSuiteContext(context.Background(), cfg)
+}
+
+// NewSuiteContext is NewSuite bounded by a context. Workloads are
+// prepared on the engine's worker pool (they are independent); the
+// resulting entry order is the deterministic workload order regardless
+// of scheduling.
+func NewSuiteContext(ctx context.Context, cfg Config) (*Suite, error) {
 	cfg = cfg.withDefaults()
-	ws := workload.Suite()
-	s := &Suite{cfg: cfg, Entries: make([]*Entry, len(ws))}
-	errs := make([]error, len(ws))
-	var wg sync.WaitGroup
-	for i, w := range ws {
-		wg.Add(1)
-		go func(i int, w workload.Workload) {
-			defer wg.Done()
-			e := &Entry{Name: w.Name, Orig: w.Build()}
+	entries, err := sim.Map(ctx, workload.Suite(), 0,
+		func(_ context.Context, w workload.Workload) (*Entry, error) {
+			e := &Entry{Name: w.Name, Orig: w.Build(), limit: cfg.Limit}
 			var err error
 			if e.Conv, e.Report, err = ifconv.Convert(e.Orig, ifconv.Config{}); err != nil {
-				errs[i] = fmt.Errorf("harness: converting %s: %w", w.Name, err)
-				return
+				return nil, fmt.Errorf("harness: converting %s: %w", w.Name, err)
 			}
 			if e.OrigTrace, err = trace.Collect(e.Orig, cfg.Limit); err != nil {
-				errs[i] = fmt.Errorf("harness: tracing %s: %w", w.Name, err)
-				return
+				return nil, fmt.Errorf("harness: tracing %s: %w", w.Name, err)
 			}
 			if e.ConvTrace, err = trace.Collect(e.Conv, cfg.Limit); err != nil {
-				errs[i] = fmt.Errorf("harness: tracing %s (converted): %w", w.Name, err)
-				return
+				return nil, fmt.Errorf("harness: tracing %s (converted): %w", w.Name, err)
 			}
-			s.Entries[i] = e
-		}(i, w)
+			return e, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return s, nil
+	return &Suite{cfg: cfg, Entries: entries}, nil
 }
 
 // Experiment regenerates one reconstructed table/figure.
@@ -109,7 +174,7 @@ type Experiment struct {
 	// Expect states the shape the result should show if the reproduction
 	// holds.
 	Expect string
-	Run    func(s *Suite, cfg Config) ([]*stats.Table, error)
+	Run    func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error)
 }
 
 var experiments []Experiment
@@ -141,14 +206,21 @@ type Result struct {
 
 // RunAll builds the suite once and runs every experiment.
 func RunAll(cfg Config) ([]Result, error) {
+	return RunAllContext(context.Background(), cfg)
+}
+
+// RunAllContext is RunAll bounded by a context: cancellation (e.g. a
+// CLI -timeout) aborts the in-flight experiment's sweep and returns the
+// context error.
+func RunAllContext(ctx context.Context, cfg Config) ([]Result, error) {
 	cfg = cfg.withDefaults()
-	s, err := NewSuite(cfg)
+	s, err := NewSuiteContext(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
 	var out []Result
 	for _, e := range All() {
-		tables, err := e.Run(s, cfg)
+		tables, err := e.Run(ctx, s, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s: %w", e.ID, err)
 		}
@@ -157,16 +229,23 @@ func RunAll(cfg Config) ([]Result, error) {
 	return out, nil
 }
 
-// newGshare builds the default global predictor.
-func newGshare() bpred.Predictor { return bpred.NewGShare(defTableBits, defHistBits) }
+// overEntries computes one result per suite entry on the engine's worker
+// pool, preserving suite order — the basis of every per-workload table
+// and the reason parallel runs render byte-identical output.
+func overEntries[T any](ctx context.Context, s *Suite, fn func(*Entry) (T, error)) ([]T, error) {
+	return sim.Map(ctx, s.Entries, 0, func(_ context.Context, e *Entry) (T, error) {
+		return fn(e)
+	})
+}
 
-// geoRates evaluates cfgOf over every entry's converted trace and returns
-// the geometric-mean misprediction rate.
-func geoRates(s *Suite, cfgOf func(e *Entry) core.EvalConfig) float64 {
-	var rates []float64
-	for _, e := range s.Entries {
-		m := core.Evaluate(e.ConvTrace, cfgOf(e))
-		rates = append(rates, m.MispredictRate())
+// geoRates evaluates cfgOf over every entry's converted trace on the
+// sweep pool and returns the geometric-mean misprediction rate.
+func geoRates(ctx context.Context, s *Suite, cfgOf func(e *Entry) core.EvalConfig) (float64, error) {
+	rates, err := overEntries(ctx, s, func(e *Entry) (float64, error) {
+		return core.Evaluate(e.ConvTrace, cfgOf(e)).MispredictRate(), nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	return stats.Geomean(rates)
+	return stats.Geomean(rates), nil
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"sync"
@@ -68,7 +69,7 @@ func TestAllExperimentsProduceTables(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tables, err := e.Run(s, cfg)
+			tables, err := e.Run(context.Background(), s, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -169,7 +170,7 @@ func TestShapeE7CoverageMonotone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tables, err := e7.Run(s, Config{})
+	tables, err := e7.Run(context.Background(), s, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestShapeE8InsertionMonotone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tables, err := e8.Run(s, Config{})
+	tables, err := e8.Run(context.Background(), s, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestShapeE6MechanismsRecoverLosses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tables, err := e6.Run(s, Config{})
+	tables, err := e6.Run(context.Background(), s, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestShapeE11ProfiledNotWorseOverall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tables, err := e11.Run(s, Config{})
+	tables, err := e11.Run(context.Background(), s, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestShapeE12WidthMonotone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tables, err := e12.Run(s, Config{})
+	tables, err := e12.Run(context.Background(), s, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +316,7 @@ func TestShapeE13AllArchitecturesBenefit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tables, err := e13.Run(s, Config{})
+	tables, err := e13.Run(context.Background(), s, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,61 @@
+package sim_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// The benchmarks below measure the sweep runner on a realistic grid: the
+// full workload suite evaluated under a 4-point gshare size sweep, the
+// shape every harness experiment and bpsweep grid has. Serial vs parallel
+// is the engine's headline number; the speedup on an N-core runner is
+// recorded in EXPERIMENTS.md.
+
+func sweepJobs(b *testing.B) []sim.Job[core.Metrics] {
+	b.Helper()
+	var jobs []sim.Job[core.Metrics]
+	for _, w := range workload.Suite() {
+		tr, err := trace.Collect(w.Build(), 3_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, bits := range []int{8, 10, 12, 14} {
+			sp := sim.For("gshare", bits, 8)
+			jobs = append(jobs, func(ctx context.Context) (core.Metrics, error) {
+				return core.Evaluate(tr, core.EvalConfig{Predictor: sp.MustNew()}), nil
+			})
+		}
+	}
+	return jobs
+}
+
+func benchSweep(b *testing.B, workers int) {
+	jobs := sweepJobs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Sweep(context.Background(), jobs, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSerial pins the pool to one worker: the pre-engine
+// baseline of nested for-loops.
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel uses the default pool width (GOMAXPROCS).
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
+// BenchmarkSweepWorkers reports scaling at fixed widths, independent of
+// the host's GOMAXPROCS.
+func BenchmarkSweepWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchSweep(b, w) })
+	}
+}

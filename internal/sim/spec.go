@@ -1,0 +1,283 @@
+// Package sim is the unified simulation engine underneath the experiment
+// harness and the simulation CLIs. It provides the two pieces every
+// predictor study needs and that used to be hand-rolled per entry point:
+//
+//   - a predictor registry: Spec names a predictor kind and its size
+//     parameters, Parse reads the "kind:param:param" spelling used on
+//     command lines ("gshare:12:8"), and New constructs the predictor —
+//     one place to add a predictor kind for every tool at once;
+//   - a parallel sweep runner: Sweep fans a predictor × workload grid out
+//     over a bounded worker pool with context cancellation, per-job error
+//     capture, and deterministic (submission-order) results.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bpred"
+)
+
+// Spec identifies a predictor kind and its size parameters. The zero
+// value of a parameter means "use the kind's default", so
+// Spec{Kind: "gshare"} is the default gshare:12:8. Which fields a kind
+// reads is given by its registry entry; sizes are log2 (bit counts).
+type Spec struct {
+	// Kind names a registered predictor kind; see Kinds.
+	Kind string
+	// TableBits is the first size parameter: counter-table bits for the
+	// table-based kinds, weight entries for perceptron, history-table
+	// entries for local.
+	TableBits int
+	// HistBits is the history length (second parameter; the only
+	// parameter for gag).
+	HistBits int
+	// PatBits is the third parameter: local's pattern-table bits.
+	PatBits int
+}
+
+// param describes one positional size parameter of a predictor kind.
+type param struct {
+	name string
+	def  int
+	min  int // minimum legal value (max is maxParam for all)
+	get  func(*Spec) *int
+}
+
+// maxParam bounds every size parameter: 2^28 two-bit counters is already
+// a 64 MiB table, far beyond anything the paper sweeps.
+const maxParam = 28
+
+func tableParam(name string, def int) param {
+	return param{name: name, def: def, min: 1, get: func(s *Spec) *int { return &s.TableBits }}
+}
+
+func histParam(name string, def int) param {
+	return param{name: name, def: def, min: 1, get: func(s *Spec) *int { return &s.HistBits }}
+}
+
+func patParam(name string, def int) param {
+	return param{name: name, def: def, min: 1, get: func(s *Spec) *int { return &s.PatBits }}
+}
+
+// kindDef is one registry entry.
+type kindDef struct {
+	name   string
+	doc    string
+	params []param
+	make   func(Spec) bpred.Predictor
+}
+
+// registry holds every predictor kind, keyed by name. Adding a predictor
+// to every CLI and the harness is one entry here.
+var registry = map[string]*kindDef{
+	"taken": {
+		name: "taken", doc: "static always-taken",
+		make: func(Spec) bpred.Predictor { return bpred.NewStatic(true) },
+	},
+	"nottaken": {
+		name: "nottaken", doc: "static always-not-taken",
+		make: func(Spec) bpred.Predictor { return bpred.NewStatic(false) },
+	},
+	"bimodal": {
+		name: "bimodal", doc: "pc-indexed 2-bit counters",
+		params: []param{tableParam("table", 12)},
+		make:   func(s Spec) bpred.Predictor { return bpred.NewBimodal(s.TableBits) },
+	},
+	"gshare": {
+		name: "gshare", doc: "global history XOR pc",
+		params: []param{tableParam("table", 12), histParam("hist", 8)},
+		make:   func(s Spec) bpred.Predictor { return bpred.NewGShare(s.TableBits, s.HistBits) },
+	},
+	"gselect": {
+		name: "gselect", doc: "concatenated pc and history",
+		params: []param{tableParam("table", 12), histParam("hist", 6)},
+		make:   func(s Spec) bpred.Predictor { return bpred.NewGSelect(s.TableBits, s.HistBits) },
+	},
+	"gag": {
+		name: "gag", doc: "purely history-indexed",
+		params: []param{histParam("hist", 12)},
+		make:   func(s Spec) bpred.Predictor { return bpred.NewGAg(s.HistBits) },
+	},
+	"local": {
+		name: "local", doc: "PAg two-level local",
+		params: []param{tableParam("entries", 8), histParam("hist", 10), patParam("pattern", 12)},
+		make:   func(s Spec) bpred.Predictor { return bpred.NewLocal(s.TableBits, s.HistBits, s.PatBits) },
+	},
+	"tournament": {
+		name: "tournament", doc: "McFarling global/local chooser",
+		// The local component is sized bits-2, so the chooser needs >= 2.
+		params: []param{{name: "table", def: 12, min: 2, get: func(s *Spec) *int { return &s.TableBits }},
+			histParam("hist", 8)},
+		make: func(s Spec) bpred.Predictor { return bpred.NewTournament(s.TableBits, s.HistBits) },
+	},
+	"agree": {
+		name: "agree", doc: "bias-agreement (aliasing-tolerant)",
+		params: []param{tableParam("table", 12), histParam("hist", 8)},
+		make:   func(s Spec) bpred.Predictor { return bpred.NewAgree(s.TableBits, s.HistBits) },
+	},
+	"perceptron": {
+		name: "perceptron", doc: "perceptron over global history",
+		params: []param{tableParam("entries", 8), histParam("hist", 24)},
+		make:   func(s Spec) bpred.Predictor { return bpred.NewPerceptron(s.TableBits, s.HistBits) },
+	},
+}
+
+// Kinds returns the registered predictor kind names, sorted.
+func Kinds() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Usage returns a per-kind summary of the spec syntax — the canonical
+// default spelling, the parameter names in spec order, and what the
+// predictor is — for CLI listings and flag help.
+func Usage() string {
+	var b strings.Builder
+	b.WriteString("predictor spec: kind[:bits...], omitted parameters take the defaults shown\n")
+	for _, k := range Kinds() {
+		def := registry[k]
+		names := make([]string, len(def.params))
+		for i, p := range def.params {
+			names[i] = p.name
+		}
+		params := "-"
+		if len(names) > 0 {
+			params = strings.Join(names, ":")
+		}
+		b.WriteString(fmt.Sprintf("  %-18s %-24s %s\n", Spec{Kind: k}.String(), params, def.doc))
+	}
+	return b.String()
+}
+
+// For builds a Spec for kind from positional size parameters, in the
+// kind's registry order; omitted parameters take the kind's defaults.
+// Validation happens in New, so For can be used in composite literals.
+func For(kind string, params ...int) Spec {
+	s := Spec{Kind: kind}
+	def, ok := registry[kind]
+	if !ok {
+		return s
+	}
+	for i, v := range params {
+		if i >= len(def.params) {
+			break
+		}
+		*def.params[i].get(&s) = v
+	}
+	return s
+}
+
+// Parse reads a predictor spec of the form "kind" or "kind:12" or
+// "kind:12:8": the kind name followed by colon-separated size parameters
+// in registry order. Omitted parameters take the kind's defaults.
+func Parse(text string) (Spec, error) {
+	fields := strings.Split(strings.TrimSpace(text), ":")
+	def, ok := registry[fields[0]]
+	if !ok {
+		return Spec{}, fmt.Errorf("sim: unknown predictor kind %q (want %s)", fields[0], strings.Join(Kinds(), ", "))
+	}
+	if len(fields)-1 > len(def.params) {
+		return Spec{}, fmt.Errorf("sim: %s takes at most %d parameters, got %q", def.name, len(def.params), text)
+	}
+	s := Spec{Kind: def.name}
+	for i, f := range fields[1:] {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return Spec{}, fmt.Errorf("sim: bad %s %s bits %q in %q", def.name, def.params[i].name, f, text)
+		}
+		// An explicit 0 would otherwise be indistinguishable from "use
+		// the default"; reject it here.
+		if p := def.params[i]; v < p.min || v > maxParam {
+			return Spec{}, fmt.Errorf("sim: %s %s bits %d out of range [%d,%d]", def.name, p.name, v, p.min, maxParam)
+		}
+		*def.params[i].get(&s) = v
+	}
+	if err := s.validate(def); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// MustParse is Parse but panics on error, for compile-time-constant specs.
+func MustParse(text string) Spec {
+	s, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// normalize fills defaulted (zero) parameters in.
+func (s Spec) normalize(def *kindDef) Spec {
+	for _, p := range def.params {
+		if f := p.get(&s); *f == 0 {
+			*f = p.def
+		}
+	}
+	return s
+}
+
+func (s Spec) validate(def *kindDef) error {
+	s = s.normalize(def)
+	for _, p := range def.params {
+		if v := *p.get(&s); v < p.min || v > maxParam {
+			return fmt.Errorf("sim: %s %s bits %d out of range [%d,%d]", def.name, p.name, v, p.min, maxParam)
+		}
+	}
+	return nil
+}
+
+// String renders the canonical full spelling ("gshare:12:8"), with
+// defaults filled in; Parse round-trips it.
+func (s Spec) String() string {
+	def, ok := registry[s.Kind]
+	if !ok {
+		return s.Kind
+	}
+	s = s.normalize(def)
+	var b strings.Builder
+	b.WriteString(def.name)
+	for _, p := range def.params {
+		fmt.Fprintf(&b, ":%d", *p.get(&s))
+	}
+	return b.String()
+}
+
+// New validates the spec and constructs the predictor.
+func (s Spec) New() (bpred.Predictor, error) {
+	def, ok := registry[s.Kind]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown predictor kind %q (want %s)", s.Kind, strings.Join(Kinds(), ", "))
+	}
+	if err := s.validate(def); err != nil {
+		return nil, err
+	}
+	return def.make(s.normalize(def)), nil
+}
+
+// MustNew is New but panics on error, for specs known valid by
+// construction (the harness's fixed experiment grids).
+func (s Spec) MustNew() bpred.Predictor {
+	p, err := s.New()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NewPredictor is a convenience for one-shot construction from the text
+// spelling: NewPredictor("gshare:12:8").
+func NewPredictor(text string) (bpred.Predictor, error) {
+	s, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return s.New()
+}

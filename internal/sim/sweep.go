@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Job is one unit of sweep work: typically one predictor-configuration ×
+// workload evaluation. The context is the sweep's; a job that can run
+// long should honour its cancellation.
+type Job[T any] func(ctx context.Context) (T, error)
+
+// Sweep runs the jobs on a bounded worker pool and returns their results
+// in job order, regardless of completion order — callers can rely on
+// results[i] belonging to jobs[i], which keeps swept tables deterministic
+// under parallelism.
+//
+// workers <= 0 means runtime.GOMAXPROCS(0). The first job error cancels
+// the sweep's context and stops workers from picking up further jobs;
+// every error that did occur is returned joined, each wrapped with its
+// job index. Cancellation of the parent context is reported as its
+// context error. Results of failed or never-started jobs are the zero
+// value of T.
+func Sweep[T any](ctx context.Context, jobs []Job[T], workers int) ([]T, error) {
+	if len(jobs) == 0 {
+		return nil, ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]T, len(jobs))
+	errs := make([]error, len(jobs))
+	sweepCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) || sweepCtx.Err() != nil {
+					return
+				}
+				v, err := jobs[i](sweepCtx)
+				if err != nil {
+					errs[i] = fmt.Errorf("sim: job %d: %w", i, err)
+					cancel()
+					return
+				}
+				results[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := errors.Join(errs...); err != nil {
+		return results, err
+	}
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// Map runs fn over items on the sweep pool and returns the per-item
+// results in item order. It is the common "same computation per grid
+// point" case of Sweep.
+func Map[In, Out any](ctx context.Context, items []In, workers int, fn func(ctx context.Context, item In) (Out, error)) ([]Out, error) {
+	jobs := make([]Job[Out], len(items))
+	for i, item := range items {
+		item := item
+		jobs[i] = func(ctx context.Context) (Out, error) { return fn(ctx, item) }
+	}
+	return Sweep(ctx, jobs, workers)
+}

@@ -1,0 +1,74 @@
+package trace
+
+// Counts are the run-level totals of an event stream. For a streaming
+// reader they are complete only once the stream is drained.
+type Counts struct {
+	Insts          uint64 // total dynamic instructions
+	Nullified      uint64 // dynamic instructions nullified by a false guard
+	Branches       uint64 // conditional branch events
+	RegionBranches uint64
+	PredDefs       uint64
+}
+
+// Reader streams branch/predicate-define events in dynamic order. It is
+// the evaluation engine's view of a trace: core.Evaluate consumes
+// Readers, so a predictor sweep can replay either a materialized Trace
+// or a live emulator run (Stream) through the same code path.
+//
+// A Reader is single-use and not safe for concurrent use; obtain one per
+// replay from a Source.
+type Reader interface {
+	// Next fills ev with the next event and reports whether one existed.
+	// After it returns false, check Err.
+	Next(ev *Event) bool
+	// Err returns the error that terminated the stream early, if any.
+	Err() error
+	// Counts returns the run-level totals seen so far; complete once
+	// Next has returned false with a nil Err.
+	Counts() Counts
+}
+
+// Source yields independent replay Readers over the same underlying
+// event stream. Both the in-memory Trace and the emulator-backed Stream
+// are Sources; concurrent sweep jobs each call Replay to get their own
+// cursor, which is what makes sharing one collected trace across a
+// parallel sweep safe.
+type Source interface {
+	Replay() Reader
+}
+
+// Replay implements Source: a lightweight cursor over the materialized
+// events. Creating many replays shares the one event slice.
+func (t *Trace) Replay() Reader { return &sliceReader{t: t} }
+
+// Counts returns the trace's run-level totals.
+func (t *Trace) Counts() Counts {
+	return Counts{
+		Insts:          t.Insts,
+		Nullified:      t.Nullified,
+		Branches:       t.Branches,
+		RegionBranches: t.RegionBranches,
+		PredDefs:       t.PredDefs,
+	}
+}
+
+// sliceReader cursors over a Trace's event slice.
+type sliceReader struct {
+	t *Trace
+	i int
+}
+
+func (r *sliceReader) Next(ev *Event) bool {
+	if r.i >= len(r.t.Events) {
+		return false
+	}
+	*ev = r.t.Events[r.i]
+	r.i++
+	return true
+}
+
+func (r *sliceReader) Err() error { return nil }
+
+func (r *sliceReader) Counts() Counts { return r.t.Counts() }
+
+var _ Source = (*Trace)(nil)

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestStreamMatchesCollect replays every workload both ways — streamed
+// straight off the emulator and via the materialized trace — and
+// requires identical event streams and counts.
+func TestStreamMatchesCollect(t *testing.T) {
+	for _, w := range workload.Suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p := w.Build()
+			tr, err := Collect(p, 3_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := Stream(p, 3_000_000).Replay()
+			var ev Event
+			i := 0
+			for r.Next(&ev) {
+				if i >= len(tr.Events) {
+					t.Fatalf("stream produced extra event %d: %+v", i, ev)
+				}
+				if ev != tr.Events[i] {
+					t.Fatalf("event %d differs:\nstream:  %+v\ncollect: %+v", i, ev, tr.Events[i])
+				}
+				i++
+			}
+			if err := r.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if i != len(tr.Events) {
+				t.Fatalf("stream stopped after %d of %d events", i, len(tr.Events))
+			}
+			if got, want := r.Counts(), tr.Counts(); got != want {
+				t.Errorf("counts differ: stream %+v, collect %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestStreamReplaysAreIndependent drains two readers from one Source
+// interleaved; each must see the full stream.
+func TestStreamReplaysAreIndependent(t *testing.T) {
+	p := workload.ByNameMust("scan").Build()
+	src := Stream(p, 0)
+	a, b := src.Replay(), src.Replay()
+	var ea, eb Event
+	na, nb := 0, 0
+	for {
+		oka := a.Next(&ea)
+		okb := b.Next(&eb)
+		if oka != okb {
+			t.Fatalf("readers diverged after %d/%d events", na, nb)
+		}
+		if !oka {
+			break
+		}
+		if ea != eb {
+			t.Fatalf("event %d differs between replays", na)
+		}
+		na++
+		nb++
+	}
+	if na == 0 {
+		t.Fatal("empty stream")
+	}
+}
+
+// TestStreamLimit surfaces the emulator step limit as a reader error.
+func TestStreamLimit(t *testing.T) {
+	p := workload.ByNameMust("scan").Build()
+	r := Stream(p, 10).Replay()
+	var ev Event
+	for r.Next(&ev) {
+	}
+	if r.Err() == nil {
+		t.Fatal("limit not reported")
+	}
+}
+
+// TestTraceReplayCursor checks the slice-backed reader against direct
+// slice iteration.
+func TestTraceReplayCursor(t *testing.T) {
+	p := workload.ByNameMust("bsearch").Build()
+	tr, err := Collect(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tr.Replay()
+	var ev Event
+	for i := 0; r.Next(&ev); i++ {
+		if ev != tr.Events[i] {
+			t.Fatalf("replay event %d differs", i)
+		}
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if r.Counts() != tr.Counts() {
+		t.Errorf("counts differ")
+	}
+}

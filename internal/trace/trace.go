@@ -6,9 +6,6 @@
 package trace
 
 import (
-	"fmt"
-
-	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/prog"
 )
@@ -67,76 +64,23 @@ type Trace struct {
 }
 
 // Collect runs the program to completion and records its event stream.
+// It materializes the same stream Stream produces, for traces that are
+// replayed many times across a predictor sweep.
 func Collect(p *prog.Program, limit uint64) (*Trace, error) {
-	m, err := emu.New(p)
-	if err != nil {
+	r := newEmuReader(p, limit)
+	tr := &Trace{Name: p.Name}
+	var ev Event
+	for r.Next(&ev) {
+		tr.Events = append(tr.Events, ev)
+	}
+	if err := r.Err(); err != nil {
 		return nil, err
 	}
-	tr := &Trace{Name: p.Name}
-
-	// Static classification: which predicate registers guard branches and
-	// region-based branches, and hence which compares feed them. Predicate
-	// register reuse makes this conservative-approximate, as a hardware or
-	// compiler-table implementation would be.
-	var branchGuards, regionGuards uint64
-	for i := range p.Insts {
-		in := &p.Insts[i]
-		if in.IsBranch() && in.QP != isa.P0 {
-			branchGuards |= 1 << in.QP
-			if in.Region {
-				regionGuards |= 1 << in.QP
-			}
-		}
-	}
-
-	var lastDef [isa.NumPRegs]uint64
-	for !m.Halted {
-		if limit > 0 && m.Steps >= limit {
-			return nil, fmt.Errorf("trace: %w (%d steps in %s)", emu.ErrLimit, m.Steps, p.Name)
-		}
-		step := m.Steps // dynamic number of the instruction about to run
-		si, err := m.Step()
-		if err != nil {
-			return nil, fmt.Errorf("trace: %w", err)
-		}
-		in := si.Inst
-		switch {
-		case in.Op == isa.OpCmp:
-			ev := Event{
-				Kind:              KindPredDef,
-				Step:              step,
-				PC:                uint64(si.Index),
-				Executed:          si.GuardTrue,
-				Value:             si.CmpValue,
-				FeedsBranch:       branchGuards&(1<<in.PD1|1<<in.PD2) != 0,
-				FeedsRegionBranch: regionGuards&(1<<in.PD1|1<<in.PD2) != 0,
-			}
-			tr.Events = append(tr.Events, ev)
-			tr.PredDefs++
-		case (in.Op == isa.OpBr || in.Op == isa.OpBrl) && in.QP != isa.P0,
-			in.Op == isa.OpCloop:
-			ev := Event{
-				Kind:              KindBranch,
-				Step:              step,
-				PC:                uint64(si.Index),
-				Taken:             si.Taken,
-				Guard:             in.QP,
-				GuardVal:          si.GuardTrue,
-				GuardDist:         step - lastDef[in.QP],
-				Region:            in.Region,
-				GuardImpliesTaken: in.Op != isa.OpCloop,
-			}
-			tr.Events = append(tr.Events, ev)
-			tr.Branches++
-			if in.Region {
-				tr.RegionBranches++
-			}
-		}
-		for _, w := range si.PredWrites {
-			lastDef[w.P] = step
-		}
-	}
-	tr.Insts = m.Steps
-	tr.Nullified = m.Nullified
+	c := r.Counts()
+	tr.Insts = c.Insts
+	tr.Nullified = c.Nullified
+	tr.Branches = c.Branches
+	tr.RegionBranches = c.RegionBranches
+	tr.PredDefs = c.PredDefs
 	return tr, nil
 }

@@ -36,6 +36,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/profile"
 	"repro/internal/prog"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -196,6 +197,18 @@ var (
 	NewPerceptron = bpred.NewPerceptron
 )
 
+// NewPredictor builds a predictor from a registry spec string such as
+// "gshare", "gshare:14:10" or "perceptron:8:24". Omitted parameters take
+// per-kind defaults; see PredictorUsage for the full syntax.
+func NewPredictor(spec string) (Predictor, error) { return sim.NewPredictor(spec) }
+
+// PredictorKinds lists the predictor kinds the registry knows, sorted.
+func PredictorKinds() []string { return sim.Kinds() }
+
+// PredictorUsage returns a one-line-per-kind summary of the predictor
+// spec syntax accepted by NewPredictor.
+func PredictorUsage() string { return sim.Usage() }
+
 // Workloads returns the benchmark suite.
 func Workloads() []Workload { return workload.All() }
 
@@ -215,7 +228,7 @@ func Assemble(name, src string) (*Program, error) { return asm.Parse(name, src) 
 // Disassemble renders a program as parseable assembly text.
 func Disassemble(p *Program) string { return asm.Format(p) }
 
-// Experiments lists the reconstruction experiments (E1–E13).
+// Experiments lists the reconstruction experiments (E1–E14).
 func Experiments() []Experiment { return harness.All() }
 
 // ExperimentByID looks one up (e.g. "E3").

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -146,7 +147,7 @@ func TestFacadeRunOneExperimentQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tables, err := e.Run(s, ExperimentConfig{Quick: true})
+	tables, err := e.Run(context.Background(), s, ExperimentConfig{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
