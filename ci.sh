@@ -1,7 +1,8 @@
 #!/bin/sh
-# ci.sh — the repository's check suite: formatting, vet, and the full
-# test suite under the race detector (the engine's sweeps are parallel,
-# so every CI run doubles as a concurrency audit).
+# ci.sh — the repository's check suite: formatting, vet, the full test
+# suite under the race detector (the engine's sweeps are parallel, so
+# every CI run doubles as a concurrency audit), coverage floors on the
+# prediction core, short fuzz smoke runs, and the differential oracle.
 #
 # Usage: ./ci.sh
 set -eu
@@ -24,5 +25,36 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+# cov_check PKG FLOOR runs the package's tests with coverage and fails
+# if total statement coverage drops below FLOOR percent.
+cov_check() {
+	pkg=$1
+	floor=$2
+	pct=$(go test -cover "$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+	if [ -z "$pct" ]; then
+		echo "no coverage reported for $pkg" >&2
+		exit 1
+	fi
+	if [ "$(awk "BEGIN{print ($pct < $floor) ? 1 : 0}")" = 1 ]; then
+		echo "coverage for $pkg is ${pct}%, below the ${floor}% floor" >&2
+		exit 1
+	fi
+	echo "coverage $pkg: ${pct}% (floor ${floor}%)"
+}
+
+echo "== coverage floors =="
+cov_check ./internal/bpred 90
+cov_check ./internal/core 85
+
+echo "== fuzz smoke =="
+# Each fuzz target gets a short randomized run beyond its seed corpus;
+# -run='^$' skips the unit tests already run above.
+go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/sim
+go test -run='^$' -fuzz=FuzzPredictorVsReference -fuzztime=10s ./internal/oracle
+go test -run='^$' -fuzz=FuzzTraceRoundTrip -fuzztime=10s ./internal/oracle
+
+echo "== oracle =="
+go run ./cmd/oracle -events 100000
 
 echo "CI OK"

@@ -1,0 +1,180 @@
+// Command oracle runs the full differential-testing matrix from
+// internal/oracle: every registered predictor kind against its naive
+// reference model, the metamorphic properties (reset-replay, table
+// doubling, static interleave-invariance), and the four
+// cross-implementation equivalence pairs (slice vs. stream replay,
+// Collect vs. Stream event production, serialize round-trip, serial vs.
+// parallel sweep) over every built-in workload plus synthetic programs.
+// It exits nonzero on any divergence, making it a one-command
+// correctness gate for refactors of the simulation engine.
+//
+// Usage:
+//
+//	oracle [-seed 1] [-events 200000] [-kinds gshare,bimodal] [-workers 0] [-limit 3000000]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ifconv"
+	"repro/internal/oracle"
+	"repro/internal/prog"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "oracle:", err)
+		os.Exit(1)
+	}
+}
+
+// check is one unit of oracle work for the sweep pool.
+type check struct {
+	name string
+	fn   func(ctx context.Context) error
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("oracle", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "randomized-stream seed")
+	events := fs.Int("events", 200_000, "events per randomized predictor stream")
+	kindsFlag := fs.String("kinds", "", "comma-separated predictor kinds to check (default all)")
+	workers := fs.Int("workers", 0, "parallel check workers (0 = GOMAXPROCS)")
+	limit := fs.Uint64("limit", 3_000_000, "emulation step limit per program")
+	synth := fs.Int("synth", 4, "number of synthetic fuzz programs in the equivalence matrix")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	kinds := sim.Kinds()
+	if *kindsFlag != "" {
+		kinds = nil
+		known := make(map[string]bool)
+		for _, k := range sim.Kinds() {
+			known[k] = true
+		}
+		for _, k := range strings.Split(*kindsFlag, ",") {
+			k = strings.TrimSpace(k)
+			if !known[k] {
+				return fmt.Errorf("unknown predictor kind %q (want %s)", k, strings.Join(sim.Kinds(), ", "))
+			}
+			kinds = append(kinds, k)
+		}
+	}
+
+	stream := oracle.Stream{Seed: *seed, Events: *events}
+	var checks []check
+
+	// Differential: every kind against its reference, then the
+	// reset-replay metamorphic property on the same kind.
+	for _, kind := range kinds {
+		spec := sim.MustParse(kind)
+		checks = append(checks,
+			check{name: "ref:" + spec.String(), fn: func(context.Context) error {
+				return oracle.CheckSpec(spec, stream)
+			}},
+			check{name: "reset:" + spec.String(), fn: func(context.Context) error {
+				p, err := spec.New()
+				if err != nil {
+					return err
+				}
+				return oracle.CheckResetReplay(p, stream)
+			}})
+	}
+
+	// Metamorphic: table doubling where the index confinement is
+	// expressible, interleave invariance for the stateless kinds.
+	for _, kind := range []string{"bimodal", "gshare", "gselect"} {
+		spec := sim.MustParse(kind)
+		checks = append(checks, check{name: "doubling:" + spec.String(), fn: func(context.Context) error {
+			return oracle.CheckTableDoubling(spec, stream)
+		}})
+	}
+	for _, kind := range []string{"taken", "nottaken"} {
+		spec := sim.MustParse(kind)
+		checks = append(checks, check{name: "interleave:" + spec.String(), fn: func(context.Context) error {
+			p, err := spec.New()
+			if err != nil {
+				return err
+			}
+			return oracle.CheckInterleaveInvariance(p, stream)
+		}})
+	}
+
+	// Equivalence matrix: every built-in workload (if-converted, so the
+	// SFPF/PGU paths carry real predicate traffic) plus synthetic
+	// programs, through all four equivalence pairs and the reference
+	// evaluator.
+	mkCase := func(name string, p *prog.Program) oracle.Case {
+		return oracle.Case{
+			Name: name, Prog: p, Limit: *limit,
+			Spec: sim.For("gshare", 12, 8),
+			Cfg: core.EvalConfig{
+				UseSFPF: true, ResolveDelay: core.DefaultResolveDelay,
+				PGU: core.PGUAll, PGUDelay: core.DefaultPGUDelay,
+				PerBranch: true,
+			},
+		}
+	}
+	var cases []oracle.Case
+	for _, w := range workload.Suite() {
+		cp, _, err := ifconv.Convert(w.Build(), ifconv.Config{})
+		if err != nil {
+			return fmt.Errorf("converting %s: %w", w.Name, err)
+		}
+		cases = append(cases, mkCase(w.Name, cp))
+	}
+	for i := 0; i < *synth; i++ {
+		p := workload.Synth(*seed+uint64(i)*977, 48)
+		cases = append(cases, mkCase(fmt.Sprintf("synth-%d", i), p))
+	}
+	for _, c := range cases {
+		c := c
+		checks = append(checks,
+			check{name: "slice-stream:" + c.Name, fn: func(context.Context) error {
+				return oracle.CheckReplayEquivalence(c)
+			}},
+			check{name: "collect-stream:" + c.Name, fn: func(context.Context) error {
+				return oracle.CheckCollectStream(c.Prog, c.Limit)
+			}},
+			check{name: "roundtrip:" + c.Name, fn: func(context.Context) error {
+				return oracle.CheckSerializeRoundTrip(c)
+			}},
+			check{name: "refeval:" + c.Name, fn: func(context.Context) error {
+				return oracle.CheckEvaluator(c)
+			}})
+	}
+
+	// The serial-vs-parallel sweep equivalence runs once over the whole
+	// case list; it manages its own worker pool.
+	checks = append(checks, check{name: "sweep:serial-vs-parallel", fn: func(ctx context.Context) error {
+		return oracle.CheckSweepParallel(ctx, cases, *workers)
+	}})
+
+	ctx := context.Background()
+	errs, err := sim.Map(ctx, checks, *workers, func(ctx context.Context, c check) (error, error) {
+		// A divergence is a result to report, not a job failure: let
+		// every check run instead of cancelling the sweep.
+		return c.fn(ctx), nil
+	})
+	if err != nil {
+		return err
+	}
+	var rep oracle.Report
+	for i, c := range checks {
+		rep.Add(c.name, errs[i])
+	}
+	fmt.Fprint(out, rep.String())
+	if !rep.OK() {
+		return fmt.Errorf("%d of %d checks diverged", len(rep.Failures()), len(rep.Checks))
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestEvaluatePanicsOnReplayError: Evaluate is documented for error-free
+// sources only; handing it a live stream that dies mid-replay must be a
+// loud panic, never metrics silently computed from a truncated stream.
+func TestEvaluatePanicsOnReplayError(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Evaluate returned normally from a failing source")
+		}
+		if !strings.Contains(r.(string), "replay failed") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	p := workload.ByNameMust("scan").Build()
+	// Limit 10 guarantees the emulator-backed stream errors mid-replay.
+	Evaluate(trace.Stream(p, 10), EvalConfig{Predictor: bpred.NewStatic(true)})
+}
+
+// TestEvaluateStreamPropagatesReplayError: the streaming evaluator must
+// surface the reader's error rather than returning metrics for the
+// events seen so far.
+func TestEvaluateStreamPropagatesReplayError(t *testing.T) {
+	p := workload.ByNameMust("scan").Build()
+	_, err := EvaluateStream(trace.Stream(p, 10).Replay(), EvalConfig{Predictor: bpred.NewStatic(true)})
+	if err == nil {
+		t.Fatal("truncated stream evaluated without error")
+	}
+}

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenCSVs regenerates every experiment's CSV output in memory and
+// diffs it byte-for-byte against the checked-in results/*.csv files.
+// This is the repository's regression gate: any change to the emulator,
+// the if-converter, a predictor, the evaluation loop or the stats
+// formatting that moves a published number shows up here as a diff, not
+// as a silently drifting results directory. When a change is intentional,
+// regenerate with `go run ./cmd/experiments -outdir results` and commit
+// the new files alongside the code.
+func TestGoldenCSVs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite in -short mode")
+	}
+	resultsDir := filepath.Join("..", "..", "results")
+	if _, err := os.Stat(resultsDir); err != nil {
+		t.Skipf("no results directory: %v", err)
+	}
+
+	s := testSuite(t)
+	cfg := Config{}.withDefaults()
+	generated := make(map[string]string) // file base name -> CSV content
+	for _, e := range All() {
+		tables, err := e.Run(context.Background(), s, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		for i, tb := range tables {
+			// Mirror cmd/experiments' file naming exactly: the experiment
+			// ID, with a letter suffix when it emits several tables.
+			name := e.ID
+			if len(tables) > 1 {
+				name += string(rune('a' + i))
+			}
+			generated[name+".csv"] = tb.CSV()
+		}
+	}
+
+	entries, err := os.ReadDir(resultsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkedIn := make(map[string]bool)
+	for _, ent := range entries {
+		if ent.IsDir() || filepath.Ext(ent.Name()) != ".csv" {
+			continue
+		}
+		checkedIn[ent.Name()] = true
+		want, ok := generated[ent.Name()]
+		if !ok {
+			t.Errorf("stale file results/%s: no experiment generates it", ent.Name())
+			continue
+		}
+		got, err := os.ReadFile(filepath.Join(resultsDir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want {
+			t.Errorf("results/%s differs from regenerated output (intentional? regenerate with `go run ./cmd/experiments -outdir results`)", ent.Name())
+		}
+	}
+	for name := range generated {
+		if !checkedIn[name] {
+			t.Errorf("missing file results/%s: experiment output not checked in", name)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/sim"
+)
+
+// observeChance is the probability of injecting an out-of-band history
+// bit (the predicate-global-update path) between branch events during a
+// differential run, when the predictor under test has an open history.
+const observeChance = 0.1
+
+// CheckPredictor drives got and want over the same randomized stream and
+// returns an error describing the first divergence, or nil if every
+// prediction matched. Both predictors are Reset first. When both expose
+// an open global history, predicate-style outside bits are injected into
+// the two histories in lockstep, so the ObserveBit path is differentially
+// tested too.
+func CheckPredictor(got, want bpred.Predictor, s Stream) error {
+	s = s.withDefaults()
+	gObs, gOK := got.(bpred.HistoryObserver)
+	wObs, wOK := want.(bpred.HistoryObserver)
+	if gOK != wOK {
+		return fmt.Errorf("oracle: %s and %s disagree on implementing HistoryObserver (%v vs %v)",
+			got.Name(), want.Name(), gOK, wOK)
+	}
+	got.Reset()
+	want.Reset()
+	g := newStreamGen(s)
+	for i := 0; i < s.Events; i++ {
+		pc, taken := g.next()
+		gp, wp := got.Predict(pc), want.Predict(pc)
+		if gp != wp {
+			return fmt.Errorf("oracle: %s diverges from %s at event %d: pc=%#x predicted taken=%v, reference says %v",
+				got.Name(), want.Name(), i, pc, gp, wp)
+		}
+		got.Update(pc, taken)
+		want.Update(pc, taken)
+		if gOK && g.r.Chance(observeChance) {
+			bit := g.r.Bool()
+			gObs.ObserveBit(bit)
+			wObs.ObserveBit(bit)
+		}
+	}
+	return nil
+}
+
+// CheckSpec builds the registry predictor for spec and its reference
+// model and checks them against each other.
+func CheckSpec(spec sim.Spec, s Stream) error {
+	p, err := spec.New()
+	if err != nil {
+		return err
+	}
+	ref, err := ReferenceFor(spec)
+	if err != nil {
+		return err
+	}
+	return CheckPredictor(p, ref, s)
+}

@@ -1,0 +1,129 @@
+// Package oracle is the repository's differential-testing and
+// invariant-checking subsystem. The simulation engine offers several ways
+// to produce the same number — registry-built vs. hand-built predictors,
+// slice vs. streaming trace replay, serial vs. parallel sweeps,
+// in-memory vs. serialized traces — and every pair is an equivalence the
+// rest of the repository silently relies on. This package makes each one
+// an executable check:
+//
+//   - reference models (reference.go): deliberately naive, obviously
+//     correct reimplementations of every registered predictor kind, plus
+//     a naive reimplementation of the SFPF/PGU evaluation loop. They use
+//     maps, bool slices and modulo arithmetic where the real code uses
+//     bitmasks and shifts, so a shared bug is unlikely to hide in both.
+//   - differential checks (check.go): CheckPredictor drives a predictor
+//     and its reference over the same randomized PC/outcome stream and
+//     reports the first divergence; CheckEvaluator (refeval.go) does the
+//     same for a whole trace evaluation.
+//   - cross-implementation equivalence (equiv.go): slice vs. stream
+//     replay, Collect vs. Stream event production, serialize round-trips,
+//     and serial vs. parallel sweeps must all be bit-identical.
+//   - metamorphic properties (metamorphic.go): Reset-then-replay yields
+//     identical results, static predictors ignore interleaved traffic,
+//     doubling a table never changes behaviour on a stream confined to
+//     the smaller index space.
+//
+// The checks are consumed by this package's tests and fuzz targets and by
+// cmd/oracle, the one-command correctness gate CI runs.
+package oracle
+
+import (
+	"math/bits"
+
+	"repro/internal/rng"
+)
+
+// Stream configures the randomized PC/outcome stream the differential
+// predictor checks replay. The zero value gets usable defaults from
+// withDefaults; all randomness derives from Seed, so every check is
+// reproducible.
+type Stream struct {
+	// Seed seeds the deterministic generator.
+	Seed uint64
+	// Events is the number of branch events to generate (default 10000).
+	Events int
+	// PoolBits sizes the static branch pool: 2^PoolBits distinct PCs
+	// (default 6). A small hot pool trains tables hard enough that
+	// counter-update bugs surface, not just index bugs.
+	PoolBits int
+	// PCBits bounds the magnitude of PC values: each pool PC is a random
+	// value below 2^PCBits (default 30, so PCs exceed every table size
+	// and exercise index wrapping). The metamorphic table-doubling check
+	// narrows this to the smaller table's index space.
+	PCBits int
+}
+
+func (s Stream) withDefaults() Stream {
+	if s.Events == 0 {
+		s.Events = 10000
+	}
+	if s.PoolBits == 0 {
+		s.PoolBits = 6
+	}
+	if s.PCBits == 0 {
+		s.PCBits = 30
+	}
+	return s
+}
+
+// Branch behaviour modes a pool PC can be assigned.
+const (
+	modeBiased     = iota // taken with a fixed per-branch probability
+	modePeriodic          // taken every k-th execution
+	modeCorrelated        // taken iff the last three global outcomes have odd parity
+	modeRandom            // fair coin
+)
+
+// streamGen generates the randomized branch stream: a pool of static PCs,
+// each with a behaviour mode, so the stream mixes strongly biased,
+// pattern-following, history-correlated and random branches — enough
+// texture that every predictor's tables, histories and weights train.
+type streamGen struct {
+	r      *rng.Source
+	pool   []uint64
+	mode   []int
+	bias   []float64
+	period []int
+	phase  []int
+	recent uint64 // global outcome history, most recent in bit 0
+}
+
+func newStreamGen(s Stream) *streamGen {
+	s = s.withDefaults()
+	g := &streamGen{r: rng.New(s.Seed)}
+	n := 1 << s.PoolBits
+	g.pool = make([]uint64, n)
+	g.mode = make([]int, n)
+	g.bias = make([]float64, n)
+	g.period = make([]int, n)
+	g.phase = make([]int, n)
+	for i := 0; i < n; i++ {
+		g.pool[i] = g.r.Bits(s.PCBits)
+		g.mode[i] = g.r.Intn(4)
+		g.bias[i] = []float64{0.05, 0.2, 0.5, 0.8, 0.95}[g.r.Intn(5)]
+		g.period[i] = 2 + g.r.Intn(6)
+	}
+	return g
+}
+
+// next returns the next (pc, outcome) pair.
+func (g *streamGen) next() (uint64, bool) {
+	i := g.r.Intn(len(g.pool))
+	var taken bool
+	switch g.mode[i] {
+	case modeBiased:
+		taken = g.r.Chance(g.bias[i])
+	case modePeriodic:
+		g.phase[i]++
+		taken = g.phase[i]%g.period[i] == 0
+	case modeCorrelated:
+		taken = bits.OnesCount64(g.recent&7)%2 == 1
+	default:
+		taken = g.r.Bool()
+	}
+	g.recent <<= 1
+	if taken {
+		g.recent |= 1
+	}
+	return g.pool[i], taken
+}

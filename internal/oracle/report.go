@@ -1,0 +1,52 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Check is one named oracle check outcome.
+type Check struct {
+	Name string
+	Err  error
+}
+
+// Report aggregates check outcomes, in the order they were added.
+type Report struct {
+	Checks []Check
+}
+
+// Add records one outcome.
+func (r *Report) Add(name string, err error) {
+	r.Checks = append(r.Checks, Check{Name: name, Err: err})
+}
+
+// Failures returns the checks that diverged.
+func (r *Report) Failures() []Check {
+	var out []Check
+	for _, c := range r.Checks {
+		if c.Err != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// OK reports whether every check passed.
+func (r *Report) OK() bool { return len(r.Failures()) == 0 }
+
+// String renders one line per check plus a summary line, in the style of
+// go test output: passing checks are listed so "what was covered" is in
+// the record, failing checks carry their divergence.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, c := range r.Checks {
+		if c.Err != nil {
+			fmt.Fprintf(&b, "FAIL %s: %v\n", c.Name, c.Err)
+		} else {
+			fmt.Fprintf(&b, "ok   %s\n", c.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%d checks, %d divergences\n", len(r.Checks), len(r.Failures()))
+	return b.String()
+}

@@ -47,6 +47,16 @@ func (s *Source) Int64n(n int64) int64 {
 	return int64(s.Uint64() % uint64(n))
 }
 
+// Bits returns a value with the low n bits pseudo-random and the rest
+// zero. n outside [0, 64) returns a full random word.
+func (s *Source) Bits(n int) uint64 {
+	v := s.Uint64()
+	if n < 0 || n >= 64 {
+		return v
+	}
+	return v & ((1 << n) - 1)
+}
+
 // Bool returns a pseudo-random boolean.
 func (s *Source) Bool() bool {
 	return s.Uint64()&1 == 1

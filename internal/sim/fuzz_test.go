@@ -1,0 +1,32 @@
+package sim
+
+import "testing"
+
+// FuzzParse throws arbitrary strings at the spec parser. Two properties
+// must hold: Parse never panics, and anything it accepts round-trips —
+// the canonical String() spelling parses back to the same canonical
+// spelling. The fuzz body never constructs the predictor, so an accepted
+// spec with maximal size parameters costs nothing.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"gshare:12:8", "gshare", "bimodal:6", "local:6:8:10", "taken",
+		"perceptron:8:24", " gag:10 ", "gshare:0", "gshare:-3", "nope",
+		"gshare:12:8:4", "tournament:1", ":::", "gshare:999999999999999999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := Parse(text)
+		if err != nil {
+			return
+		}
+		canon := s.String()
+		s2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical spelling %q of accepted input %q rejected: %v", canon, text, err)
+		}
+		if got := s2.String(); got != canon {
+			t.Fatalf("round trip drifted: %q -> %q -> %q", text, canon, got)
+		}
+	})
+}

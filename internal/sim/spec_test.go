@@ -161,3 +161,37 @@ func TestUsageMentionsEveryKind(t *testing.T) {
 		}
 	}
 }
+
+// TestParseErrorMessages pins down what each failure mode tells the user:
+// the message must name the offending kind or parameter, so a CLI typo is
+// diagnosable from the error alone.
+func TestParseErrorMessages(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"nope", `unknown predictor kind "nope"`},
+		{"nope", "want agree, bimodal"}, // the known kinds are listed
+		{"", "unknown predictor kind"},
+		{"gshare:x", `bad gshare table bits "x"`},
+		{"gshare:12:y", `bad gshare hist bits "y"`},
+		{"gshare:12:", "bad gshare hist bits"},
+		{"gshare:29", "table bits 29 out of range [1,28]"},
+		{"gshare:0", "table bits 0 out of range"},
+		{"gshare:-3", "out of range"},
+		{"tournament:1", "table bits 1 out of range [2,28]"},
+		{"gshare:12:8:4", "gshare takes at most 2 parameters"},
+		{"taken:1", "taken takes at most 0 parameters"},
+		{"local:8:10:10:10", "local takes at most 3 parameters"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded", c.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error %q does not mention %q", c.in, err, c.want)
+		}
+	}
+}

@@ -148,19 +148,23 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	if count > 1<<32 {
 		return nil, fmt.Errorf("trace: implausible event count %d", count)
 	}
-	tr.Events = make([]Event, count)
+	// Grow the event slice as records arrive rather than trusting the
+	// declared count up front: a truncated or hostile header then fails
+	// with a read error instead of a multi-gigabyte allocation.
+	tr.Events = make([]Event, 0, min(count, 1<<16))
 	var rec [eventRecordSize]byte
-	for i := range tr.Events {
+	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, fmt.Errorf("trace: event %d: %w", i, err)
 		}
-		ev := &tr.Events[i]
+		var ev Event
 		ev.Kind = Kind(rec[0])
-		unpackFlags(ev, rec[1])
+		unpackFlags(&ev, rec[1])
 		ev.Guard = isa.PReg(rec[2])
 		ev.PC = uint64(binary.LittleEndian.Uint32(rec[4:8]))
 		ev.Step = binary.LittleEndian.Uint64(rec[8:16])
 		ev.GuardDist = binary.LittleEndian.Uint64(rec[16:24])
+		tr.Events = append(tr.Events, ev)
 	}
 	return tr, nil
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"repro/internal/ifconv"
@@ -65,5 +66,90 @@ func TestReadTraceErrors(t *testing.T) {
 	trunc := buf.Bytes()[:buf.Len()/2]
 	if _, err := ReadTrace(bytes.NewReader(trunc)); err == nil {
 		t.Error("truncated trace accepted")
+	}
+}
+
+// TestReadTraceTruncationSweep serializes a small trace and feeds the
+// deserializer every strict prefix: each one must produce an error, never
+// a silently short trace.
+func TestReadTraceTruncationSweep(t *testing.T) {
+	p := workload.ByNameMust("scan").Build()
+	cp, _, err := ifconv.Convert(p, ifconv.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Collect(cp, 3_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep the sweep cheap: a handful of events is enough to cover the
+	// magic, version, name, header and record regions byte by byte.
+	tr.Events = tr.Events[:8]
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for n := 0; n < len(full); n++ {
+		if got, err := ReadTrace(bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted: %+v", n, len(full), got)
+		}
+	}
+	if _, err := ReadTrace(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full serialization rejected: %v", err)
+	}
+}
+
+// corruptHeader builds serialized-trace bytes with a chosen version and
+// declared event count and no event payload at all.
+func corruptHeader(version uint32, count uint64) []byte {
+	var buf bytes.Buffer
+	buf.Write([]byte("P64T"))
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], version)
+	buf.Write(u32[:])
+	binary.LittleEndian.PutUint32(u32[:], 0) // empty name
+	buf.Write(u32[:])
+	var u64 [8]byte
+	for i := 0; i < 5; i++ { // insts .. preddefs
+		binary.LittleEndian.PutUint64(u64[:], 1)
+		buf.Write(u64[:])
+	}
+	binary.LittleEndian.PutUint64(u64[:], count)
+	buf.Write(u64[:])
+	return buf.Bytes()
+}
+
+func TestReadTraceRejectsBadVersion(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader(corruptHeader(traceVersion+1, 0))); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestReadTraceRejectsImplausibleCount(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader(corruptHeader(traceVersion, 1<<40))); err == nil {
+		t.Fatal("implausible event count accepted")
+	}
+}
+
+// TestReadTraceLargeCountNoData declares a huge (but plausible) event
+// count with zero payload bytes: the reader must fail on the first
+// missing record instead of allocating the declared count up front.
+func TestReadTraceLargeCountNoData(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader(corruptHeader(traceVersion, 1<<31))); err == nil {
+		t.Fatal("eventless trace with huge declared count accepted")
+	}
+}
+
+func TestReadTraceRejectsHugeNameLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte("P64T"))
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], traceVersion)
+	buf.Write(u32[:])
+	binary.LittleEndian.PutUint32(u32[:], 1<<24) // name length over the cap
+	buf.Write(u32[:])
+	if _, err := ReadTrace(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("oversized name length accepted")
 	}
 }

@@ -105,3 +105,52 @@ func TestTraceReplayCursor(t *testing.T) {
 		t.Errorf("counts differ")
 	}
 }
+
+// TestStreamErrorIsSticky: once the emulator reader hits its step limit,
+// further Next calls keep returning false and Err keeps returning the
+// same error — a consumer that polls after failure can never see a
+// phantom recovery or a silently short replay.
+func TestStreamErrorIsSticky(t *testing.T) {
+	p := workload.ByNameMust("scan").Build()
+	r := Stream(p, 10).Replay()
+	var ev Event
+	for r.Next(&ev) {
+	}
+	first := r.Err()
+	if first == nil {
+		t.Fatal("limit not reported")
+	}
+	for i := 0; i < 3; i++ {
+		if r.Next(&ev) {
+			t.Fatal("Next succeeded after a terminal error")
+		}
+		if got := r.Err(); got != first {
+			t.Fatalf("error changed across polls: %v then %v", first, got)
+		}
+	}
+}
+
+// TestStreamLimitNotSilentlyShort: a limited stream must not masquerade
+// as a complete one. The events it did produce match the full trace's
+// prefix, and the failure is visible in Err — so any consumer that
+// checks Err (as core.EvaluateStream does) cannot mistake the truncation
+// for a short program.
+func TestStreamLimitNotSilentlyShort(t *testing.T) {
+	p := workload.ByNameMust("scan").Build()
+	full, err := Collect(p, 3_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Stream(workload.ByNameMust("scan").Build(), 1000).Replay()
+	var ev Event
+	n := 0
+	for r.Next(&ev) {
+		if ev != full.Events[n] {
+			t.Fatalf("limited stream event %d diverges from full trace", n)
+		}
+		n++
+	}
+	if r.Err() == nil && n != len(full.Events) {
+		t.Fatalf("stream stopped at %d of %d events with nil Err", n, len(full.Events))
+	}
+}
