@@ -1,8 +1,10 @@
 #!/bin/sh
 # ci.sh — the repository's check suite: formatting, vet, the full test
-# suite under the race detector (the engine's sweeps are parallel, so
-# every CI run doubles as a concurrency audit), coverage floors on the
-# prediction core, short fuzz smoke runs, and the differential oracle.
+# suite under the race detector (the engine's sweeps and the serving
+# daemon are concurrent, so every CI run doubles as a concurrency
+# audit), coverage floors on the core packages, short fuzz smoke runs,
+# the differential oracle (including the serve-vs-direct HTTP path),
+# and a live boot of the bpservd daemon driven by bpload.
 #
 # Usage: ./ci.sh
 set -eu
@@ -26,12 +28,22 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
-# cov_check PKG FLOOR runs the package's tests with coverage and fails
-# if total statement coverage drops below FLOOR percent.
-cov_check() {
+echo "== coverage floors =="
+# One coverage pass over the whole module; every floor is parsed out of
+# the same run instead of re-testing floor packages one at a time.
+covfile=$(mktemp)
+go test -cover ./... >"$covfile"
+cat "$covfile"
+
+# cov_floor PKG FLOOR fails if PKG's statement coverage from the pass
+# above is below FLOOR percent.
+cov_floor() {
 	pkg=$1
 	floor=$2
-	pct=$(go test -cover "$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+	pct=$(awk -v pkg="$pkg" '$1 == "ok" && $2 == pkg {
+		for (i = 3; i <= NF; i++)
+			if ($i ~ /^[0-9.]+%$/) { gsub(/%/, "", $i); print $i }
+	}' "$covfile")
 	if [ -z "$pct" ]; then
 		echo "no coverage reported for $pkg" >&2
 		exit 1
@@ -43,9 +55,11 @@ cov_check() {
 	echo "coverage $pkg: ${pct}% (floor ${floor}%)"
 }
 
-echo "== coverage floors =="
-cov_check ./internal/bpred 90
-cov_check ./internal/core 85
+cov_floor repro/internal/bpred 90
+cov_floor repro/internal/core 85
+cov_floor repro/internal/sim 85
+cov_floor repro/internal/serve 80
+rm -f "$covfile"
 
 echo "== fuzz smoke =="
 # Each fuzz target gets a short randomized run beyond its seed corpus;
@@ -56,5 +70,38 @@ go test -run='^$' -fuzz=FuzzTraceRoundTrip -fuzztime=10s ./internal/oracle
 
 echo "== oracle =="
 go run ./cmd/oracle -events 100000
+
+echo "== serve smoke =="
+# Boot the daemon on a random port, walk every endpoint with bpload
+# -smoke (create session, post batches in both wire formats, read
+# metrics, sweep, delete with a byte-identical metrics check), push a
+# short concurrent load with verification, then require a clean
+# SIGTERM shutdown.
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"; kill "$servepid" 2>/dev/null || true' EXIT
+go build -o "$smokedir" ./cmd/bpservd ./cmd/bpload
+"$smokedir/bpservd" -addr 127.0.0.1:0 -portfile "$smokedir/port" -quiet &
+servepid=$!
+tries=0
+while [ ! -s "$smokedir/port" ]; do
+	tries=$((tries + 1))
+	if [ "$tries" -gt 100 ]; then
+		echo "bpservd never wrote its portfile" >&2
+		exit 1
+	fi
+	if ! kill -0 "$servepid" 2>/dev/null; then
+		echo "bpservd exited before listening" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+addr=$(cat "$smokedir/port")
+"$smokedir/bpload" -addr "$addr" -smoke
+"$smokedir/bpload" -addr "$addr" -sessions 4 -events 100000 -batch 2048 -verify
+kill -TERM "$servepid"
+if ! wait "$servepid"; then
+	echo "bpservd shut down uncleanly" >&2
+	exit 1
+fi
 
 echo "CI OK"

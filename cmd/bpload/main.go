@@ -1,0 +1,544 @@
+// Command bpload is the load generator and smoke checker for bpservd. It
+// drives N concurrent sessions with binary event batches from a workload
+// trace and reports throughput and batch latency percentiles, optionally
+// verifying that the server's metrics are byte-identical to replaying the
+// same batches through the evaluator locally.
+//
+// Usage:
+//
+//	bpload -addr 127.0.0.1:8080 -sessions 8 -events 1000000
+//	bpload -addr 127.0.0.1:8080 -smoke        # one pass over every endpoint
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/buildinfo"
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bpload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bpload", flag.ContinueOnError)
+	addr := fs.String("addr", "", "bpservd address (host:port), required")
+	sessions := fs.Int("sessions", 8, "concurrent sessions")
+	events := fs.Uint64("events", 1_000_000, "total events to stream across all sessions")
+	batch := fs.Int("batch", 4096, "events per batch")
+	spec := fs.String("spec", "gshare:14:10", "predictor spec for every session")
+	wname := fs.String("w", "scan", "workload supplying the event stream")
+	convert := fs.Bool("convert", true, "if-convert the workload before tracing")
+	limit := fs.Uint64("limit", 0, "dynamic instruction limit for trace collection (0 = run to completion)")
+	sfpf := fs.Bool("sfpf", true, "enable the false-predicate filter")
+	pgu := fs.String("pgu", "all", "PGU policy: off | region | branch | all")
+	verify := fs.Bool("verify", false, "check server metrics byte-identical to a local replay")
+	smoke := fs.Bool("smoke", false, "run the endpoint smoke sequence instead of a load run")
+	timeout := fs.Duration("timeout", 2*time.Minute, "overall deadline")
+	jsonOut := fs.Bool("json", false, "print the report as JSON")
+	version := buildinfo.Flag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String("bpload"))
+		return nil
+	}
+	if *addr == "" {
+		return fmt.Errorf("need -addr")
+	}
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+
+	c := &client{base: "http://" + *addr, hc: &http.Client{}}
+	opts := serve.EvalOptions{SFPF: *sfpf, PGU: *pgu}
+	if *smoke {
+		return runSmoke(ctx, c, out, *spec, *wname)
+	}
+
+	tr, err := collectTrace(*wname, *convert, *limit)
+	if err != nil {
+		return err
+	}
+	if *sessions < 1 || *batch < 1 {
+		return fmt.Errorf("need -sessions >= 1 and -batch >= 1")
+	}
+	rep, err := runLoad(ctx, c, tr, loadConfig{
+		sessions: *sessions, events: *events, batch: *batch,
+		spec: *spec, opts: opts, verify: *verify,
+	})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Fprintf(out, "sessions        %d\n", rep.Sessions)
+	fmt.Fprintf(out, "events          %d\n", rep.Events)
+	fmt.Fprintf(out, "batches         %d\n", rep.Batches)
+	fmt.Fprintf(out, "retries (429)   %d\n", rep.Retries)
+	fmt.Fprintf(out, "errors          %d\n", rep.Errors)
+	fmt.Fprintf(out, "elapsed         %.3fs\n", rep.ElapsedSec)
+	fmt.Fprintf(out, "throughput      %.0f events/s\n", rep.EventsPerSec)
+	fmt.Fprintf(out, "batch latency   p50 %.3fms  p90 %.3fms  p99 %.3fms\n",
+		rep.LatencyP50Ms, rep.LatencyP90Ms, rep.LatencyP99Ms)
+	if rep.Verified {
+		fmt.Fprintln(out, "verify          server metrics byte-identical to local replay")
+	}
+	return nil
+}
+
+// client is a minimal JSON/binary API client for bpservd.
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+// errStatus reports a non-2xx API response, preserving the error envelope.
+type errStatus struct {
+	code int
+	body serve.ErrorBody
+}
+
+func (e *errStatus) Error() string {
+	if e.body.Error.Code != "" {
+		return fmt.Sprintf("HTTP %d: %s: %s", e.code, e.body.Error.Code, e.body.Error.Message)
+	}
+	return fmt.Sprintf("HTTP %d", e.code)
+}
+
+// do sends one request and decodes the JSON response into out (if non-nil).
+func (c *client) do(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		e := &errStatus{code: resp.StatusCode}
+		json.Unmarshal(raw, &e.body)
+		return e
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}
+
+func (c *client) postJSON(ctx context.Context, path string, body, out any) error {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPost, path, "application/json", blob, out)
+}
+
+func collectTrace(wname string, convert bool, limit uint64) (*trace.Trace, error) {
+	w, err := repro.WorkloadByName(wname)
+	if err != nil {
+		return nil, err
+	}
+	p := w.Build()
+	if convert {
+		if p, _, err = repro.IfConvert(p, repro.IfConvConfig{}); err != nil {
+			return nil, err
+		}
+	}
+	return repro.CollectTrace(p, limit)
+}
+
+// batcher deterministically slices a trace into fixed-size batches,
+// cycling from the start when exhausted. Instruction credit is
+// apportioned so a whole cycle credits exactly tr.Insts; the verify
+// replay walks the identical sequence.
+type batcher struct {
+	tr    *trace.Trace
+	size  int
+	pos   int
+	insts uint64 // credited so far in the current cycle
+}
+
+func (b *batcher) next() ([]trace.Event, uint64) {
+	n := len(b.tr.Events)
+	end := b.pos + b.size
+	if end > n {
+		end = n
+	}
+	events := b.tr.Events[b.pos:end]
+	credit := b.tr.Insts * uint64(end) / uint64(n)
+	insts := credit - b.insts
+	b.insts = credit
+	b.pos = end
+	if b.pos == n {
+		b.pos, b.insts = 0, 0
+	}
+	return events, insts
+}
+
+// encodeBatch wraps an event slice in the P64T wire format.
+func encodeBatch(events []trace.Event, insts uint64) ([]byte, error) {
+	var buf bytes.Buffer
+	bt := &trace.Trace{Name: "batch", Insts: insts, Events: events}
+	if _, err := bt.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+type loadConfig struct {
+	sessions int
+	events   uint64
+	batch    int
+	spec     string
+	opts     serve.EvalOptions
+	verify   bool
+}
+
+// Report is the load run summary (also the -json output shape).
+type Report struct {
+	Sessions     int     `json:"sessions"`
+	Events       uint64  `json:"events"`
+	Batches      uint64  `json:"batches"`
+	Retries      uint64  `json:"retries_429"`
+	Errors       uint64  `json:"errors"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP90Ms float64 `json:"latency_p90_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+	Verified     bool    `json:"verified,omitempty"`
+}
+
+func runLoad(ctx context.Context, c *client, tr *trace.Trace, cfg loadConfig) (*Report, error) {
+	perSession := cfg.events / uint64(cfg.sessions)
+	if perSession == 0 {
+		perSession = 1
+	}
+
+	type workerResult struct {
+		sent      uint64
+		batches   uint64
+		retries   uint64
+		latencies []float64
+		final     serve.SessionJSON
+		err       error
+	}
+	results := make([]workerResult, cfg.sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.sessions; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := &results[i]
+			var sess serve.SessionJSON
+			req := serve.SessionRequest{Spec: cfg.spec, EvalOptions: cfg.opts}
+			if res.err = c.postJSON(ctx, "/v1/sessions", req, &sess); res.err != nil {
+				return
+			}
+			b := &batcher{tr: tr, size: cfg.batch}
+			for res.sent < perSession {
+				events, insts := b.next()
+				blob, err := encodeBatch(events, insts)
+				if err != nil {
+					res.err = err
+					return
+				}
+				for {
+					t0 := time.Now()
+					err = c.do(ctx, http.MethodPost, "/v1/sessions/"+sess.ID+"/events",
+						"application/octet-stream", blob, nil)
+					if err == nil {
+						res.latencies = append(res.latencies, float64(time.Since(t0).Microseconds())/1000)
+						break
+					}
+					var es *errStatus
+					if errors.As(err, &es) && es.code == http.StatusTooManyRequests {
+						res.retries++
+						select {
+						case <-time.After(2 * time.Millisecond):
+						case <-ctx.Done():
+							res.err = ctx.Err()
+							return
+						}
+						continue
+					}
+					res.err = err
+					return
+				}
+				res.sent += uint64(len(events))
+				res.batches++
+			}
+			res.err = c.do(ctx, http.MethodDelete, "/v1/sessions/"+sess.ID, "", nil, &res.final)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{Sessions: cfg.sessions, ElapsedSec: elapsed.Seconds()}
+	var lat []float64
+	for i := range results {
+		res := &results[i]
+		if res.err != nil {
+			rep.Errors++
+			continue
+		}
+		rep.Events += res.sent
+		rep.Batches += res.batches
+		rep.Retries += res.retries
+		lat = append(lat, res.latencies...)
+	}
+	if rep.Errors > 0 {
+		for i := range results {
+			if results[i].err != nil {
+				return rep, fmt.Errorf("session worker %d: %w", i, results[i].err)
+			}
+		}
+	}
+	rep.EventsPerSec = float64(rep.Events) / elapsed.Seconds()
+	rep.LatencyP50Ms = stats.Percentile(lat, 50)
+	rep.LatencyP90Ms = stats.Percentile(lat, 90)
+	rep.LatencyP99Ms = stats.Percentile(lat, 99)
+
+	if cfg.verify {
+		want, err := localReplay(tr, cfg, perSession)
+		if err != nil {
+			return rep, err
+		}
+		for i := range results {
+			if results[i].final.Metrics == nil {
+				return rep, fmt.Errorf("session worker %d: no final metrics", i)
+			}
+			if err := compareMetrics(*results[i].final.Metrics, want); err != nil {
+				return rep, fmt.Errorf("session worker %d: %w", i, err)
+			}
+		}
+		rep.Verified = true
+	}
+	return rep, nil
+}
+
+// localReplay walks the exact batch sequence a load worker sends through
+// the evaluator directly; every session sends the same sequence, so one
+// replay checks them all.
+func localReplay(tr *trace.Trace, cfg loadConfig, perSession uint64) (core.Metrics, error) {
+	ecfg, err := cfg.opts.Config()
+	if err != nil {
+		return core.Metrics{}, err
+	}
+	if ecfg.Predictor, err = sim.NewPredictor(cfg.spec); err != nil {
+		return core.Metrics{}, err
+	}
+	e := core.NewEvaluator(ecfg)
+	b := &batcher{tr: tr, size: cfg.batch}
+	var sent uint64
+	for sent < perSession {
+		events, insts := b.next()
+		for i := range events {
+			e.Feed(&events[i])
+		}
+		e.AddInsts(insts)
+		sent += uint64(len(events))
+	}
+	return e.Metrics(), nil
+}
+
+// compareMetrics requires the server's metrics to be byte-identical to
+// the local ones under the canonical JSON encoding.
+func compareMetrics(got serve.MetricsJSON, want core.Metrics) error {
+	gotBytes, err := json.Marshal(got)
+	if err != nil {
+		return err
+	}
+	wantBytes, err := json.Marshal(serve.MetricsToJSON(want))
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(gotBytes, wantBytes) {
+		return fmt.Errorf("metrics diverge from local replay:\nserver %s\nlocal  %s", gotBytes, wantBytes)
+	}
+	return nil
+}
+
+// runSmoke exercises every endpoint once: listings, the full session
+// lifecycle over both wire formats with a byte-identical metrics check,
+// a sweep, and the /metrics families. Any failure is fatal.
+func runSmoke(ctx context.Context, c *client, out io.Writer, spec, wname string) error {
+	step := func(name string, err error) error {
+		if err != nil {
+			return fmt.Errorf("smoke %s: %w", name, err)
+		}
+		fmt.Fprintf(out, "ok %s\n", name)
+		return nil
+	}
+
+	if err := step("healthz", c.do(ctx, http.MethodGet, "/healthz", "", nil, nil)); err != nil {
+		return err
+	}
+	var preds serve.PredictorsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/predictors", "", nil, &preds); err == nil && len(preds.Kinds) == 0 {
+		err = fmt.Errorf("no predictor kinds listed")
+		return step("predictors", err)
+	} else if err := step("predictors", err); err != nil {
+		return err
+	}
+	if err := step("workloads", c.do(ctx, http.MethodGet, "/v1/workloads", "", nil, nil)); err != nil {
+		return err
+	}
+
+	tr, err := collectTrace(wname, true, 0)
+	if err != nil {
+		return err
+	}
+	opts := serve.EvalOptions{SFPF: true, PGU: "all", PerBranch: true}
+
+	var sess serve.SessionJSON
+	err = c.postJSON(ctx, "/v1/sessions", serve.SessionRequest{Spec: spec, EvalOptions: opts}, &sess)
+	if err := step("create session", err); err != nil {
+		return err
+	}
+
+	// JSON batch: the first events, verbatim.
+	cut := len(tr.Events) / 4
+	jsonBatch := serve.BatchRequest{Events: make([]serve.EventJSON, cut)}
+	for i := 0; i < cut; i++ {
+		jsonBatch.Events[i] = serve.EventToJSON(&tr.Events[i])
+	}
+	var br serve.BatchResponse
+	err = c.postJSON(ctx, "/v1/sessions/"+sess.ID+"/events", jsonBatch, &br)
+	if err == nil && br.Events != cut {
+		err = fmt.Errorf("acked %d events, want %d", br.Events, cut)
+	}
+	if err := step("post JSON batch", err); err != nil {
+		return err
+	}
+
+	// Binary batch: the rest of the trace plus the instruction credit.
+	blob, err := encodeBatch(tr.Events[cut:], tr.Insts)
+	if err == nil {
+		err = c.do(ctx, http.MethodPost, "/v1/sessions/"+sess.ID+"/events?metrics=1",
+			"application/octet-stream", blob, &br)
+	}
+	if err == nil && br.TotalEvents != uint64(len(tr.Events)) {
+		err = fmt.Errorf("session total %d events, want %d", br.TotalEvents, len(tr.Events))
+	}
+	if err := step("post binary batch", err); err != nil {
+		return err
+	}
+
+	var got serve.SessionJSON
+	err = c.do(ctx, http.MethodGet, "/v1/sessions/"+sess.ID, "", nil, &got)
+	if err == nil && got.Metrics == nil {
+		err = fmt.Errorf("no metrics in session read")
+	}
+	if err := step("read metrics", err); err != nil {
+		return err
+	}
+
+	var sweep serve.SweepResponse
+	err = c.postJSON(ctx, "/v1/sweep", serve.SweepRequest{
+		Specs: []string{spec, "bimodal:10"}, Workload: wname,
+		Convert: true, EvalOptions: opts,
+	}, &sweep)
+	if err == nil {
+		if len(sweep.Rows) != 2 {
+			err = fmt.Errorf("sweep returned %d rows, want 2", len(sweep.Rows))
+		} else if sweep.Rows[0].Metrics.Branches == 0 {
+			err = fmt.Errorf("sweep row has zero branches")
+		}
+	}
+	if err := step("sweep", err); err != nil {
+		return err
+	}
+
+	// Delete and verify the final metrics byte-identically: the session
+	// saw the whole trace once, exactly like a direct replay.
+	var final serve.SessionJSON
+	err = c.do(ctx, http.MethodDelete, "/v1/sessions/"+sess.ID, "", nil, &final)
+	if err == nil {
+		if final.Metrics == nil {
+			err = fmt.Errorf("no final metrics")
+		} else {
+			ecfg, cerr := opts.Config()
+			if cerr != nil {
+				err = cerr
+			} else if ecfg.Predictor, cerr = sim.NewPredictor(spec); cerr != nil {
+				err = cerr
+			} else {
+				e := core.NewEvaluator(ecfg)
+				for i := range tr.Events {
+					e.Feed(&tr.Events[i])
+				}
+				e.AddInsts(tr.Insts)
+				err = compareMetrics(*final.Metrics, e.Metrics())
+			}
+		}
+	}
+	if err := step("delete and verify", err); err != nil {
+		return err
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(raw)
+	for _, family := range []string{
+		"bpservd_requests_total",
+		"bpservd_request_seconds_bucket",
+		"bpservd_events_total",
+		"bpservd_sessions_created_total",
+		"bpservd_sessions_live",
+		"bpservd_queue_depth",
+	} {
+		if !strings.Contains(text, family) {
+			err = fmt.Errorf("/metrics missing family %s", family)
+			break
+		}
+	}
+	if err := step("metrics families", err); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "smoke passed")
+	return nil
+}

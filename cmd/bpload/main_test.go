@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	s := serve.New(serve.Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+func TestSmokeSequence(t *testing.T) {
+	addr := startServer(t)
+	var sb strings.Builder
+	err := run(context.Background(), []string{
+		"-addr", addr, "-smoke", "-spec", "gshare:12:8", "-w", "scan",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("smoke failed: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"ok healthz", "ok create session", "ok post JSON batch",
+		"ok post binary batch", "ok read metrics", "ok sweep",
+		"ok delete and verify", "ok metrics families", "smoke passed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("smoke output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadRunVerified(t *testing.T) {
+	addr := startServer(t)
+	var sb strings.Builder
+	err := run(context.Background(), []string{
+		"-addr", addr, "-sessions", "3", "-events", "30000", "-batch", "512",
+		"-spec", "gshare:12:8", "-w", "scan",
+		"-verify", "-json",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("load failed: %v\n%s", err, sb.String())
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("bad -json output: %v\n%s", err, sb.String())
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d, want 0", rep.Errors)
+	}
+	if !rep.Verified {
+		t.Error("metrics not verified")
+	}
+	if rep.Events < 30000 {
+		t.Errorf("events = %d, want >= 30000", rep.Events)
+	}
+	if rep.EventsPerSec <= 0 || rep.LatencyP99Ms < rep.LatencyP50Ms {
+		t.Errorf("implausible report: %+v", rep)
+	}
+}
+
+func TestBatcherCycles(t *testing.T) {
+	tr, err := collectTrace("scan", true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &batcher{tr: tr, size: 100}
+	var events, insts uint64
+	for events < uint64(len(tr.Events)) {
+		ev, in := b.next()
+		events += uint64(len(ev))
+		insts += in
+	}
+	if events != uint64(len(tr.Events)) {
+		t.Errorf("one cycle yielded %d events, want %d", events, len(tr.Events))
+	}
+	if insts != tr.Insts {
+		t.Errorf("one cycle credited %d insts, want %d", insts, tr.Insts)
+	}
+	if b.pos != 0 {
+		t.Errorf("batcher did not wrap: pos = %d", b.pos)
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-version"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "bpload ") {
+		t.Errorf("version output %q", sb.String())
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	var sb strings.Builder
+	for _, args := range [][]string{
+		{}, // missing -addr
+		{"-addr", "127.0.0.1:1", "-w", "nope"},
+		{"-addr", "127.0.0.1:1", "-sessions", "0"},
+		{"-nonexistent-flag"},
+	} {
+		if err := run(context.Background(), args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

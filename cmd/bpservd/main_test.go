@@ -1,0 +1,112 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon on a random port and returns its bound
+// address plus a shutdown function that waits for a clean exit.
+func startDaemon(t *testing.T, extra ...string) (string, func() error, *strings.Builder) {
+	t.Helper()
+	portfile := filepath.Join(t.TempDir(), "port")
+	ctx, cancel := context.WithCancel(context.Background())
+	var sb strings.Builder
+	var mu sync.Mutex
+	out := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return sb.Write(p)
+	})
+	args := append([]string{"-addr", "127.0.0.1:0", "-portfile", portfile, "-quiet"}, extra...)
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, args, out) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	var addr string
+	for {
+		if b, err := os.ReadFile(portfile); err == nil {
+			addr = strings.TrimSpace(string(b))
+			break
+		}
+		select {
+		case err := <-errc:
+			cancel()
+			t.Fatalf("daemon exited early: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatal("portfile never appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop := func() error {
+		cancel()
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("daemon did not exit")
+		}
+	}
+	return addr, stop, &sb
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestDaemonServesAndShutsDown(t *testing.T) {
+	addr, stop, sb := startDaemon(t)
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("unclean shutdown: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "listening on "+addr) {
+		t.Errorf("missing listen line:\n%s", out)
+	}
+	if !strings.Contains(out, "drained") {
+		t.Errorf("missing drain line:\n%s", out)
+	}
+}
+
+func TestDaemonVersionFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-version"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "bpservd ") {
+		t.Errorf("version output %q", sb.String())
+	}
+}
+
+func TestDaemonBadArgs(t *testing.T) {
+	var sb strings.Builder
+	for _, args := range [][]string{
+		{"positional"},
+		{"-addr", "999.999.999.999:bad"},
+		{"-nonexistent-flag"},
+	} {
+		if err := run(context.Background(), args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/buildinfo"
 	"repro/internal/sim"
 )
 
@@ -53,8 +54,13 @@ func run(args []string, out io.Writer) error {
 	limit := fs.Uint64("limit", 10_000_000, "dynamic instruction limit")
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "abort the sweep after this duration (0 = none)")
+	version := buildinfo.Flag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String("bpsweep"))
+		return nil
 	}
 
 	ctx := context.Background()

@@ -15,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/buildinfo"
 	"repro/internal/harness"
 	"repro/internal/stats"
 )
@@ -35,8 +36,13 @@ func run(args []string, out io.Writer) error {
 	limit := fs.Uint64("limit", 0, "emulation step limit per program (0 = default)")
 	outdir := fs.String("outdir", "", "additionally write each table as CSV into this directory")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	version := buildinfo.Flag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String("experiments"))
+		return nil
 	}
 
 	ctx := context.Background()

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/buildinfo"
 )
 
 func main() {
@@ -37,8 +38,13 @@ func run(args []string, out, report io.Writer) error {
 	profiled := fs.Bool("profiled", false, "profile-guided region selection")
 	verify := fs.Bool("verify", false, "run both versions and compare observable behaviour")
 	quiet := fs.Bool("q", false, "report only; do not print the converted program")
+	version := buildinfo.Flag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String("ifconv"))
+		return nil
 	}
 
 	var p *repro.Program

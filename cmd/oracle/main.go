@@ -14,18 +14,25 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/ifconv"
 	"repro/internal/oracle"
 	"repro/internal/prog"
+	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -50,8 +57,14 @@ func run(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "parallel check workers (0 = GOMAXPROCS)")
 	limit := fs.Uint64("limit", 3_000_000, "emulation step limit per program")
 	synth := fs.Int("synth", 4, "number of synthetic fuzz programs in the equivalence matrix")
+	serveCheck := fs.Bool("serve", true, "check the serve-session HTTP path against the direct evaluator")
+	version := buildinfo.Flag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String("oracle"))
+		return nil
 	}
 
 	kinds := sim.Kinds()
@@ -151,6 +164,11 @@ func run(args []string, out io.Writer) error {
 			check{name: "refeval:" + c.Name, fn: func(context.Context) error {
 				return oracle.CheckEvaluator(c)
 			}})
+		if *serveCheck {
+			checks = append(checks, check{name: "serve:" + c.Name, fn: func(ctx context.Context) error {
+				return checkServe(ctx, c)
+			}})
+		}
 	}
 
 	// The serial-vs-parallel sweep equivalence runs once over the whole
@@ -175,6 +193,120 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprint(out, rep.String())
 	if !rep.OK() {
 		return fmt.Errorf("%d of %d checks diverged", len(rep.Failures()), len(rep.Checks))
+	}
+	return nil
+}
+
+// checkServe replays one case's event stream through an in-process serve
+// session over real HTTP — create, two binary batches, delete — and
+// requires the returned metrics to be byte-identical (as canonical JSON)
+// to feeding the same events through core.Evaluator directly. It is the
+// end-to-end oracle for the prediction-as-a-service path: wire encoding,
+// handler plumbing, shard scheduling, and snapshotting must all be
+// metrics-transparent.
+func checkServe(ctx context.Context, c oracle.Case) error {
+	tr, err := trace.Collect(c.Prog, c.Limit)
+	if err != nil {
+		return err
+	}
+
+	// Direct path.
+	dcfg := c.Cfg
+	if dcfg.Predictor, err = c.Spec.New(); err != nil {
+		return err
+	}
+	e := core.NewEvaluator(dcfg)
+	for i := range tr.Events {
+		e.Feed(&tr.Events[i])
+	}
+	e.AddInsts(tr.Insts)
+	want, err := json.Marshal(serve.MetricsToJSON(e.Metrics()))
+	if err != nil {
+		return err
+	}
+
+	// Serve path: same events, split across two batches.
+	srv := serve.New(serve.Config{Shards: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resolve, pguDelay := c.Cfg.ResolveDelay, c.Cfg.PGUDelay
+	req := serve.SessionRequest{
+		Spec: c.Spec.String(),
+		EvalOptions: serve.EvalOptions{
+			SFPF: c.Cfg.UseSFPF, FilterTrue: c.Cfg.FilterTrue,
+			TrainFiltered: c.Cfg.TrainFiltered, PerBranch: c.Cfg.PerBranch,
+			PGU:          c.Cfg.PGU.String(),
+			ResolveDelay: &resolve, PGUDelay: &pguDelay,
+		},
+	}
+	var sess serve.SessionJSON
+	if err := serveCall(ctx, ts.URL, "POST", "/v1/sessions", "application/json", mustJSON(req), &sess); err != nil {
+		return err
+	}
+	half := len(tr.Events) / 2
+	for _, part := range []struct {
+		events []trace.Event
+		insts  uint64
+	}{{tr.Events[:half], 0}, {tr.Events[half:], tr.Insts}} {
+		var buf bytes.Buffer
+		bt := &trace.Trace{Name: "batch", Insts: part.insts, Events: part.events}
+		if _, err := bt.WriteTo(&buf); err != nil {
+			return err
+		}
+		if err := serveCall(ctx, ts.URL, "POST", "/v1/sessions/"+sess.ID+"/events",
+			"application/octet-stream", buf.Bytes(), nil); err != nil {
+			return err
+		}
+	}
+	var final serve.SessionJSON
+	if err := serveCall(ctx, ts.URL, "DELETE", "/v1/sessions/"+sess.ID, "", nil, &final); err != nil {
+		return err
+	}
+	if final.Metrics == nil {
+		return fmt.Errorf("serve: no final metrics")
+	}
+	got, err := json.Marshal(*final.Metrics)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("serve metrics diverge from direct evaluator:\nserve  %s\ndirect %s", got, want)
+	}
+	return nil
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// serveCall is a minimal HTTP helper for the serve oracle.
+func serveCall(ctx context.Context, base, method, path, contentType string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("serve: %s %s: HTTP %d: %s", method, path, resp.StatusCode, raw)
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
 	}
 	return nil
 }

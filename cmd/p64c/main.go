@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/buildinfo"
 )
 
 func main() {
@@ -32,8 +33,13 @@ func run(args []string, out io.Writer) error {
 	profiled := fs.Bool("profiled", false, "with -convert: profile-guided region selection")
 	exec := fs.Bool("run", false, "execute the program and print its output")
 	limit := fs.Uint64("limit", 10_000_000, "execution step limit with -run")
+	version := buildinfo.Flag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String("p64c"))
+		return nil
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need exactly one .pcl source file")

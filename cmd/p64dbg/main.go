@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/buildinfo"
 	"repro/internal/emu"
 	"repro/internal/isa"
 )
@@ -49,8 +50,13 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	file := fs.String("f", "", "P64 assembly file")
 	convert := fs.Bool("convert", false, "if-convert before debugging")
 	limit := fs.Uint64("limit", 10_000_000, "step budget for the continue command")
+	version := buildinfo.Flag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String("p64dbg"))
+		return nil
 	}
 
 	var p *repro.Program

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/buildinfo"
 )
 
 func main() {
@@ -35,17 +36,7 @@ func newPredictor(spec string) (repro.Predictor, error) {
 }
 
 func pguPolicy(spec string) (repro.PGUPolicy, error) {
-	switch spec {
-	case "", "off":
-		return repro.PGUOff, nil
-	case "region":
-		return repro.PGURegionGuards, nil
-	case "branch":
-		return repro.PGUBranchGuards, nil
-	case "all":
-		return repro.PGUAll, nil
-	}
-	return repro.PGUOff, fmt.Errorf("unknown PGU policy %q (off, region, branch, all)", spec)
+	return repro.ParsePGUPolicy(spec)
 }
 
 // loadProgram resolves the -w/-f program selection flags shared by the
@@ -84,8 +75,13 @@ func run(args []string, out io.Writer) error {
 	limit := fs.Uint64("limit", 10_000_000, "dynamic instruction limit")
 	listw := fs.Bool("listw", false, "list built-in workloads and exit")
 	listp := fs.Bool("listp", false, "list predictor kinds and spec syntax, then exit")
+	version := buildinfo.Flag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String("predsim"))
+		return nil
 	}
 
 	if *listw {

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/buildinfo"
 	"repro/internal/trace"
 )
 
@@ -36,8 +37,13 @@ func run(args []string, out io.Writer) error {
 	eval := fs.String("eval", "", "with -stats: replay through a predictor spec (e.g. gshare, agree:12:8)")
 	top := fs.Int("top", 0, "with -eval: show the N most-mispredicting branches")
 	limit := fs.Uint64("limit", 10_000_000, "dynamic instruction limit")
+	version := buildinfo.Flag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String("tracer"))
+		return nil
 	}
 
 	if *statsFile != "" {

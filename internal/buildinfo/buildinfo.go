@@ -1,0 +1,54 @@
+// Package buildinfo reports the version baked into a binary by the Go
+// toolchain, and provides the shared -version flag every cmd/* tool
+// registers so the whole suite answers version queries the same way.
+package buildinfo
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version returns the best version string the build metadata offers: the
+// module version when built from a tagged module, otherwise the VCS
+// revision (with a +dirty suffix for modified checkouts), otherwise
+// "devel".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "+dirty"
+			}
+		}
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return rev + modified
+	}
+	return "devel"
+}
+
+// String renders the one-line -version output for a named tool.
+func String(tool string) string {
+	return fmt.Sprintf("%s %s %s %s/%s", tool, Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
+
+// Flag registers the standard -version flag on a tool's flag set and
+// returns the value to check after parsing.
+func Flag(fs *flag.FlagSet) *bool {
+	return fs.Bool("version", false, "print version and exit")
+}

@@ -1,0 +1,34 @@
+package buildinfo
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestVersionNonEmpty(t *testing.T) {
+	if Version() == "" {
+		t.Fatal("empty version")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := String("mytool")
+	if !strings.HasPrefix(s, "mytool ") {
+		t.Errorf("String = %q, want mytool prefix", s)
+	}
+	if !strings.Contains(s, "go1") {
+		t.Errorf("String = %q, want go runtime version", s)
+	}
+}
+
+func TestFlag(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	v := Flag(fs)
+	if err := fs.Parse([]string{"-version"}); err != nil {
+		t.Fatal(err)
+	}
+	if !*v {
+		t.Error("flag not set after -version")
+	}
+}

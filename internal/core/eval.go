@@ -161,108 +161,161 @@ func Evaluate(src trace.Source, cfg EvalConfig) Metrics {
 	return m
 }
 
+// Evaluator is the incremental form of the trace-driven evaluator: events
+// are fed one at a time and the metrics so far can be read between feeds.
+// EvaluateStream is a thin loop over it; long-lived consumers — the
+// serving daemon's sessions, which receive a branch stream in client-sized
+// batches over an arbitrary lifetime — feed events as they arrive.
+//
+// An Evaluator is not safe for concurrent use; the owner serialises Feed
+// and Snapshot calls.
+type Evaluator struct {
+	cfg     EvalConfig
+	p       bpred.Predictor
+	obs     bpred.HistoryObserver
+	pgu     *PGU
+	pending []pendingBit
+	m       Metrics
+}
+
+// NewEvaluator resets cfg.Predictor and prepares incremental evaluation
+// with exactly the semantics of EvaluateStream over the same event order.
+func NewEvaluator(cfg EvalConfig) *Evaluator {
+	p := cfg.Predictor
+	p.Reset()
+	e := &Evaluator{cfg: cfg, p: p, pgu: NewPGU(cfg.PGU, p)}
+	e.obs, _ = p.(bpred.HistoryObserver)
+	return e
+}
+
+// flush applies pending predicate-history bits whose delay has elapsed.
+func (e *Evaluator) flush(now uint64) {
+	i := 0
+	for ; i < len(e.pending) && e.pending[i].applyAt <= now; i++ {
+		if e.obs != nil {
+			e.obs.ObserveBit(e.pending[i].bit)
+			e.m.InsertedBits++
+		}
+	}
+	if i > 0 {
+		e.pending = e.pending[i:]
+	}
+}
+
+// Feed advances the evaluation by one event. Events must arrive in
+// dynamic order (non-decreasing Step), as a trace replay produces them.
+func (e *Evaluator) Feed(ev *trace.Event) {
+	e.flush(ev.Step)
+	switch ev.Kind {
+	case trace.KindPredDef:
+		e.m.PredDefs++
+		if e.pgu != nil && e.pgu.Policy.Selects(ev) && ev.Executed {
+			e.pending = append(e.pending, pendingBit{applyAt: ev.Step + e.cfg.PGUDelay, bit: ev.Value})
+		}
+	case trace.KindBranch:
+		e.m.Branches++
+		if ev.Region {
+			e.m.RegionBranches++
+		}
+		var bs *BranchStats
+		if e.cfg.PerBranch {
+			if e.m.ByPC == nil {
+				e.m.ByPC = make(map[uint64]*BranchStats)
+			}
+			bs = e.m.ByPC[ev.PC]
+			if bs == nil {
+				bs = &BranchStats{PC: ev.PC, Region: ev.Region}
+				e.m.ByPC[ev.PC] = bs
+			}
+			bs.Count++
+			if ev.Taken {
+				bs.Taken++
+			}
+		}
+		if e.cfg.UseSFPF && ev.Guard != isa.P0 && ev.GuardDist >= e.cfg.ResolveDelay {
+			if !ev.GuardVal {
+				// Known-false guard: the branch cannot be taken.
+				e.m.Filtered++
+				if ev.Taken {
+					e.m.FilterErrors++ // impossible by ISA semantics
+				}
+				if bs != nil {
+					bs.Filtered++
+				}
+				if e.cfg.TrainFiltered {
+					e.p.Update(ev.PC, ev.Taken)
+				}
+				return
+			}
+			if e.cfg.FilterTrue && ev.GuardImpliesTaken {
+				// Known-true guard on a guard-implies-taken branch.
+				e.m.FilteredTrue++
+				if !ev.Taken {
+					e.m.FilterErrors++
+				}
+				if bs != nil {
+					bs.Filtered++
+				}
+				if e.cfg.TrainFiltered {
+					e.p.Update(ev.PC, ev.Taken)
+				}
+				return
+			}
+		}
+		pred := e.p.Predict(ev.PC)
+		if pred != ev.Taken {
+			e.m.Mispredicts++
+			if ev.Region {
+				e.m.RegionMispredicts++
+			}
+			if bs != nil {
+				bs.Mispredicts++
+			}
+		}
+		e.p.Update(ev.PC, ev.Taken)
+	}
+}
+
+// AddInsts credits n dynamic instructions to the metrics. Batch-streaming
+// clients report instruction counts per batch; a whole-trace replay
+// instead sets the total from the reader's counts (see EvaluateStream).
+func (e *Evaluator) AddInsts(n uint64) { e.m.Insts += n }
+
+// Metrics returns the metrics accumulated so far. The ByPC map is the
+// evaluator's own: callers that keep feeding must use Snapshot instead.
+func (e *Evaluator) Metrics() Metrics { return e.m }
+
+// Snapshot returns an independent copy of the metrics accumulated so far,
+// safe to hold while the evaluator keeps feeding.
+func (e *Evaluator) Snapshot() Metrics { return e.m.Clone() }
+
+// Clone returns a deep copy of m (the ByPC per-branch map is copied).
+func (m Metrics) Clone() Metrics {
+	out := m
+	if m.ByPC != nil {
+		out.ByPC = make(map[uint64]*BranchStats, len(m.ByPC))
+		for pc, bs := range m.ByPC {
+			c := *bs
+			out.ByPC[pc] = &c
+		}
+	}
+	return out
+}
+
 // EvaluateStream replays one event stream through the configured
 // predictor and mechanisms and returns the resulting metrics. It is the
 // streaming core of the trace-driven evaluator: events are consumed as
 // produced, so a reader backed by a live emulator run evaluates in
 // constant memory.
 func EvaluateStream(r trace.Reader, cfg EvalConfig) (Metrics, error) {
-	p := cfg.Predictor
-	p.Reset()
-	pgu := NewPGU(cfg.PGU, p)
-
-	var m Metrics
-
-	var pending []pendingBit
-	flush := func(now uint64) {
-		i := 0
-		for ; i < len(pending) && pending[i].applyAt <= now; i++ {
-			if obs, ok := p.(bpred.HistoryObserver); ok {
-				obs.ObserveBit(pending[i].bit)
-				m.InsertedBits++
-			}
-		}
-		if i > 0 {
-			pending = pending[i:]
-		}
-	}
-
-	var evBuf trace.Event
-	for r.Next(&evBuf) {
-		ev := &evBuf
-		flush(ev.Step)
-		switch ev.Kind {
-		case trace.KindPredDef:
-			m.PredDefs++
-			if pgu != nil && pgu.Policy.Selects(ev) && ev.Executed {
-				pending = append(pending, pendingBit{applyAt: ev.Step + cfg.PGUDelay, bit: ev.Value})
-			}
-		case trace.KindBranch:
-			m.Branches++
-			if ev.Region {
-				m.RegionBranches++
-			}
-			var bs *BranchStats
-			if cfg.PerBranch {
-				if m.ByPC == nil {
-					m.ByPC = make(map[uint64]*BranchStats)
-				}
-				bs = m.ByPC[ev.PC]
-				if bs == nil {
-					bs = &BranchStats{PC: ev.PC, Region: ev.Region}
-					m.ByPC[ev.PC] = bs
-				}
-				bs.Count++
-				if ev.Taken {
-					bs.Taken++
-				}
-			}
-			if cfg.UseSFPF && ev.Guard != isa.P0 && ev.GuardDist >= cfg.ResolveDelay {
-				if !ev.GuardVal {
-					// Known-false guard: the branch cannot be taken.
-					m.Filtered++
-					if ev.Taken {
-						m.FilterErrors++ // impossible by ISA semantics
-					}
-					if bs != nil {
-						bs.Filtered++
-					}
-					if cfg.TrainFiltered {
-						p.Update(ev.PC, ev.Taken)
-					}
-					continue
-				}
-				if cfg.FilterTrue && ev.GuardImpliesTaken {
-					// Known-true guard on a guard-implies-taken branch.
-					m.FilteredTrue++
-					if !ev.Taken {
-						m.FilterErrors++
-					}
-					if bs != nil {
-						bs.Filtered++
-					}
-					if cfg.TrainFiltered {
-						p.Update(ev.PC, ev.Taken)
-					}
-					continue
-				}
-			}
-			pred := p.Predict(ev.PC)
-			if pred != ev.Taken {
-				m.Mispredicts++
-				if ev.Region {
-					m.RegionMispredicts++
-				}
-				if bs != nil {
-					bs.Mispredicts++
-				}
-			}
-			p.Update(ev.PC, ev.Taken)
-		}
+	e := NewEvaluator(cfg)
+	var ev trace.Event
+	for r.Next(&ev) {
+		e.Feed(&ev)
 	}
 	if err := r.Err(); err != nil {
-		return m, err
+		return e.m, err
 	}
-	m.Insts = r.Counts().Insts
-	return m, nil
+	e.m.Insts = r.Counts().Insts
+	return e.m, nil
 }

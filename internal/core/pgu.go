@@ -42,6 +42,23 @@ func (p PGUPolicy) String() string {
 	return fmt.Sprintf("pgu(%d)", int(p))
 }
 
+// ParsePGUPolicy reads the command-line/API spelling of a policy: "off"
+// (or empty), "region", "branch", "all". The String() forms are also
+// accepted, so Parse(p.String()) round-trips.
+func ParsePGUPolicy(s string) (PGUPolicy, error) {
+	switch s {
+	case "", "off":
+		return PGUOff, nil
+	case "region", "region-guards":
+		return PGURegionGuards, nil
+	case "branch", "branch-guards":
+		return PGUBranchGuards, nil
+	case "all":
+		return PGUAll, nil
+	}
+	return PGUOff, fmt.Errorf("core: unknown PGU policy %q (off, region, branch, all)", s)
+}
+
 // Selects reports whether the policy inserts this predicate-define event.
 func (p PGUPolicy) Selects(ev *trace.Event) bool {
 	if ev.Kind != trace.KindPredDef {

@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Wire types for the JSON API. The binary alternative for event batches
+// and sweep uploads is the P64T trace format (internal/trace), selected
+// by Content-Type: application/octet-stream.
+
+// EvalOptions are the mechanism knobs shared by session creation and
+// sweep requests; they mirror core.EvalConfig minus the predictor.
+type EvalOptions struct {
+	SFPF          bool    `json:"sfpf,omitempty"`
+	FilterTrue    bool    `json:"filter_true,omitempty"`
+	TrainFiltered bool    `json:"train_filtered,omitempty"`
+	ResolveDelay  *uint64 `json:"resolve_delay,omitempty"` // default core.DefaultResolveDelay
+	PGU           string  `json:"pgu,omitempty"`           // off | region | branch | all
+	PGUDelay      *uint64 `json:"pgu_delay,omitempty"`     // default core.DefaultPGUDelay
+	PerBranch     bool    `json:"per_branch,omitempty"`
+}
+
+// Config builds the evaluation config (without a predictor).
+func (o EvalOptions) Config() (core.EvalConfig, error) {
+	pol, err := core.ParsePGUPolicy(o.PGU)
+	if err != nil {
+		return core.EvalConfig{}, err
+	}
+	cfg := core.EvalConfig{
+		UseSFPF:       o.SFPF,
+		FilterTrue:    o.FilterTrue,
+		TrainFiltered: o.TrainFiltered,
+		ResolveDelay:  core.DefaultResolveDelay,
+		PGU:           pol,
+		PGUDelay:      core.DefaultPGUDelay,
+		PerBranch:     o.PerBranch,
+	}
+	if o.ResolveDelay != nil {
+		cfg.ResolveDelay = *o.ResolveDelay
+	}
+	if o.PGUDelay != nil {
+		cfg.PGUDelay = *o.PGUDelay
+	}
+	return cfg, nil
+}
+
+// SessionRequest creates a session bound to one predictor spec.
+type SessionRequest struct {
+	Spec string `json:"spec"`
+	EvalOptions
+}
+
+// SessionJSON is the wire form of SessionInfo.
+type SessionJSON struct {
+	ID       string       `json:"id"`
+	Spec     string       `json:"spec"`
+	Events   uint64       `json:"events"`
+	Batches  uint64       `json:"batches"`
+	Created  time.Time    `json:"created"`
+	LastUsed time.Time    `json:"last_used"`
+	Metrics  *MetricsJSON `json:"metrics,omitempty"`
+}
+
+func sessionJSON(inf *SessionInfo, withMetrics bool) SessionJSON {
+	out := SessionJSON{
+		ID: inf.ID, Spec: inf.Spec,
+		Events: inf.Events, Batches: inf.Batches,
+		Created: inf.Created, LastUsed: inf.LastUsed,
+	}
+	if withMetrics {
+		mj := MetricsToJSON(inf.Metrics)
+		out.Metrics = &mj
+	}
+	return out
+}
+
+// EventJSON is the wire form of one trace event.
+type EventJSON struct {
+	Kind string `json:"kind"` // "branch" | "preddef"
+	Step uint64 `json:"step"`
+	PC   uint64 `json:"pc"`
+
+	Taken             bool   `json:"taken,omitempty"`
+	Guard             uint8  `json:"guard,omitempty"`
+	GuardVal          bool   `json:"guard_val,omitempty"`
+	GuardDist         uint64 `json:"guard_dist,omitempty"`
+	Region            bool   `json:"region,omitempty"`
+	GuardImpliesTaken bool   `json:"guard_implies_taken,omitempty"`
+
+	Executed          bool `json:"executed,omitempty"`
+	Value             bool `json:"value,omitempty"`
+	FeedsBranch       bool `json:"feeds_branch,omitempty"`
+	FeedsRegionBranch bool `json:"feeds_region_branch,omitempty"`
+}
+
+// EventToJSON converts a trace event to its wire form.
+func EventToJSON(ev *trace.Event) EventJSON {
+	kind := "branch"
+	if ev.Kind == trace.KindPredDef {
+		kind = "preddef"
+	}
+	return EventJSON{
+		Kind: kind, Step: ev.Step, PC: ev.PC,
+		Taken: ev.Taken, Guard: uint8(ev.Guard), GuardVal: ev.GuardVal,
+		GuardDist: ev.GuardDist, Region: ev.Region,
+		GuardImpliesTaken: ev.GuardImpliesTaken,
+		Executed:          ev.Executed, Value: ev.Value,
+		FeedsBranch: ev.FeedsBranch, FeedsRegionBranch: ev.FeedsRegionBranch,
+	}
+}
+
+// Event converts the wire form back to a trace event.
+func (e EventJSON) Event() (trace.Event, error) {
+	ev := trace.Event{
+		Step: e.Step, PC: e.PC,
+		Taken: e.Taken, Guard: isa.PReg(e.Guard), GuardVal: e.GuardVal,
+		GuardDist: e.GuardDist, Region: e.Region,
+		GuardImpliesTaken: e.GuardImpliesTaken,
+		Executed:          e.Executed, Value: e.Value,
+		FeedsBranch: e.FeedsBranch, FeedsRegionBranch: e.FeedsRegionBranch,
+	}
+	switch e.Kind {
+	case "branch":
+		ev.Kind = trace.KindBranch
+	case "preddef":
+		ev.Kind = trace.KindPredDef
+	default:
+		return trace.Event{}, fmt.Errorf("unknown event kind %q (branch, preddef)", e.Kind)
+	}
+	return ev, nil
+}
+
+// BatchRequest feeds events into a session (JSON form). Insts credits
+// dynamic instructions executed over the batch, so MPKI stays meaningful.
+type BatchRequest struct {
+	Events []EventJSON `json:"events"`
+	Insts  uint64      `json:"insts,omitempty"`
+}
+
+// BatchResponse acknowledges an accepted batch.
+type BatchResponse struct {
+	Events      int          `json:"events"`
+	TotalEvents uint64       `json:"total_events"`
+	Metrics     *MetricsJSON `json:"metrics,omitempty"`
+}
+
+// BranchStatsJSON is the wire form of core.BranchStats.
+type BranchStatsJSON struct {
+	PC          uint64 `json:"pc"`
+	Count       uint64 `json:"count"`
+	Taken       uint64 `json:"taken"`
+	Mispredicts uint64 `json:"mispredicts"`
+	Filtered    uint64 `json:"filtered"`
+	Region      bool   `json:"region,omitempty"`
+}
+
+// MetricsJSON is the wire form of core.Metrics plus derived rates. The
+// conversion is lossless over the counter fields: MetricsToJSON followed
+// by Metrics reproduces the original struct exactly, which is what the
+// serve-vs-direct oracle check relies on.
+type MetricsJSON struct {
+	Insts             uint64 `json:"insts"`
+	Branches          uint64 `json:"branches"`
+	Mispredicts       uint64 `json:"mispredicts"`
+	RegionBranches    uint64 `json:"region_branches"`
+	RegionMispredicts uint64 `json:"region_mispredicts"`
+	Filtered          uint64 `json:"filtered"`
+	FilteredTrue      uint64 `json:"filtered_true"`
+	FilterErrors      uint64 `json:"filter_errors"`
+	PredDefs          uint64 `json:"pred_defs"`
+	InsertedBits      uint64 `json:"inserted_bits"`
+
+	MispredictRate float64 `json:"mispredict_rate"`
+	MPKI           float64 `json:"mpki"`
+
+	ByPC map[string]BranchStatsJSON `json:"by_pc,omitempty"`
+}
+
+// MetricsToJSON converts evaluation metrics to the wire form.
+func MetricsToJSON(m core.Metrics) MetricsJSON {
+	out := MetricsJSON{
+		Insts: m.Insts, Branches: m.Branches, Mispredicts: m.Mispredicts,
+		RegionBranches: m.RegionBranches, RegionMispredicts: m.RegionMispredicts,
+		Filtered: m.Filtered, FilteredTrue: m.FilteredTrue, FilterErrors: m.FilterErrors,
+		PredDefs: m.PredDefs, InsertedBits: m.InsertedBits,
+		MispredictRate: m.MispredictRate(), MPKI: m.MPKI(),
+	}
+	if m.ByPC != nil {
+		out.ByPC = make(map[string]BranchStatsJSON, len(m.ByPC))
+		for pc, bs := range m.ByPC {
+			out.ByPC[strconv.FormatUint(pc, 10)] = BranchStatsJSON{
+				PC: bs.PC, Count: bs.Count, Taken: bs.Taken,
+				Mispredicts: bs.Mispredicts, Filtered: bs.Filtered, Region: bs.Region,
+			}
+		}
+	}
+	return out
+}
+
+// Metrics converts the wire form back to core.Metrics (derived rate
+// fields are recomputed by the methods on core.Metrics, not stored).
+func (j MetricsJSON) Metrics() (core.Metrics, error) {
+	m := core.Metrics{
+		Insts: j.Insts, Branches: j.Branches, Mispredicts: j.Mispredicts,
+		RegionBranches: j.RegionBranches, RegionMispredicts: j.RegionMispredicts,
+		Filtered: j.Filtered, FilteredTrue: j.FilteredTrue, FilterErrors: j.FilterErrors,
+		PredDefs: j.PredDefs, InsertedBits: j.InsertedBits,
+	}
+	if j.ByPC != nil {
+		m.ByPC = make(map[uint64]*core.BranchStats, len(j.ByPC))
+		for key, bs := range j.ByPC {
+			pc, err := strconv.ParseUint(key, 10, 64)
+			if err != nil {
+				return core.Metrics{}, fmt.Errorf("bad by_pc key %q: %w", key, err)
+			}
+			m.ByPC[pc] = &core.BranchStats{
+				PC: bs.PC, Count: bs.Count, Taken: bs.Taken,
+				Mispredicts: bs.Mispredicts, Filtered: bs.Filtered, Region: bs.Region,
+			}
+		}
+	}
+	return m, nil
+}
+
+// SweepRequest evaluates a grid of predictor specs over one workload
+// trace (named workload in the JSON form; an uploaded P64T trace in the
+// binary form, with specs and options in query parameters).
+type SweepRequest struct {
+	Specs     []string `json:"specs"`
+	Workload  string   `json:"workload,omitempty"`
+	Convert   bool     `json:"convert,omitempty"`
+	Limit     uint64   `json:"limit,omitempty"`
+	TimeoutMS int      `json:"timeout_ms,omitempty"`
+	EvalOptions
+}
+
+// SweepRow is one grid point's result.
+type SweepRow struct {
+	Spec    string      `json:"spec"`
+	Metrics MetricsJSON `json:"metrics"`
+}
+
+// SweepResponse carries the whole grid, in spec order.
+type SweepResponse struct {
+	Workload string     `json:"workload"`
+	Events   int        `json:"events"`
+	Rows     []SweepRow `json:"rows"`
+}
+
+// WorkloadJSON describes one built-in workload.
+type WorkloadJSON struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// PredictorsResponse lists the registry's predictor kinds.
+type PredictorsResponse struct {
+	Kinds []string `json:"kinds"`
+	Usage string   `json:"usage"`
+}
+
+// ErrorBody is the consistent error envelope every non-2xx API response
+// carries.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail names the failure class and describes it.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}

@@ -1,0 +1,369 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ifconv"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, errCode, msg string) {
+	body := ErrorBody{}
+	body.Error.Code = errCode
+	body.Error.Message = msg
+	writeJSON(w, code, body)
+}
+
+// writeMgrError maps a session-manager error onto the error envelope.
+func writeMgrError(w http.ResponseWriter, s *Server, err error) {
+	code, errCode := httpStatus(err)
+	if errors.Is(err, ErrBusy) {
+		s.tel.backpressure.inc()
+	}
+	writeError(w, code, errCode, err.Error())
+}
+
+// decodeJSON reads a JSON body, translating an oversized body into 413.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func isBinary(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	return strings.HasPrefix(ct, "application/octet-stream") || strings.HasPrefix(ct, "application/x-p64-trace")
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	spec, err := sim.Parse(req.Spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_spec", err.Error())
+		return
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	cfg.Predictor, err = spec.New()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_spec", err.Error())
+		return
+	}
+	inf, err := s.mgr.Create(r.Context(), spec, cfg)
+	if err != nil {
+		writeMgrError(w, s, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sessionJSON(inf, false))
+}
+
+func (s *Server) handlePostEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var events []trace.Event
+	var insts uint64
+	if isBinary(r) {
+		tr, err := trace.ReadTrace(r.Body)
+		if err != nil {
+			var maxErr *http.MaxBytesError
+			if errors.As(err, &maxErr) {
+				writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+					fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit))
+				return
+			}
+			writeError(w, http.StatusBadRequest, "bad_trace", err.Error())
+			return
+		}
+		events, insts = tr.Events, tr.Insts
+	} else {
+		var req BatchRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		events = make([]trace.Event, len(req.Events))
+		for i, ej := range req.Events {
+			ev, err := ej.Event()
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad_event", fmt.Sprintf("event %d: %v", i, err))
+				return
+			}
+			events[i] = ev
+		}
+		insts = req.Insts
+	}
+	withMetrics := r.URL.Query().Get("metrics") == "1"
+	res, err := s.mgr.Feed(r.Context(), id, events, insts, withMetrics)
+	if err != nil {
+		writeMgrError(w, s, err)
+		return
+	}
+	resp := BatchResponse{Events: res.Events, TotalEvents: res.TotalEvents}
+	if res.Info != nil {
+		mj := MetricsToJSON(res.Info.Metrics)
+		resp.Metrics = &mj
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	inf, err := s.mgr.Metrics(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeMgrError(w, s, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionJSON(inf, true))
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	inf, err := s.mgr.Delete(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeMgrError(w, s, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionJSON(inf, true))
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	infos, err := s.mgr.List(r.Context())
+	if err != nil {
+		writeMgrError(w, s, err)
+		return
+	}
+	out := struct {
+		Count    int           `json:"count"`
+		Sessions []SessionJSON `json:"sessions"`
+	}{Count: len(infos), Sessions: make([]SessionJSON, 0, len(infos))}
+	for _, inf := range infos {
+		out.Sessions = append(out.Sessions, sessionJSON(inf, false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// parseSweepQuery reads the query-parameter form of a sweep request used
+// with binary trace uploads.
+func parseSweepQuery(r *http.Request) (SweepRequest, error) {
+	q := r.URL.Query()
+	var req SweepRequest
+	for _, v := range q["spec"] {
+		for _, f := range strings.Split(v, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				req.Specs = append(req.Specs, f)
+			}
+		}
+	}
+	boolArg := func(key string) bool { v := q.Get(key); return v == "1" || v == "true" }
+	req.SFPF = boolArg("sfpf")
+	req.FilterTrue = boolArg("filter_true")
+	req.TrainFiltered = boolArg("train_filtered")
+	req.PerBranch = boolArg("per_branch")
+	req.PGU = q.Get("pgu")
+	for key, dst := range map[string]**uint64{"resolve_delay": &req.ResolveDelay, "pgu_delay": &req.PGUDelay} {
+		if v := q.Get(key); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return req, fmt.Errorf("bad %s %q", key, v)
+			}
+			*dst = &n
+		}
+	}
+	if v := q.Get("timeout_ms"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return req, fmt.Errorf("bad timeout_ms %q", v)
+		}
+		req.TimeoutMS = n
+	}
+	return req, nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	var tr *trace.Trace
+	if isBinary(r) {
+		var err error
+		if req, err = parseSweepQuery(r); err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+		if tr, err = trace.ReadTrace(r.Body); err != nil {
+			writeError(w, http.StatusBadRequest, "bad_trace", err.Error())
+			return
+		}
+	} else if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Specs) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "no predictor specs given")
+		return
+	}
+	if len(req.Specs) > s.cfg.MaxSweepSpecs {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("%d specs exceeds the per-request limit of %d", len(req.Specs), s.cfg.MaxSweepSpecs))
+		return
+	}
+	specs := make([]sim.Spec, len(req.Specs))
+	for i, text := range req.Specs {
+		sp, err := sim.Parse(text)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_spec", err.Error())
+			return
+		}
+		specs[i] = sp
+	}
+	baseCfg, err := req.Config()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+
+	if tr == nil {
+		if req.Workload == "" {
+			writeError(w, http.StatusBadRequest, "bad_request", "need a workload name or an uploaded trace")
+			return
+		}
+		wl, err := workload.ByName(req.Workload)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_workload", err.Error())
+			return
+		}
+		limit := req.Limit
+		if limit == 0 {
+			limit = 2_000_000
+		}
+		if limit > s.cfg.MaxSweepLimit {
+			limit = s.cfg.MaxSweepLimit
+		}
+		p := wl.Build()
+		if req.Convert {
+			cp, _, err := ifconv.Convert(p, ifconv.Config{})
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, "internal", err.Error())
+				return
+			}
+			p = cp
+		}
+		if tr, err = trace.Collect(p, limit); err != nil {
+			writeError(w, http.StatusBadRequest, "bad_workload", err.Error())
+			return
+		}
+	}
+
+	// Per-request deadline; the context is the request's, so a client
+	// disconnect cancels the fan-out mid-sweep.
+	timeout := s.cfg.SweepTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	s.tel.sweeps.inc()
+	s.tel.sweepEvals.add(uint64(len(specs)))
+	rows, err := sim.Map(ctx, specs, s.cfg.SweepWorkers, func(ctx context.Context, sp sim.Spec) (SweepRow, error) {
+		cfg := baseCfg
+		var err error
+		if cfg.Predictor, err = sp.New(); err != nil {
+			return SweepRow{}, err
+		}
+		m, err := core.EvaluateStream(&ctxReader{ctx: ctx, r: tr.Replay()}, cfg)
+		if err != nil {
+			return SweepRow{}, err
+		}
+		return SweepRow{Spec: sp.String(), Metrics: MetricsToJSON(m)}, nil
+	})
+	if err != nil {
+		code, errCode := http.StatusInternalServerError, "internal"
+		if ctx.Err() != nil {
+			code, errCode = http.StatusGatewayTimeout, "timeout"
+		}
+		writeError(w, code, errCode, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, SweepResponse{Workload: tr.Name, Events: len(tr.Events), Rows: rows})
+}
+
+func (s *Server) handlePredictors(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, PredictorsResponse{Kinds: sim.Kinds(), Usage: sim.Usage()})
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	ws := workload.All()
+	out := make([]WorkloadJSON, len(ws))
+	for i, wl := range ws {
+		out[i] = WorkloadJSON{Name: wl.Name, Description: wl.Description}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetricsPage(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.tel.render(w)
+}
+
+// ctxReader wraps a trace reader with periodic context checks, so a
+// cancelled sweep (timeout or client disconnect) stops mid-replay instead
+// of finishing the whole trace first.
+type ctxReader struct {
+	ctx context.Context
+	r   trace.Reader
+	n   int
+	err error
+}
+
+func (c *ctxReader) Next(ev *trace.Event) bool {
+	if c.err != nil {
+		return false
+	}
+	if c.n++; c.n&1023 == 0 {
+		if err := c.ctx.Err(); err != nil {
+			c.err = err
+			return false
+		}
+	}
+	return c.r.Next(ev)
+}
+
+func (c *ctxReader) Err() error {
+	if c.err != nil {
+		return c.err
+	}
+	return c.r.Err()
+}
+
+func (c *ctxReader) Counts() trace.Counts { return c.r.Counts() }

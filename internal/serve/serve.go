@@ -1,0 +1,271 @@
+// Package serve exposes the simulation engine as a long-running HTTP
+// service: prediction-as-a-service on top of the predictor registry
+// (internal/sim), the incremental evaluator (internal/core), and the
+// trace wire format (internal/trace).
+//
+// The service has three request shapes:
+//
+//   - Sessions: a client creates a session bound to any registry spec and
+//     mechanism configuration, streams branch/predicate events to it in
+//     batches (JSON or binary P64T), and reads incremental metrics — the
+//     online evaluation loop of Lin & Tarsa's "helper predictors against
+//     live branch streams". Sessions are sharded across a fixed worker
+//     set with single-writer ownership (no per-event locking), bounded in
+//     count and approximate memory, LRU-evicted under capacity pressure,
+//     and expired by idle TTL.
+//   - Sweeps: a grid of specs evaluated against a named workload or an
+//     uploaded trace, fanned out over sim.Sweep with per-request timeout
+//     and cancellation on client disconnect.
+//   - Observability: /metrics (Prometheus text format, no external
+//     dependencies), /debug/pprof, structured request logs, and a
+//     consistent JSON error envelope.
+//
+// Robustness: request-size and rate limits, 429 backpressure when a shard
+// batch queue fills, and graceful shutdown that drains queued session
+// work (shut the http.Server down first so no handler is mid-enqueue,
+// then Close the serve.Server).
+package serve
+
+import (
+	"errors"
+	"io"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config parameterises the server. The zero value gets sensible
+// defaults from New.
+type Config struct {
+	// Shards is the number of session-owning workers; 0 means GOMAXPROCS.
+	Shards int
+	// MaxSessions bounds resident sessions across all shards.
+	MaxSessions int
+	// MaxSessionBytes bounds the approximate resident session memory.
+	MaxSessionBytes int64
+	// SessionTTL expires sessions idle longer than this; 0 disables.
+	SessionTTL time.Duration
+	// MinEvictIdle is the minimum idle time before a session may be
+	// LRU-evicted for capacity; live sessions are never evicted.
+	MinEvictIdle time.Duration
+	// QueueDepth is the per-shard op queue; a full queue rejects batches
+	// with 429.
+	QueueDepth int
+
+	// MaxBody caps request body size in bytes.
+	MaxBody int64
+	// RatePerSec enables a global token-bucket rate limit on /v1
+	// endpoints; 0 disables.
+	RatePerSec float64
+	// RateBurst is the bucket size when rate limiting is on.
+	RateBurst int
+
+	// SweepTimeout caps a sweep request that sets no timeout_ms.
+	SweepTimeout time.Duration
+	// SweepWorkers is the sweep fan-out; 0 means GOMAXPROCS.
+	SweepWorkers int
+	// MaxSweepSpecs caps the grid size of one sweep request.
+	MaxSweepSpecs int
+	// MaxSweepLimit caps the emulation step limit of a named-workload sweep.
+	MaxSweepLimit uint64
+
+	// Logger receives one structured line per request; nil discards.
+	Logger *log.Logger
+	// Now is the clock (tests may fake it).
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.MaxSessionBytes <= 0 {
+		c.MaxSessionBytes = 256 << 20
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 10 * time.Minute
+	}
+	if c.MinEvictIdle == 0 {
+		c.MinEvictIdle = 250 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 64 << 20
+	}
+	if c.RateBurst <= 0 {
+		c.RateBurst = 128
+	}
+	if c.SweepTimeout <= 0 {
+		c.SweepTimeout = 30 * time.Second
+	}
+	if c.MaxSweepSpecs <= 0 {
+		c.MaxSweepSpecs = 64
+	}
+	if c.MaxSweepLimit == 0 {
+		c.MaxSweepLimit = 10_000_000
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(io.Discard, "", 0)
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Server is the serving subsystem: session manager, sweep runner, and
+// observability, behind one http.Handler.
+type Server struct {
+	cfg    Config
+	tel    *telemetry
+	mgr    *sessionManager
+	mux    *http.ServeMux
+	bucket *tokenBucket
+	log    *log.Logger
+}
+
+// New builds a Server from the config (zero value OK).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	tel := newTelemetry()
+	s := &Server{
+		cfg: cfg,
+		tel: tel,
+		mgr: newSessionManager(cfg, tel),
+		mux: http.NewServeMux(),
+		log: cfg.Logger,
+	}
+	if cfg.RatePerSec > 0 {
+		s.bucket = newTokenBucket(cfg.RatePerSec, float64(cfg.RateBurst), cfg.Now)
+	}
+	tel.addGauge("bpservd_sessions_live", "Resident sessions.", func() float64 { return float64(s.mgr.Live()) })
+	tel.addGauge("bpservd_session_bytes", "Approximate resident session memory in bytes.", func() float64 { return float64(s.mgr.Bytes()) })
+	tel.addGauge("bpservd_queue_depth", "Queued, unprocessed session operations across shards.", func() float64 { return float64(s.mgr.QueueDepth()) })
+
+	s.mux.Handle("POST /v1/sessions", s.api("create_session", s.handleCreateSession))
+	s.mux.Handle("GET /v1/sessions", s.api("list_sessions", s.handleListSessions))
+	s.mux.Handle("POST /v1/sessions/{id}/events", s.api("post_events", s.handlePostEvents))
+	s.mux.Handle("GET /v1/sessions/{id}", s.api("get_session", s.handleGetSession))
+	s.mux.Handle("DELETE /v1/sessions/{id}", s.api("delete_session", s.handleDeleteSession))
+	s.mux.Handle("POST /v1/sweep", s.api("sweep", s.handleSweep))
+	s.mux.Handle("GET /v1/predictors", s.api("predictors", s.handlePredictors))
+	s.mux.Handle("GET /v1/workloads", s.api("workloads", s.handleWorkloads))
+	s.mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
+	s.mux.Handle("GET /metrics", s.instrument("metrics", false, s.handleMetricsPage))
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the session shards and stops their workers. Call it after
+// http.Server.Shutdown has returned, so no handler is mid-enqueue; queued
+// batches finish evaluating before Close returns. It reports the number
+// of sessions that were still live.
+func (s *Server) Close() int64 { return s.mgr.Close() }
+
+// api wraps an API handler with rate limiting plus instrumentation.
+func (s *Server) api(endpoint string, h http.HandlerFunc) http.Handler {
+	return s.instrument(endpoint, true, h)
+}
+
+// statusWriter captures the response code and size for metrics/logs.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// instrument applies the cross-cutting request policy: optional rate
+// limiting, body size capping, latency/status accounting, and one
+// structured log line per request.
+func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := s.cfg.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		if limited && s.bucket != nil && !s.bucket.allow() {
+			s.tel.rateLimited.inc()
+			writeError(sw, http.StatusTooManyRequests, "rate_limited", "request rate limit exceeded")
+		} else {
+			if r.Body != nil {
+				r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBody)
+			}
+			h(sw, r)
+		}
+		d := s.cfg.Now().Sub(start)
+		s.tel.countRequest(endpoint, sw.code, d)
+		s.log.Printf("method=%s path=%s endpoint=%s status=%d dur_us=%d bytes=%d",
+			r.Method, r.URL.Path, endpoint, sw.code, d.Microseconds(), sw.bytes)
+	})
+}
+
+// tokenBucket is a minimal global rate limiter (stdlib only).
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate, burst float64, now func() time.Time) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: now(), now: now}
+}
+
+func (b *tokenBucket) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	b.last = now
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// httpStatus maps a manager/handler error to its status code and
+// machine-readable error code.
+func httpStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound, "not_found"
+	case errors.Is(err, ErrBusy):
+		return http.StatusTooManyRequests, "queue_full"
+	case errors.Is(err, ErrFull):
+		return http.StatusServiceUnavailable, "capacity"
+	case errors.Is(err, ErrClosing):
+		return http.StatusServiceUnavailable, "shutting_down"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}

@@ -1,0 +1,487 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Session-manager errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrNotFound reports an unknown (or already evicted/expired) session.
+	ErrNotFound = errors.New("serve: session not found")
+	// ErrBusy reports a full shard batch queue; the client should back off
+	// and retry (HTTP 429).
+	ErrBusy = errors.New("serve: batch queue full")
+	// ErrFull reports that the session table is at capacity and every
+	// resident session is live (recently used), so none can be evicted.
+	ErrFull = errors.New("serve: session capacity reached")
+	// ErrClosing reports a manager that is draining for shutdown.
+	ErrClosing = errors.New("serve: server shutting down")
+)
+
+// SessionInfo is the externally visible state of one session.
+type SessionInfo struct {
+	ID       string
+	Spec     string
+	Events   uint64
+	Batches  uint64
+	Created  time.Time
+	LastUsed time.Time
+	Metrics  core.Metrics
+}
+
+// FeedResult acknowledges one accepted batch.
+type FeedResult struct {
+	Events      int    // events in this batch
+	TotalEvents uint64 // session lifetime total
+	Info        *SessionInfo
+}
+
+// session is the manager-internal state; owned exclusively by its shard's
+// goroutine, so no field needs locking.
+type session struct {
+	id      string
+	spec    sim.Spec
+	eval    *core.Evaluator
+	events  uint64
+	batches uint64
+	bytes   int64
+	created time.Time
+	last    time.Time
+	elem    *list.Element
+}
+
+func (s *session) info(withMetrics bool) *SessionInfo {
+	inf := &SessionInfo{
+		ID: s.id, Spec: s.spec.String(),
+		Events: s.events, Batches: s.batches,
+		Created: s.created, LastUsed: s.last,
+	}
+	if withMetrics {
+		inf.Metrics = s.eval.Snapshot()
+	} else {
+		// Cheap summary: the counter fields without cloning ByPC.
+		inf.Metrics = s.eval.Metrics()
+		inf.Metrics.ByPC = nil
+	}
+	return inf
+}
+
+// shard owns a partition of the session table. All mutation happens on
+// the shard's run goroutine, which executes queued ops one at a time:
+// single-writer ownership means the event-feed hot path takes no locks.
+type shard struct {
+	mgr *sessionManager
+
+	ops  chan func()
+	quit chan struct{}
+
+	// Owned by the run goroutine.
+	sessions map[string]*session
+	lru      *list.List // front = most recently used
+	bytes    int64
+
+	maxSessions int
+	maxBytes    int64
+}
+
+func (sh *shard) run(ttl, sweepEvery time.Duration) {
+	defer sh.mgr.wg.Done()
+	ticker := time.NewTicker(sweepEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case op := <-sh.ops:
+			op()
+		case <-ticker.C:
+			if ttl > 0 {
+				sh.expire(sh.mgr.now())
+			}
+			sh.makeRoom(sh.mgr.now(), 0)
+		case <-sh.quit:
+			// Drain: every op already enqueued executes before exit, so
+			// in-flight batches are never dropped by shutdown.
+			for {
+				select {
+				case op := <-sh.ops:
+					op()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (sh *shard) insert(s *session) {
+	sh.sessions[s.id] = s
+	s.elem = sh.lru.PushFront(s)
+	sh.bytes += s.bytes
+	sh.mgr.live.Add(1)
+	sh.mgr.bytes.Add(s.bytes)
+	sh.mgr.tel.sessCreated.inc()
+}
+
+func (sh *shard) touch(s *session, now time.Time) {
+	s.last = now
+	sh.lru.MoveToFront(s.elem)
+}
+
+func (sh *shard) setBytes(s *session, b int64) {
+	sh.bytes += b - s.bytes
+	sh.mgr.bytes.Add(b - s.bytes)
+	s.bytes = b
+}
+
+func (sh *shard) remove(s *session, c *counter) {
+	delete(sh.sessions, s.id)
+	sh.lru.Remove(s.elem)
+	sh.bytes -= s.bytes
+	sh.mgr.live.Add(-1)
+	sh.mgr.bytes.Add(-s.bytes)
+	c.inc()
+}
+
+// expire drops sessions idle longer than the TTL.
+func (sh *shard) expire(now time.Time) {
+	ttl := sh.mgr.cfg.SessionTTL
+	for e := sh.lru.Back(); e != nil; {
+		s := e.Value.(*session)
+		prev := e.Prev()
+		if now.Sub(s.last) <= ttl {
+			break // LRU order: everything further forward is younger
+		}
+		sh.remove(s, &sh.mgr.tel.sessExpired)
+		e = prev
+	}
+}
+
+// makeRoom evicts least-recently-used sessions until the shard fits one
+// more session plus the count/byte bounds. Only sessions idle at least
+// MinEvictIdle are candidates: a live session — one a client is actively
+// feeding or polling — is never evicted, so its metrics cannot be lost to
+// capacity pressure. Returns false if the bounds cannot be met.
+func (sh *shard) makeRoom(now time.Time, extra int) bool {
+	over := func() bool {
+		return len(sh.sessions)+extra > sh.maxSessions || sh.bytes > sh.maxBytes
+	}
+	for over() {
+		// The LRU tail is the least recently used session; if even it is
+		// younger than MinEvictIdle, no session is evictable.
+		e := sh.lru.Back()
+		if e == nil {
+			return !over()
+		}
+		s := e.Value.(*session)
+		if now.Sub(s.last) < sh.mgr.cfg.MinEvictIdle {
+			return !over()
+		}
+		sh.remove(s, &sh.mgr.tel.sessEvicted)
+	}
+	return true
+}
+
+// sessionManager shards sessions across a fixed set of single-writer
+// workers. Session IDs hash to a shard; every operation on a session runs
+// on that shard's goroutine.
+type sessionManager struct {
+	cfg Config
+	tel *telemetry
+	now func() time.Time
+
+	shards []*shard
+	idctr  atomic.Uint64
+	idsalt uint64
+
+	live   atomic.Int64
+	bytes  atomic.Int64
+	closed atomic.Bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+func newSessionManager(cfg Config, tel *telemetry) *sessionManager {
+	m := &sessionManager{
+		cfg: cfg, tel: tel, now: cfg.Now,
+		idsalt: rand.Uint64(),
+		done:   make(chan struct{}),
+	}
+	perShardSessions := (cfg.MaxSessions + cfg.Shards - 1) / cfg.Shards
+	if perShardSessions < 1 {
+		perShardSessions = 1
+	}
+	perShardBytes := cfg.MaxSessionBytes / int64(cfg.Shards)
+	if perShardBytes < 1 {
+		perShardBytes = 1
+	}
+	sweepEvery := time.Second
+	if ttl := cfg.SessionTTL; ttl > 0 && ttl/4 < sweepEvery {
+		sweepEvery = ttl / 4
+		if sweepEvery < time.Millisecond {
+			sweepEvery = time.Millisecond
+		}
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			mgr:         m,
+			ops:         make(chan func(), cfg.QueueDepth),
+			quit:        make(chan struct{}),
+			sessions:    make(map[string]*session),
+			lru:         list.New(),
+			maxSessions: perShardSessions,
+			maxBytes:    perShardBytes,
+		}
+		m.shards = append(m.shards, sh)
+		m.wg.Add(1)
+		go sh.run(cfg.SessionTTL, sweepEvery)
+	}
+	return m
+}
+
+func (m *sessionManager) newID() string {
+	return fmt.Sprintf("s%06x-%08x", m.idctr.Add(1), uint32(m.idsalt>>32)^uint32(m.idsalt)^rand.Uint32())
+}
+
+func (m *sessionManager) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return m.shards[h.Sum32()%uint32(len(m.shards))]
+}
+
+// enqueue submits an op to a shard. Blocking ops wait for queue space
+// (bounded by ctx); batch ops instead fail fast with ErrBusy when the
+// queue is full — the HTTP layer turns that into 429 backpressure.
+func (m *sessionManager) enqueue(ctx context.Context, sh *shard, op func(), block bool) error {
+	if m.closed.Load() {
+		return ErrClosing
+	}
+	if !block {
+		select {
+		case sh.ops <- op:
+			return nil
+		default:
+			return ErrBusy
+		}
+	}
+	select {
+	case sh.ops <- op:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-m.done:
+		return ErrClosing
+	}
+}
+
+type sessionReply struct {
+	info *SessionInfo
+	feed FeedResult
+	err  error
+}
+
+func (m *sessionManager) wait(ctx context.Context, reply <-chan sessionReply) (sessionReply, error) {
+	select {
+	case r := <-reply:
+		return r, r.err
+	case <-ctx.Done():
+		return sessionReply{}, ctx.Err()
+	case <-m.done:
+		// All workers have exited, so no op is mid-run: either ours ran
+		// before the drain finished (reply is ready) or it never will.
+		select {
+		case r := <-reply:
+			return r, r.err
+		default:
+			return sessionReply{}, ErrClosing
+		}
+	}
+}
+
+// Create builds a session for the spec/config and returns its info. The
+// predictor inside cfg must be freshly built (ownership transfers to the
+// shard goroutine).
+func (m *sessionManager) Create(ctx context.Context, spec sim.Spec, cfg core.EvalConfig) (*SessionInfo, error) {
+	id := m.newID()
+	sh := m.shardFor(id)
+	reply := make(chan sessionReply, 1)
+	op := func() {
+		now := m.now()
+		if !sh.makeRoom(now, 1) {
+			reply <- sessionReply{err: ErrFull}
+			return
+		}
+		s := &session{
+			id: id, spec: spec,
+			eval:    core.NewEvaluator(cfg),
+			bytes:   specBytes(spec),
+			created: now, last: now,
+		}
+		sh.insert(s)
+		reply <- sessionReply{info: s.info(false)}
+	}
+	if err := m.enqueue(ctx, sh, op, true); err != nil {
+		return nil, err
+	}
+	r, err := m.wait(ctx, reply)
+	return r.info, err
+}
+
+// Feed streams one batch of events into a session. It applies
+// backpressure (ErrBusy) instead of blocking when the shard queue is
+// full. The events slice must not be reused by the caller afterwards.
+func (m *sessionManager) Feed(ctx context.Context, id string, events []trace.Event, insts uint64, withMetrics bool) (FeedResult, error) {
+	sh := m.shardFor(id)
+	reply := make(chan sessionReply, 1)
+	op := func() {
+		s, ok := sh.sessions[id]
+		if !ok {
+			reply <- sessionReply{err: ErrNotFound}
+			return
+		}
+		// The hot path: one goroutine, no locks, events fed back to back.
+		for i := range events {
+			s.eval.Feed(&events[i])
+		}
+		s.eval.AddInsts(insts)
+		s.events += uint64(len(events))
+		s.batches++
+		now := m.now()
+		sh.touch(s, now)
+		sh.setBytes(s, specBytes(s.spec)+int64(len(s.eval.Metrics().ByPC))*96)
+		m.tel.events.add(uint64(len(events)))
+		m.tel.batches.inc()
+		res := FeedResult{Events: len(events), TotalEvents: s.events}
+		if withMetrics {
+			res.Info = s.info(true)
+		}
+		reply <- sessionReply{feed: res}
+		sh.makeRoom(now, 0)
+	}
+	if err := m.enqueue(ctx, sh, op, false); err != nil {
+		return FeedResult{}, err
+	}
+	r, err := m.wait(ctx, reply)
+	return r.feed, err
+}
+
+// Metrics returns a snapshot of the session's metrics; it counts as a use
+// for LRU/TTL purposes, so polled sessions stay live.
+func (m *sessionManager) Metrics(ctx context.Context, id string) (*SessionInfo, error) {
+	return m.sessionOp(ctx, id, func(sh *shard, s *session) *SessionInfo {
+		sh.touch(s, m.now())
+		return s.info(true)
+	})
+}
+
+// Delete closes a session and returns its final metrics.
+func (m *sessionManager) Delete(ctx context.Context, id string) (*SessionInfo, error) {
+	return m.sessionOp(ctx, id, func(sh *shard, s *session) *SessionInfo {
+		inf := s.info(true)
+		sh.remove(s, &m.tel.sessClosed)
+		return inf
+	})
+}
+
+func (m *sessionManager) sessionOp(ctx context.Context, id string, fn func(*shard, *session) *SessionInfo) (*SessionInfo, error) {
+	sh := m.shardFor(id)
+	reply := make(chan sessionReply, 1)
+	op := func() {
+		s, ok := sh.sessions[id]
+		if !ok {
+			reply <- sessionReply{err: ErrNotFound}
+			return
+		}
+		reply <- sessionReply{info: fn(sh, s)}
+	}
+	if err := m.enqueue(ctx, sh, op, true); err != nil {
+		return nil, err
+	}
+	r, err := m.wait(ctx, reply)
+	return r.info, err
+}
+
+// List returns summaries (no per-branch maps) of every live session.
+func (m *sessionManager) List(ctx context.Context) ([]*SessionInfo, error) {
+	var out []*SessionInfo
+	for _, sh := range m.shards {
+		sh := sh
+		reply := make(chan []*SessionInfo, 1)
+		op := func() {
+			var batch []*SessionInfo
+			for e := sh.lru.Front(); e != nil; e = e.Next() {
+				batch = append(batch, e.Value.(*session).info(false))
+			}
+			reply <- batch
+		}
+		if err := m.enqueue(ctx, sh, op, true); err != nil {
+			return nil, err
+		}
+		select {
+		case batch := <-reply:
+			out = append(out, batch...)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return out, nil
+}
+
+// Live returns the number of resident sessions.
+func (m *sessionManager) Live() int64 { return m.live.Load() }
+
+// Bytes returns the approximate resident session memory.
+func (m *sessionManager) Bytes() int64 { return m.bytes.Load() }
+
+// QueueDepth returns the total number of queued, unprocessed ops.
+func (m *sessionManager) QueueDepth() int {
+	n := 0
+	for _, sh := range m.shards {
+		n += len(sh.ops)
+	}
+	return n
+}
+
+// Close drains every shard: new work is refused, queued ops complete,
+// workers exit. It returns the number of sessions that were still live.
+func (m *sessionManager) Close() int64 {
+	if m.closed.Swap(true) {
+		return m.live.Load()
+	}
+	for _, sh := range m.shards {
+		close(sh.quit)
+	}
+	m.wg.Wait()
+	close(m.done)
+	return m.live.Load()
+}
+
+// specBytes estimates a session's resident footprint from its predictor
+// spec: the dominant cost is the counter/weight tables, approximated as
+// two bytes per table entry. Per-branch stat maps are added as they grow.
+func specBytes(s sim.Spec) int64 {
+	n, err := sim.Parse(s.String()) // normalizes defaulted parameters
+	if err != nil {
+		return 1024
+	}
+	b := int64(1024)
+	for _, bits := range []int{n.TableBits, n.PatBits} {
+		if bits > 0 && bits <= 28 {
+			b += 2 << uint(bits)
+		}
+	}
+	if n.Kind == "gag" && n.HistBits > 0 && n.HistBits <= 28 {
+		b += 2 << uint(n.HistBits)
+	}
+	return b
+}

@@ -116,3 +116,24 @@ func TestMean(t *testing.T) {
 		t.Errorf("Mean(nil) = %f", got)
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{40, 10, 20, 30} // unsorted on purpose
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {-5, 10}, {200, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(xs, %v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("Percentile(single, 99) = %v, want 7", got)
+	}
+	if xs[0] != 40 {
+		t.Error("Percentile mutated its input")
+	}
+}

@@ -161,6 +161,10 @@ func CollectTrace(p *Program, limit uint64) (*Trace, error) {
 // mechanisms.
 func Evaluate(tr *Trace, cfg EvalConfig) Metrics { return core.Evaluate(tr, cfg) }
 
+// ParsePGUPolicy reads the textual PGU policy spelling ("off", "region",
+// "branch", "all") shared by the CLIs and the serving API.
+func ParsePGUPolicy(s string) (PGUPolicy, error) { return core.ParsePGUPolicy(s) }
+
 // NewSFPF returns a squash false path filter in its reset state.
 func NewSFPF() *SFPF { return core.NewSFPF() }
 
