@@ -158,6 +158,52 @@ func BenchmarkEvaluateGshare(b *testing.B) {
 	}
 }
 
+// feedBench measures the evaluator feed loop itself — the hot path behind
+// every sweep, oracle run, and serving session — isolated from trace
+// collection. The generic variant dispatches through the Predictor
+// interface per event; the batch variant goes through the devirtualized
+// FeedBatch fast path. Their ratio is the recorded fast-path speedup
+// (see EXPERIMENTS.md and cmd/bpbench).
+func feedBench(b *testing.B, spec string, batch bool) {
+	p := MustWorkload("bsearch").Build()
+	cp, _, err := IfConvert(p, IfConvConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := CollectTrace(cp, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := EvalConfig{
+		UseSFPF: true, ResolveDelay: DefaultResolveDelay,
+		PGU: PGUAll, PGUDelay: DefaultPGUDelay,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cfg.Predictor, err = NewPredictor(spec); err != nil {
+			b.Fatal(err)
+		}
+		e := NewEvaluator(cfg)
+		if batch {
+			e.FeedBatch(tr.Events)
+		} else {
+			for j := range tr.Events {
+				e.Feed(&tr.Events[j])
+			}
+		}
+		if e.Metrics().Branches == 0 {
+			b.Fatal("empty evaluation")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(tr.Events)*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkFeedGenericGshare(b *testing.B)     { feedBench(b, "gshare:12:8", false) }
+func BenchmarkFeedBatchGshare(b *testing.B)       { feedBench(b, "gshare:12:8", true) }
+func BenchmarkFeedGenericPerceptron(b *testing.B) { feedBench(b, "perceptron:8:24", false) }
+func BenchmarkFeedBatchPerceptron(b *testing.B)   { feedBench(b, "perceptron:8:24", true) }
+
 func BenchmarkPipeline(b *testing.B) {
 	p := MustWorkload("sort").Build()
 	b.ResetTimer()

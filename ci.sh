@@ -4,7 +4,9 @@
 # daemon are concurrent, so every CI run doubles as a concurrency
 # audit), coverage floors on the core packages, short fuzz smoke runs,
 # the differential oracle (including the serve-vs-direct HTTP path),
-# and a live boot of the bpservd daemon driven by bpload.
+# the performance-regression gate (bpbench -quick against the committed
+# BENCH.json baseline), and a live boot of the bpservd daemon driven by
+# bpload.
 #
 # Usage: ./ci.sh
 set -eu
@@ -70,6 +72,19 @@ go test -run='^$' -fuzz=FuzzTraceRoundTrip -fuzztime=10s ./internal/oracle
 
 echo "== oracle =="
 go run ./cmd/oracle -events 100000
+
+echo "== bench smoke =="
+# One iteration of each feed benchmark: catches a broken or panicking
+# fast path without paying for a real measurement.
+go test -run='^$' -bench BenchmarkFeed -benchtime 1x .
+
+echo "== bpbench regression gate =="
+# Quick grid against the committed baseline; any metric more than 25%
+# worse fails CI. The fresh artifact is left in a temp file for
+# inspection (and for refreshing BENCH.json after intentional changes).
+benchout=$(mktemp /tmp/BENCH.ci.XXXXXX.json)
+go run ./cmd/bpbench -quick -o "$benchout" -compare BENCH.json -threshold 0.25
+echo "bpbench artifact: $benchout"
 
 echo "== serve smoke =="
 # Boot the daemon on a random port, walk every endpoint with bpload

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestQuickRunWritesReport runs the quick grid at a tiny mintime and
+// checks the emitted BENCH.json: fast/generic pairs per kind, a zero
+// alloc measurement, and a self-comparison that passes.
+func TestQuickRunWritesReport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	var out bytes.Buffer
+	args := []string{"-quick", "-mintime", "10ms", "-kinds", "gshare", "-serve=false", "-o", path}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("bpbench run: %v\n%s", err, out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH.json does not parse: %v", err)
+	}
+	byName := make(map[string]Result)
+	for _, r := range rep.Results {
+		byName[r.Name] = r
+	}
+	for _, want := range []string{
+		"feed/gshare:12:8/fast", "feed/gshare:12:8/generic",
+		"feed/gshare:12:8/fast-featured", "feed/gshare:12:8/generic-featured",
+		"allocs/feed/gshare:12:8",
+	} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("report is missing %s", want)
+		}
+	}
+	if a := byName["allocs/feed/gshare:12:8"]; a.Value != 0 {
+		t.Errorf("gshare batch path allocates %.4f per event; want 0", a.Value)
+	}
+	if f, g := byName["feed/gshare:12:8/fast"], byName["feed/gshare:12:8/generic"]; f.Value <= g.Value {
+		t.Errorf("fast path (%.4g) not faster than generic (%.4g)", f.Value, g.Value)
+	}
+	if !strings.Contains(out.String(), "fast path") {
+		t.Error("summary output missing the fast-path speedup line")
+	}
+
+	// Self-comparison with a roomy threshold must pass.
+	out.Reset()
+	args = []string{"-quick", "-mintime", "10ms", "-kinds", "gshare", "-serve=false", "-compare", path, "-threshold", "0.9"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("self-comparison failed: %v\n%s", err, out.String())
+	}
+}
+
+// TestCompareDetectsRegression doctors a baseline so the fresh run can
+// never reach it, and requires the comparison to fail.
+func TestCompareDetectsRegression(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	base := Report{
+		Tool: "bpbench",
+		Results: []Result{
+			// Unreachably fast baseline: any real measurement regresses.
+			{Name: "feed/gshare:12:8/fast", Value: 1e15, Unit: "events/s", HigherBetter: true},
+		},
+	}
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	args := []string{"-quick", "-mintime", "10ms", "-kinds", "gshare", "-serve=false", "-compare", path}
+	err = run(args, &out)
+	if err == nil {
+		t.Fatalf("comparison against an unreachable baseline passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("output does not report the regression:\n%s", out.String())
+	}
+}
+
+// TestCompareZeroAllocBaseline checks the strict zero-baseline rule: an
+// allocs/event metric with a 0 baseline must not tolerate the threshold
+// fraction (0 × 1.25 = 0 would trivially pass anything).
+func TestCompareZeroAllocBaseline(t *testing.T) {
+	var out bytes.Buffer
+	rep := &Report{Results: []Result{
+		{Name: "allocs/feed/x", Value: 0.5, Unit: "allocs/event", HigherBetter: false},
+	}}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	data, _ := json.Marshal(Report{Results: []Result{
+		{Name: "allocs/feed/x", Value: 0, Unit: "allocs/event", HigherBetter: false},
+	}})
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := compare(&out, rep, path, 0.25); err == nil {
+		t.Error("reintroduced per-event allocation passed a zero-alloc baseline")
+	}
+}

@@ -1,10 +1,11 @@
 // Command oracle runs the full differential-testing matrix from
 // internal/oracle: every registered predictor kind against its naive
 // reference model, the metamorphic properties (reset-replay, table
-// doubling, static interleave-invariance), and the four
-// cross-implementation equivalence pairs (slice vs. stream replay,
-// Collect vs. Stream event production, serialize round-trip, serial vs.
-// parallel sweep) over every built-in workload plus synthetic programs.
+// doubling, static interleave-invariance), and the
+// cross-implementation equivalences (slice vs. stream replay, Collect
+// vs. Stream event production, serialize round-trip, serial vs. parallel
+// sweep, devirtualized batch fast path vs. generic per-event feed) over
+// every built-in workload plus synthetic programs.
 // It exits nonzero on any divergence, making it a one-command
 // correctness gate for refactors of the simulation engine.
 //
@@ -163,12 +164,27 @@ func run(args []string, out io.Writer) error {
 			}},
 			check{name: "refeval:" + c.Name, fn: func(context.Context) error {
 				return oracle.CheckEvaluator(c)
+			}},
+			check{name: "fastpath:" + c.Name, fn: func(context.Context) error {
+				return oracle.CheckBatchEquivalence(c)
 			}})
 		if *serveCheck {
 			checks = append(checks, check{name: "serve:" + c.Name, fn: func(ctx context.Context) error {
 				return checkServe(ctx, c)
 			}})
 		}
+	}
+
+	// Fast-path equivalence for every selected predictor kind: the
+	// devirtualized batch loop must be metrics-identical to the generic
+	// interface path, kind by kind, over a real converted workload.
+	for _, kind := range kinds {
+		spec := sim.MustParse(kind)
+		c := cases[0]
+		c.Spec = spec
+		checks = append(checks, check{name: "fastpath:" + spec.String(), fn: func(context.Context) error {
+			return oracle.CheckBatchEquivalence(c)
+		}})
 	}
 
 	// The serial-vs-parallel sweep equivalence runs once over the whole

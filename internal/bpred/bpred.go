@@ -33,6 +33,24 @@ type HistoryObserver interface {
 	ObserveBit(bit bool)
 }
 
+// Fused is implemented by predictors offering a fused predict+train step.
+// PredictUpdate(pc, taken) must be exactly equivalent to
+//
+//	pred := p.Predict(pc)
+//	p.Update(pc, taken)
+//
+// but computes shared work (table indices, perceptron sums, bias lookups)
+// once instead of twice. Every concrete predictor in this package
+// implements it; the batch evaluation fast path (core.Evaluator.FeedBatch)
+// type-switches onto the concrete types so its inner loop runs fused and
+// devirtualized.
+type Fused interface {
+	Predictor
+	// PredictUpdate returns the prediction for pc and trains with the
+	// actual outcome in one step.
+	PredictUpdate(pc uint64, taken bool) bool
+}
+
 // counter is a 2-bit saturating counter; values 0..3, taken when >= 2.
 // Counters initialise to 1 (weakly not-taken), the usual convention.
 type counter uint8
@@ -52,6 +70,16 @@ func (c counter) update(taken bool) counter {
 		return c - 1
 	}
 	return c
+}
+
+// b2u is the branch-free bool-to-bit conversion the fused history shifts
+// use; the compiler lowers it to a SETcc, keeping PredictUpdate loops free
+// of extra branches.
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func newTable(bits int) []counter {
@@ -82,6 +110,9 @@ func (s *Static) Predict(uint64) bool { return s.Taken }
 // Update implements Predictor.
 func (s *Static) Update(uint64, bool) {}
 
+// PredictUpdate implements Fused.
+func (s *Static) PredictUpdate(uint64, bool) bool { return s.Taken }
+
 // Reset implements Predictor.
 func (s *Static) Reset() {}
 
@@ -108,6 +139,14 @@ func (b *Bimodal) Predict(pc uint64) bool { return b.table[b.index(pc)].taken() 
 func (b *Bimodal) Update(pc uint64, taken bool) {
 	i := b.index(pc)
 	b.table[i] = b.table[i].update(taken)
+}
+
+// PredictUpdate implements Fused.
+func (b *Bimodal) PredictUpdate(pc uint64, taken bool) bool {
+	i := b.index(pc)
+	c := b.table[i]
+	b.table[i] = c.update(taken)
+	return c.taken()
 }
 
 // Reset implements Predictor.
@@ -144,6 +183,15 @@ func (g *GShare) Update(pc uint64, taken bool) {
 	i := g.index(pc)
 	g.table[i] = g.table[i].update(taken)
 	g.ObserveBit(taken)
+}
+
+// PredictUpdate implements Fused.
+func (g *GShare) PredictUpdate(pc uint64, taken bool) bool {
+	i := g.index(pc)
+	c := g.table[i]
+	g.table[i] = c.update(taken)
+	g.hist = g.hist<<1 | b2u(taken)
+	return c.taken()
 }
 
 // ObserveBit implements HistoryObserver.
@@ -198,6 +246,15 @@ func (g *GSelect) Update(pc uint64, taken bool) {
 	g.ObserveBit(taken)
 }
 
+// PredictUpdate implements Fused.
+func (g *GSelect) PredictUpdate(pc uint64, taken bool) bool {
+	i := g.index(pc)
+	c := g.table[i]
+	g.table[i] = c.update(taken)
+	g.hist = g.hist<<1 | b2u(taken)
+	return c.taken()
+}
+
 // ObserveBit implements HistoryObserver.
 func (g *GSelect) ObserveBit(bit bool) {
 	g.hist <<= 1
@@ -238,6 +295,15 @@ func (g *GAg) Update(_ uint64, taken bool) {
 	i := g.hist & ((1 << g.histBits) - 1)
 	g.table[i] = g.table[i].update(taken)
 	g.ObserveBit(taken)
+}
+
+// PredictUpdate implements Fused.
+func (g *GAg) PredictUpdate(_ uint64, taken bool) bool {
+	i := g.hist & ((1 << g.histBits) - 1)
+	c := g.table[i]
+	g.table[i] = c.update(taken)
+	g.hist = g.hist<<1 | b2u(taken)
+	return c.taken()
 }
 
 // ObserveBit implements HistoryObserver.
@@ -302,6 +368,17 @@ func (l *Local) Update(pc uint64, taken bool) {
 	}
 }
 
+// PredictUpdate implements Fused.
+func (l *Local) PredictUpdate(pc uint64, taken bool) bool {
+	hi := l.histIndex(pc)
+	h := l.hists[hi] & ((1 << l.histBits) - 1)
+	pi := h & (uint64(len(l.table)) - 1)
+	c := l.table[pi]
+	l.table[pi] = c.update(taken)
+	l.hists[hi] = l.hists[hi]<<1 | b2u(taken)
+	return c.taken()
+}
+
 // Reset implements Predictor.
 func (l *Local) Reset() {
 	l.hists = make([]uint64, 1<<l.histEntBits)
@@ -354,6 +431,24 @@ func (t *Tournament) Update(pc uint64, taken bool) {
 	t.local.Update(pc, taken)
 }
 
+// PredictUpdate implements Fused. The chooser is read before any
+// component trains, so the returned prediction matches Predict-then-Update
+// exactly; the component predictions come back from the components' own
+// fused steps instead of being computed twice.
+func (t *Tournament) PredictUpdate(pc uint64, taken bool) bool {
+	ci := t.chIndex(pc)
+	useGlobal := t.chooser[ci].taken()
+	g := t.global.PredictUpdate(pc, taken)
+	l := t.local.PredictUpdate(pc, taken)
+	if g != l {
+		t.chooser[ci] = t.chooser[ci].update(g == taken)
+	}
+	if useGlobal {
+		return g
+	}
+	return l
+}
+
 // ObserveBit implements HistoryObserver; bits flow to the global component.
 func (t *Tournament) ObserveBit(bit bool) { t.global.ObserveBit(bit) }
 
@@ -377,4 +472,11 @@ var (
 	_ HistoryObserver = (*GSelect)(nil)
 	_ HistoryObserver = (*GAg)(nil)
 	_ HistoryObserver = (*Tournament)(nil)
+	_ Fused           = (*Static)(nil)
+	_ Fused           = (*Bimodal)(nil)
+	_ Fused           = (*GShare)(nil)
+	_ Fused           = (*GSelect)(nil)
+	_ Fused           = (*GAg)(nil)
+	_ Fused           = (*Local)(nil)
+	_ Fused           = (*Tournament)(nil)
 )

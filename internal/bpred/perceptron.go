@@ -88,6 +88,29 @@ func (p *Perceptron) Update(pc uint64, taken bool) {
 	p.ObserveBit(taken)
 }
 
+// PredictUpdate implements Fused. The perceptron sum — a walk over every
+// history bit's weight — is by far the predictor's dominant cost, and the
+// split Predict/Update API computes it twice per branch; the fused step
+// computes it once.
+func (p *Perceptron) PredictUpdate(pc uint64, taken bool) bool {
+	y := p.output(pc)
+	pred := y >= 0
+	mag := y
+	if mag < 0 {
+		mag = -mag
+	}
+	if pred != taken || mag <= p.theta {
+		w := p.weights[p.index(pc)]
+		w[0] = saturate(w[0], taken)
+		for i := 0; i < p.histBits; i++ {
+			bit := p.hist>>uint(i)&1 == 1
+			w[i+1] = saturate(w[i+1], bit == taken)
+		}
+	}
+	p.ObserveBit(taken)
+	return pred
+}
+
 // ObserveBit implements HistoryObserver.
 func (p *Perceptron) ObserveBit(bit bool) {
 	p.hist <<= 1
@@ -109,4 +132,5 @@ func (p *Perceptron) Reset() {
 var (
 	_ Predictor       = (*Perceptron)(nil)
 	_ HistoryObserver = (*Perceptron)(nil)
+	_ Fused           = (*Perceptron)(nil)
 )

@@ -1,0 +1,186 @@
+// Batch evaluation fast path.
+//
+// The per-event hot path every consumer funnels through — experiment
+// sweeps, the differential oracle, serving sessions, trace replay CLIs —
+// is Feed: two dynamic-dispatch interface calls per branch (Predict,
+// Update), each recomputing shared state (table indices, perceptron
+// sums). FeedBatch removes both costs: it type-switches once per batch
+// onto the concrete predictor and runs a monomorphic inner loop over the
+// fused PredictUpdate step, so the per-event work is a single direct call
+// with the index math done once and zero allocations. The generic Feed
+// loop remains the fallback for Predictor implementations outside
+// internal/bpred, and the oracle's fast-vs-generic equivalence check
+// pins the two paths to bit-identical metrics.
+
+package core
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// FeedBatch advances the evaluation by a batch of events, exactly as
+// feeding them to Feed one at a time would, but through the fused,
+// devirtualized inner loop when the predictor is one of the concrete
+// internal/bpred kinds. Events must arrive in dynamic order across
+// batches, as with Feed. FeedBatch only reads the events; the caller may
+// reuse the slice afterwards.
+func (e *Evaluator) FeedBatch(events []trace.Event) {
+	switch p := e.p.(type) {
+	case *bpred.GShare:
+		feedFused(e, p, events)
+	case *bpred.Bimodal:
+		feedFused(e, p, events)
+	case *bpred.Tournament:
+		feedFused(e, p, events)
+	case *bpred.Agree:
+		feedFused(e, p, events)
+	case *bpred.Perceptron:
+		feedFused(e, p, events)
+	case *bpred.GSelect:
+		feedFused(e, p, events)
+	case *bpred.GAg:
+		feedFused(e, p, events)
+	case *bpred.Local:
+		feedFused(e, p, events)
+	case *bpred.Static:
+		feedFused(e, p, events)
+	default:
+		for i := range events {
+			e.Feed(&events[i])
+		}
+	}
+}
+
+// feedFused is the specialized batch loop, instantiated per concrete
+// predictor type so the predict+train step is a direct (fused) call. Its
+// body must stay semantically identical to Evaluator.Feed; the oracle's
+// fastpath checks and the golden CSV gate enforce that equivalence.
+func feedFused[P interface {
+	PredictUpdate(pc uint64, taken bool) bool
+	Update(pc uint64, taken bool)
+}](e *Evaluator, p P, events []trace.Event) {
+	if !e.cfg.UseSFPF && !e.cfg.PerBranch && e.pgu == nil && len(e.pending) == 0 {
+		feedFusedTight(e, p, events)
+		return
+	}
+	useSFPF := e.cfg.UseSFPF
+	filterTrue := e.cfg.FilterTrue
+	trainFiltered := e.cfg.TrainFiltered
+	resolveDelay := e.cfg.ResolveDelay
+	perBranch := e.cfg.PerBranch
+	pguDelay := e.cfg.PGUDelay
+	var pguPolicy PGUPolicy
+	if e.pgu != nil {
+		pguPolicy = e.pgu.Policy
+	}
+	m := &e.m
+	for i := range events {
+		ev := &events[i]
+		if len(e.pending) > 0 && e.pending[0].applyAt <= ev.Step {
+			e.flush(ev.Step)
+		}
+		switch ev.Kind {
+		case trace.KindPredDef:
+			m.PredDefs++
+			if e.pgu != nil && pguPolicy.Selects(ev) && ev.Executed {
+				e.pending = append(e.pending, pendingBit{applyAt: ev.Step + pguDelay, bit: ev.Value})
+			}
+		case trace.KindBranch:
+			m.Branches++
+			if ev.Region {
+				m.RegionBranches++
+			}
+			var bs *BranchStats
+			if perBranch {
+				if m.ByPC == nil {
+					m.ByPC = make(map[uint64]*BranchStats)
+				}
+				bs = m.ByPC[ev.PC]
+				if bs == nil {
+					bs = &BranchStats{PC: ev.PC, Region: ev.Region}
+					m.ByPC[ev.PC] = bs
+				}
+				bs.Count++
+				if ev.Taken {
+					bs.Taken++
+				}
+			}
+			if useSFPF && ev.Guard != isa.P0 && ev.GuardDist >= resolveDelay {
+				if !ev.GuardVal {
+					// Known-false guard: the branch cannot be taken.
+					m.Filtered++
+					if ev.Taken {
+						m.FilterErrors++ // impossible by ISA semantics
+					}
+					if bs != nil {
+						bs.Filtered++
+					}
+					if trainFiltered {
+						p.Update(ev.PC, ev.Taken)
+					}
+					continue
+				}
+				if filterTrue && ev.GuardImpliesTaken {
+					// Known-true guard on a guard-implies-taken branch.
+					m.FilteredTrue++
+					if !ev.Taken {
+						m.FilterErrors++
+					}
+					if bs != nil {
+						bs.Filtered++
+					}
+					if trainFiltered {
+						p.Update(ev.PC, ev.Taken)
+					}
+					continue
+				}
+			}
+			if p.PredictUpdate(ev.PC, ev.Taken) != ev.Taken {
+				m.Mispredicts++
+				if ev.Region {
+					m.RegionMispredicts++
+				}
+				if bs != nil {
+					bs.Mispredicts++
+				}
+			}
+		}
+	}
+}
+
+// feedFusedTight is the prediction-only loop for the configuration the
+// serving hot path runs in: SFPF off, PGU off (nil — an off policy or a
+// history-less predictor), no per-branch stats, nothing pending. With no
+// filter arms, no pending-flush probe, and no guard-field loads, each
+// branch event is counter bookkeeping plus one fused predictor step;
+// predicate defines only count. Feed degenerates to exactly this under
+// the same configuration, which the batch-vs-generic tests pin.
+func feedFusedTight[P interface {
+	PredictUpdate(pc uint64, taken bool) bool
+	Update(pc uint64, taken bool)
+}](e *Evaluator, p P, events []trace.Event) {
+	m := &e.m
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != trace.KindBranch {
+			if ev.Kind == trace.KindPredDef {
+				m.PredDefs++
+			}
+			continue
+		}
+		m.Branches++
+		if ev.Region {
+			m.RegionBranches++
+			if p.PredictUpdate(ev.PC, ev.Taken) != ev.Taken {
+				m.Mispredicts++
+				m.RegionMispredicts++
+			}
+			continue
+		}
+		if p.PredictUpdate(ev.PC, ev.Taken) != ev.Taken {
+			m.Mispredicts++
+		}
+	}
+}

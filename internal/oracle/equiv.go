@@ -150,6 +150,51 @@ func CheckSerializeRoundTrip(c Case) error {
 	return nil
 }
 
+// CheckBatchEquivalence replays the case's trace through the generic
+// per-event Feed loop and through the specialized batch fast path
+// (FeedBatch), in uneven batch sizes chosen to straddle the fast path's
+// internal boundaries, and requires bit-identical Metrics. This is the
+// devirtualized-fast-path-vs-interface-path equivalence everything that
+// calls EvaluateStream now silently relies on.
+func CheckBatchEquivalence(c Case) error {
+	tr, err := trace.Collect(c.Prog, c.Limit)
+	if err != nil {
+		return fmt.Errorf("oracle: %s: collect: %w", c.Name, err)
+	}
+	cfgGeneric, err := c.config()
+	if err != nil {
+		return err
+	}
+	generic := core.NewEvaluator(cfgGeneric)
+	for i := range tr.Events {
+		generic.Feed(&tr.Events[i])
+	}
+	generic.AddInsts(tr.Insts)
+
+	// Uneven batch sizes: a 1-event batch, a huge batch, and odd sizes
+	// that leave stragglers, so batch-boundary state carry is exercised.
+	for _, size := range []int{1, 7, 1024, 1 << 20} {
+		cfgBatch, err := c.config()
+		if err != nil {
+			return err
+		}
+		batch := core.NewEvaluator(cfgBatch)
+		for i := 0; i < len(tr.Events); i += size {
+			end := i + size
+			if end > len(tr.Events) {
+				end = len(tr.Events)
+			}
+			batch.FeedBatch(tr.Events[i:end])
+		}
+		batch.AddInsts(tr.Insts)
+		if got, want := batch.Metrics(), generic.Metrics(); !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("oracle: %s: batch fast path (size %d) diverges from generic Feed: %s",
+				c.Name, size, metricsDiff(got, want))
+		}
+	}
+	return nil
+}
+
 // CheckSweepParallel runs the cases' evaluations twice — in a plain
 // serial loop and fanned out over sim.Sweep's worker pool — and requires
 // the result slices to be identical, which is the determinism guarantee

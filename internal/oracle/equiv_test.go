@@ -82,6 +82,24 @@ func TestEvaluatorMatchesReference(t *testing.T) {
 	}
 }
 
+// TestBatchEquivalenceAllKinds replays every predictor spec in the
+// registry through the generic per-event Feed loop and the devirtualized
+// batch fast path and requires bit-identical Metrics — the in-tree form
+// of the cmd/oracle fastpath matrix.
+func TestBatchEquivalenceAllKinds(t *testing.T) {
+	for _, kind := range sim.Kinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			c := equivCase(t, "collatz", fullCfg())
+			c.Spec = sim.MustParse(kind)
+			if err := CheckBatchEquivalence(c); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 func TestSweepParallel(t *testing.T) {
 	cases := []Case{
 		equivCase(t, "scan", fullCfg()),

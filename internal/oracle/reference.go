@@ -266,32 +266,80 @@ func (l *refLocal) Reset() {
 }
 
 // refAgree is the reference agree predictor: counters learn agreement
-// with a first-outcome bias bit.
+// with a first-outcome bias bit held in a BTB-like bounded store. The
+// real implementation keeps a flat 4-way tagged array with per-set
+// round-robin cursors; the reference models the same policy as a map of
+// per-set entry lists, filled in allocation order and replaced by a
+// cycling position — different machinery, same displacement behaviour.
+type refAgreeEntry struct {
+	pc   uint64
+	bias bool
+}
+
 type refAgree struct {
 	tableBits, histBits int
+	ways                int
 	t                   refTable
 	h                   refHistory
-	bias                map[uint64]bool
+	sets                map[uint64][]refAgreeEntry
+	rr                  map[uint64]int
 }
 
 func newRefAgree(tableBits, histBits int) *refAgree {
-	return &refAgree{tableBits: tableBits, histBits: histBits,
-		t: newRefTable(2), bias: map[uint64]bool{}}
+	return &refAgree{tableBits: tableBits, histBits: histBits, ways: 4,
+		t: newRefTable(2), sets: map[uint64][]refAgreeEntry{}, rr: map[uint64]int{}}
 }
 
 func (a *refAgree) Name() string { return fmt.Sprintf("ref-agree-%d.%d", a.tableBits, a.histBits) }
 
 func (a *refAgree) index(pc uint64) uint64 { return (pc ^ a.h.value(a.histBits)) % pow2(a.tableBits) }
 
+// set returns pc's bias-set number: the bias store holds 2^tableBits
+// entries in ways-wide sets.
+func (a *refAgree) set(pc uint64) uint64 {
+	sets := pow2(a.tableBits) / uint64(a.ways)
+	if sets == 0 {
+		sets = 1
+	}
+	return pc % sets
+}
+
+// lookupBias returns the stored bias for pc, defaulting to not-taken.
+func (a *refAgree) lookupBias(pc uint64) bool {
+	for _, e := range a.sets[a.set(pc)] {
+		if e.pc == pc {
+			return e.bias
+		}
+	}
+	return false
+}
+
+// allocBias returns pc's stored bias, allocating (or displacing
+// round-robin) an entry with the current outcome on a miss.
+func (a *refAgree) allocBias(pc uint64, taken bool) bool {
+	s := a.set(pc)
+	for _, e := range a.sets[s] {
+		if e.pc == pc {
+			return e.bias
+		}
+	}
+	if len(a.sets[s]) < a.ways {
+		a.sets[s] = append(a.sets[s], refAgreeEntry{pc: pc, bias: taken})
+		return taken
+	}
+	w := a.rr[s]
+	a.rr[s] = (w + 1) % a.ways
+	a.sets[s][w] = refAgreeEntry{pc: pc, bias: taken}
+	return taken
+}
+
 func (a *refAgree) Predict(pc uint64) bool {
-	return a.bias[pc] == a.t.taken(a.index(pc))
+	return a.lookupBias(pc) == a.t.taken(a.index(pc))
 }
 
 func (a *refAgree) Update(pc uint64, taken bool) {
-	if _, ok := a.bias[pc]; !ok {
-		a.bias[pc] = taken
-	}
-	a.t.update(a.index(pc), taken == a.bias[pc])
+	bias := a.allocBias(pc, taken)
+	a.t.update(a.index(pc), taken == bias)
 	a.ObserveBit(taken)
 }
 
@@ -300,7 +348,8 @@ func (a *refAgree) ObserveBit(bit bool) { a.h.observe(bit) }
 func (a *refAgree) Reset() {
 	a.t = newRefTable(2)
 	a.h = refHistory{}
-	a.bias = map[uint64]bool{}
+	a.sets = map[uint64][]refAgreeEntry{}
+	a.rr = map[uint64]int{}
 }
 
 // refPerceptron is the reference perceptron predictor, with plain-int

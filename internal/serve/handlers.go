@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -90,13 +91,29 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, sessionJSON(inf, false))
 }
 
+// batchPool recycles event scratch buffers for the binary batch-feed hot
+// path: a steady-state feed decodes each P64T batch into a pooled slice
+// and hands it to the session's single FeedBatch call, so the per-batch
+// cost is one header allocation rather than one event-array allocation
+// per request. Buffers are only returned to the pool when the shard op
+// provably ran or never will (see handlePostEvents).
+var batchPool = sync.Pool{
+	New: func() any {
+		b := make([]trace.Event, 0, 8192)
+		return &b
+	},
+}
+
 func (s *Server) handlePostEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	var events []trace.Event
 	var insts uint64
+	var pooled *[]trace.Event
 	if isBinary(r) {
-		tr, err := trace.ReadTrace(r.Body)
+		pooled = batchPool.Get().(*[]trace.Event)
+		tr, err := trace.ReadTraceInto(r.Body, *pooled)
 		if err != nil {
+			batchPool.Put(pooled)
 			var maxErr *http.MaxBytesError
 			if errors.As(err, &maxErr) {
 				writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
@@ -106,6 +123,7 @@ func (s *Server) handlePostEvents(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bad_trace", err.Error())
 			return
 		}
+		*pooled = tr.Events[:0] // keep the (possibly grown) backing array
 		events, insts = tr.Events, tr.Insts
 	} else {
 		var req BatchRequest
@@ -125,6 +143,13 @@ func (s *Server) handlePostEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	withMetrics := r.URL.Query().Get("metrics") == "1"
 	res, err := s.mgr.Feed(r.Context(), id, events, insts, withMetrics)
+	if pooled != nil && (err == nil || errors.Is(err, ErrNotFound) || errors.Is(err, ErrBusy) ||
+		errors.Is(err, ErrFull) || errors.Is(err, ErrClosing)) {
+		// The op completed (or was refused before enqueue), so the shard
+		// holds no reference to the buffer. A context error instead means
+		// the op may still be queued — the buffer is dropped, not pooled.
+		batchPool.Put(pooled)
+	}
 	if err != nil {
 		writeMgrError(w, s, err)
 		return

@@ -339,7 +339,10 @@ func (m *sessionManager) Create(ctx context.Context, spec sim.Spec, cfg core.Eva
 
 // Feed streams one batch of events into a session. It applies
 // backpressure (ErrBusy) instead of blocking when the shard queue is
-// full. The events slice must not be reused by the caller afterwards.
+// full. The events slice must not be reused by the caller until Feed
+// returns the op's own outcome (nil or a manager error, meaning the op
+// ran or never will); after a context error the op may still be queued
+// and the slice must be considered retained.
 func (m *sessionManager) Feed(ctx context.Context, id string, events []trace.Event, insts uint64, withMetrics bool) (FeedResult, error) {
 	sh := m.shardFor(id)
 	reply := make(chan sessionReply, 1)
@@ -349,10 +352,9 @@ func (m *sessionManager) Feed(ctx context.Context, id string, events []trace.Eve
 			reply <- sessionReply{err: ErrNotFound}
 			return
 		}
-		// The hot path: one goroutine, no locks, events fed back to back.
-		for i := range events {
-			s.eval.Feed(&events[i])
-		}
+		// The hot path: one goroutine, no locks, one devirtualized batch
+		// feed through the evaluator's fused fast path.
+		s.eval.FeedBatch(events)
 		s.eval.AddInsts(insts)
 		s.events += uint64(len(events))
 		s.batches++

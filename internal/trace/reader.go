@@ -28,6 +28,20 @@ type Reader interface {
 	Counts() Counts
 }
 
+// BatchReader is an optional Reader extension for readers that can hand
+// out contiguous event batches without per-event copying. The evaluation
+// engine's batch fast path prefers it: a materialized trace replays as
+// zero-copy views into its event slice instead of one Next call (and one
+// 88-byte struct copy) per event.
+type BatchReader interface {
+	Reader
+	// NextBatch returns the next up-to-max events, or an empty slice once
+	// the stream is drained. The returned slice is a read-only view valid
+	// until the next call on the reader; callers must not modify or
+	// retain it.
+	NextBatch(max int) []Event
+}
+
 // Source yields independent replay Readers over the same underlying
 // event stream. Both the in-memory Trace and the emulator-backed Stream
 // are Sources; concurrent sweep jobs each call Replay to get their own
@@ -67,8 +81,27 @@ func (r *sliceReader) Next(ev *Event) bool {
 	return true
 }
 
+// NextBatch implements BatchReader: the returned batch is a direct view
+// into the trace's event slice, shared (read-only) with every other
+// concurrent replay cursor.
+func (r *sliceReader) NextBatch(max int) []Event {
+	n := len(r.t.Events) - r.i
+	if n <= 0 {
+		return nil
+	}
+	if n > max {
+		n = max
+	}
+	b := r.t.Events[r.i : r.i+n]
+	r.i += n
+	return b
+}
+
 func (r *sliceReader) Err() error { return nil }
 
 func (r *sliceReader) Counts() Counts { return r.t.Counts() }
 
-var _ Source = (*Trace)(nil)
+var (
+	_ Source      = (*Trace)(nil)
+	_ BatchReader = (*sliceReader)(nil)
+)

@@ -95,7 +95,15 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 }
 
 // ReadTrace deserialises a trace written by WriteTo.
-func ReadTrace(r io.Reader) (*Trace, error) {
+func ReadTrace(r io.Reader) (*Trace, error) { return ReadTraceInto(r, nil) }
+
+// ReadTraceInto is ReadTrace decoding into the caller's scratch event
+// slice: events are appended to scratch[:0], reusing its backing array
+// when the capacity suffices. The serving hot path feeds sync.Pool-ed
+// buffers through it so steady-state batch decoding allocates nothing.
+// The returned trace's Events aliases scratch's (possibly grown) array;
+// ownership of both stays with the caller.
+func ReadTraceInto(r io.Reader, scratch []Event) (*Trace, error) {
 	br := bufio.NewReader(r)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -151,7 +159,11 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	// Grow the event slice as records arrive rather than trusting the
 	// declared count up front: a truncated or hostile header then fails
 	// with a read error instead of a multi-gigabyte allocation.
-	tr.Events = make([]Event, 0, min(count, 1<<16))
+	if cap(scratch) > 0 {
+		tr.Events = scratch[:0]
+	} else {
+		tr.Events = make([]Event, 0, min(count, 1<<16))
+	}
 	var rec [eventRecordSize]byte
 	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {

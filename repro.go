@@ -79,6 +79,10 @@ type (
 	PGUPolicy = core.PGUPolicy
 	// EvalConfig configures trace-driven evaluation.
 	EvalConfig = core.EvalConfig
+	// Evaluator is the incremental trace-driven evaluator: feed events
+	// one at a time (Feed) or through the devirtualized batch fast path
+	// (FeedBatch) and read metrics between feeds.
+	Evaluator = core.Evaluator
 	// Metrics is the result of a trace-driven evaluation.
 	Metrics = core.Metrics
 	// Trace is an event stream captured from an emulated run.
@@ -160,6 +164,10 @@ func CollectTrace(p *Program, limit uint64) (*Trace, error) {
 // Evaluate replays a trace through a predictor with the configured paper
 // mechanisms.
 func Evaluate(tr *Trace, cfg EvalConfig) Metrics { return core.Evaluate(tr, cfg) }
+
+// NewEvaluator returns an incremental evaluator for streaming consumers
+// (see Evaluator).
+func NewEvaluator(cfg EvalConfig) *Evaluator { return core.NewEvaluator(cfg) }
 
 // ParsePGUPolicy reads the textual PGU policy spelling ("off", "region",
 // "branch", "all") shared by the CLIs and the serving API.
