@@ -61,6 +61,8 @@ cov_floor repro/internal/bpred 90
 cov_floor repro/internal/core 85
 cov_floor repro/internal/sim 85
 cov_floor repro/internal/serve 80
+cov_floor repro/internal/harness 85
+cov_floor repro/internal/results 75
 rm -f "$covfile"
 
 echo "== fuzz smoke =="
@@ -85,6 +87,18 @@ echo "== bpbench regression gate =="
 benchout=$(mktemp /tmp/BENCH.ci.XXXXXX.json)
 go run ./cmd/bpbench -quick -o "$benchout" -compare BENCH.json -threshold 0.25
 echo "bpbench artifact: $benchout"
+
+echo "== bpstats diff gate =="
+# Record a fresh quick run of E5 (whose quick grid equals its full grid)
+# into a throwaway store, then require a zero-delta diff against the
+# committed results/*.csv views: the experiment engine, the results
+# store, and the diff gate all have to agree for this to pass.
+statsdir=$(mktemp -d)
+go build -o "$statsdir" ./cmd/experiments ./cmd/bpstats
+"$statsdir/experiments" -quick -id E5 -store "$statsdir/runs" >/dev/null
+"$statsdir/bpstats" list -store "$statsdir/runs"
+"$statsdir/bpstats" diff -store "$statsdir/runs" -csv results -id E5 -threshold 0 latest
+rm -rf "$statsdir"
 
 echo "== serve smoke =="
 # Boot the daemon on a random port, walk every endpoint with bpload

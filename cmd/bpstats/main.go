@@ -1,0 +1,273 @@
+// Command bpstats inspects the experiment results store (see
+// internal/results): it lists recorded runs, diffs two runs — or a run
+// against the committed results/*.csv views — cell by cell, and exports
+// a run's tables back out as CSV.
+//
+// Usage:
+//
+//	bpstats list   [-store results/runs]
+//	bpstats diff   [-store results/runs] [-id E5,E8] [-threshold 0.02] <runA> <runB>
+//	bpstats diff   [-store results/runs] [-csv results] [-threshold 0] <run>
+//	bpstats export [-store results/runs] [-outdir dir] [run]
+//
+// Run keys are store run IDs or the keyword "latest". With -threshold
+// set (>= 0), diff exits nonzero when any relative delta exceeds it —
+// the regression gate ci.sh uses. Without it, diff only reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/buildinfo"
+	"repro/internal/results"
+)
+
+// errGate marks a threshold violation: reported, then exit 1.
+type errGate struct{ msg string }
+
+func (e errGate) Error() string { return e.msg }
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bpstats:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: bpstats <list|diff|export> [flags]; see -h")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "list":
+		return runList(rest, out)
+	case "diff":
+		return runDiff(rest, out)
+	case "export":
+		return runExport(rest, out)
+	case "-version", "--version":
+		fmt.Fprintln(out, buildinfo.String("bpstats"))
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (want list, diff, or export)", cmd)
+	}
+}
+
+func loadRuns(store string) ([]results.Run, error) {
+	recs, err := results.Open(store).Load()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("store %s has no runs (run `experiments -store %s` first)", store, store)
+	}
+	return results.GroupRuns(recs), nil
+}
+
+func runList(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bpstats list", flag.ContinueOnError)
+	store := fs.String("store", results.DefaultDir, "results store directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	runs, err := loadRuns(*store)
+	if err != nil {
+		return err
+	}
+	for _, r := range runs {
+		var wall float64
+		quick := false
+		for _, rec := range r.Records {
+			wall += rec.WallMS
+			quick = quick || rec.Quick
+		}
+		mode := "full"
+		if quick {
+			mode = "quick"
+		}
+		fmt.Fprintf(out, "%-22s %-20s %-12s %-5s %2d experiments %8.0fms  %s\n",
+			r.ID, r.Time, r.Version, mode, len(r.Records), wall, strings.Join(r.Experiments(), ","))
+	}
+	return nil
+}
+
+// filterTables keeps tables belonging to the comma-separated experiment
+// IDs ("E5,E8"); a table named E2a belongs to experiment E2.
+func filterTables(ts []results.Table, expr string) []results.Table {
+	if expr == "" {
+		return ts
+	}
+	want := make(map[string]bool)
+	for _, id := range strings.Split(expr, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	var out []results.Table
+	for _, t := range ts {
+		exp := t.Name
+		if n := len(exp); n > 0 && exp[n-1] >= 'a' && exp[n-1] <= 'z' {
+			exp = exp[:n-1]
+		}
+		if want[t.Name] || want[exp] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func runDiff(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bpstats diff", flag.ContinueOnError)
+	store := fs.String("store", results.DefaultDir, "results store directory")
+	csvDir := fs.String("csv", "", "diff the run against committed CSV views in this directory instead of a second run")
+	idExpr := fs.String("id", "", "restrict the diff to these experiments (comma-separated IDs)")
+	threshold := fs.Float64("threshold", -1, "exit nonzero when any relative delta exceeds this (>= 0 enables the gate)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	runs, err := loadRuns(*store)
+	if err != nil {
+		return err
+	}
+
+	var aTables, bTables []results.Table
+	var aName, bName string
+	if *csvDir != "" {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: bpstats diff -csv <dir> <run>")
+		}
+		a, err := results.ReadCSVDir(*csvDir)
+		if err != nil {
+			return err
+		}
+		if len(a) == 0 {
+			return fmt.Errorf("no *.csv files in %s", *csvDir)
+		}
+		b, err := results.FindRun(runs, fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		// Committed views cover the full grid; restrict to the tables the
+		// run actually recorded (plus any -id filter) so a partial run
+		// diffs cleanly against them.
+		bTables = filterTables(b.Tables(), *idExpr)
+		recorded := make(map[string]bool, len(bTables))
+		for _, t := range bTables {
+			recorded[t.Name] = true
+		}
+		for _, t := range filterTables(a, *idExpr) {
+			if recorded[t.Name] {
+				aTables = append(aTables, t)
+			}
+		}
+		aName, bName = *csvDir+"/*.csv", "run "+b.ID
+	} else {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("usage: bpstats diff <runA> <runB> (run IDs or \"latest\")")
+		}
+		a, err := results.FindRun(runs, fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		b, err := results.FindRun(runs, fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		warnConfigMismatch(out, a, b)
+		aTables = filterTables(a.Tables(), *idExpr)
+		bTables = filterTables(b.Tables(), *idExpr)
+		aName, bName = "run "+a.ID, "run "+b.ID
+	}
+
+	rep := results.Diff(aTables, bTables)
+	printReport(out, rep, aName, bName)
+	if *threshold >= 0 && rep.Exceeds(*threshold) {
+		return errGate{fmt.Sprintf("diff exceeds threshold %g", *threshold)}
+	}
+	return nil
+}
+
+func warnConfigMismatch(out io.Writer, a, b results.Run) {
+	ha := make(map[string]string)
+	for _, rec := range a.Records {
+		ha[rec.Experiment] = rec.ConfigHash
+	}
+	var warned []string
+	for _, rec := range b.Records {
+		if h, ok := ha[rec.Experiment]; ok && h != rec.ConfigHash {
+			warned = append(warned, rec.Experiment)
+		}
+	}
+	if len(warned) > 0 {
+		sort.Strings(warned)
+		fmt.Fprintf(out, "warning: config differs between runs for %s (quick vs full, or a changed grid) — deltas below include config effects\n",
+			strings.Join(warned, ", "))
+	}
+}
+
+func printReport(out io.Writer, rep results.DiffReport, aName, bName string) {
+	fmt.Fprintf(out, "diff %s vs %s: %d cells compared, %d differ\n", aName, bName, rep.Compared, len(rep.Deltas))
+	for _, n := range rep.OnlyA {
+		fmt.Fprintf(out, "  only in %s: %s\n", aName, n)
+	}
+	for _, n := range rep.OnlyB {
+		fmt.Fprintf(out, "  only in %s: %s\n", bName, n)
+	}
+	for _, s := range rep.Shape {
+		fmt.Fprintf(out, "  shape mismatch: %s\n", s)
+	}
+	for _, d := range rep.Deltas {
+		fmt.Fprintf(out, "  %s\n", d)
+	}
+	if max := rep.MaxDelta(); len(rep.Deltas) > 0 || max > 0 {
+		if math.IsInf(max, 1) {
+			fmt.Fprintf(out, "max delta: not numerically comparable\n")
+		} else {
+			fmt.Fprintf(out, "max delta: %.4f (%.2f%%)\n", max, 100*max)
+		}
+	}
+}
+
+func runExport(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bpstats export", flag.ContinueOnError)
+	store := fs.String("store", results.DefaultDir, "results store directory")
+	outdir := fs.String("outdir", ".", "directory to write <table>.csv files into")
+	idExpr := fs.String("id", "", "restrict the export to these experiments (comma-separated IDs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 1 {
+		return fmt.Errorf("usage: bpstats export [run]")
+	}
+	runs, err := loadRuns(*store)
+	if err != nil {
+		return err
+	}
+	r, err := results.FindRun(runs, fs.Arg(0)) // Arg(0) is "" when absent -> latest
+	if err != nil {
+		return err
+	}
+	tables := filterTables(r.Tables(), *idExpr)
+	if len(tables) == 0 {
+		return fmt.Errorf("run %s has no tables matching -id %q", r.ID, *idExpr)
+	}
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range tables {
+		path := filepath.Join(*outdir, t.Name+".csv")
+		if err := os.WriteFile(path, []byte(t.Stats().CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", path)
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/results"
+)
+
+// seedStore writes three runs: r1 and r2 identical, r3 with a seeded
+// metric regression in E5's rate column.
+func seedStore(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "runs")
+	table := func(rate string) results.Table {
+		return results.Table{
+			Name:    "E5",
+			Title:   "E5: misprediction rate",
+			Columns: []string{"workload", "base", "+both"},
+			Rows: [][]string{
+				{"corr", rate, "6.0%"},
+				{"geomean", "9.1%", "5.2%"},
+			},
+		}
+	}
+	rec := func(run, rate string) results.Record {
+		return results.Record{
+			RunID: run, Time: "2026-08-08T00:00:00Z", Version: "test",
+			Experiment: "E5", ConfigHash: "abc123", Limit: 1000,
+			Tables: []results.Table{table(rate)},
+		}
+	}
+	s := results.Open(dir)
+	if err := s.Append(rec("r1", "12.3%"), rec("r2", "12.3%"), rec("r3", "13.9%")); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestList(t *testing.T) {
+	dir := seedStore(t)
+	var sb strings.Builder
+	if err := run([]string{"list", "-store", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"r1", "r2", "r3", "E5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffZeroDelta(t *testing.T) {
+	dir := seedStore(t)
+	var sb strings.Builder
+	if err := run([]string{"diff", "-store", dir, "-threshold", "0", "r1", "r2"}, &sb); err != nil {
+		t.Fatalf("identical runs failed the gate: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "0 differ") {
+		t.Errorf("diff output should report zero differing cells:\n%s", sb.String())
+	}
+}
+
+func TestDiffDetectsRegression(t *testing.T) {
+	dir := seedStore(t)
+	var sb strings.Builder
+	err := run([]string{"diff", "-store", dir, "-threshold", "0", "r1", "r3"}, &sb)
+	var gate errGate
+	if !errors.As(err, &gate) {
+		t.Fatalf("seeded regression passed the gate (err=%v):\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "12.3% -> 13.9%") || !strings.Contains(out, "corr") {
+		t.Errorf("diff output missing the regressed cell:\n%s", out)
+	}
+
+	// A generous threshold reports the delta without gating.
+	sb.Reset()
+	if err := run([]string{"diff", "-store", dir, "-threshold", "0.5", "r1", "r3"}, &sb); err != nil {
+		t.Fatalf("13%% regression exceeded a 50%% threshold: %v", err)
+	}
+
+	// "latest" resolves to r3.
+	sb.Reset()
+	if err := run([]string{"diff", "-store", dir, "r1", "latest"}, &sb); err != nil {
+		t.Fatal(err) // no -threshold: report only, never gate
+	}
+	if !strings.Contains(sb.String(), "13.9%") {
+		t.Errorf("latest did not resolve to r3:\n%s", sb.String())
+	}
+}
+
+func TestDiffAgainstCSVs(t *testing.T) {
+	dir := seedStore(t)
+	csvDir := t.TempDir()
+	// Export r1's tables as the "committed" views, then diff r3 against
+	// them: the seeded regression must trip the gate.
+	var sb strings.Builder
+	if err := run([]string{"export", "-store", dir, "-outdir", csvDir, "r1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(csvDir, "E5.csv")); err != nil {
+		t.Fatalf("export did not write E5.csv: %v", err)
+	}
+
+	sb.Reset()
+	if err := run([]string{"diff", "-store", dir, "-csv", csvDir, "-threshold", "0", "r2"}, &sb); err != nil {
+		t.Fatalf("run matching committed CSVs failed the gate: %v\n%s", err, sb.String())
+	}
+
+	sb.Reset()
+	err := run([]string{"diff", "-store", dir, "-csv", csvDir, "-threshold", "0", "r3"}, &sb)
+	var gate errGate
+	if !errors.As(err, &gate) {
+		t.Fatalf("regressed run passed the CSV gate (err=%v):\n%s", err, sb.String())
+	}
+}
+
+func TestFilterTables(t *testing.T) {
+	ts := []results.Table{{Name: "E2a"}, {Name: "E2b"}, {Name: "E5"}, {Name: "E14"}}
+	got := filterTables(ts, "E2,E14")
+	if len(got) != 3 || got[0].Name != "E2a" || got[2].Name != "E14" {
+		t.Fatalf("filterTables = %v", got)
+	}
+	if got := filterTables(ts, "E2b"); len(got) != 1 || got[0].Name != "E2b" {
+		t.Fatalf("exact table-name filter = %v", got)
+	}
+	if got := filterTables(ts, ""); len(got) != 4 {
+		t.Fatalf("empty filter should keep all, got %v", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	empty := t.TempDir()
+	for _, args := range [][]string{
+		{},
+		{"bogus"},
+		{"list", "-store", filepath.Join(empty, "nope")},
+		{"diff", "-store", seedStore(t), "r1"},       // missing second run
+		{"diff", "-store", seedStore(t), "r1", "rX"}, // unknown run
+		{"export", "-store", seedStore(t), "-id", "E99"},
+	} {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -1,10 +1,12 @@
 // Command experiments regenerates every reconstructed table/figure from
 // the paper (experiments E1–E14, see DESIGN.md) and prints them as text,
-// markdown, or CSV.
+// markdown, or CSV. With -store it also appends each experiment's
+// result to the JSONL results store that `bpstats` lists and diffs.
 //
 // Usage:
 //
-//	experiments [-format text|markdown|csv] [-quick] [-id E3] [-list] [-timeout 5m]
+//	experiments [-format text|markdown|csv] [-quick] [-id E2a,E5 | -id E3-E7] [-list]
+//	            [-timeout 5m] [-outdir results] [-store results/runs]
 package main
 
 import (
@@ -14,9 +16,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/buildinfo"
 	"repro/internal/harness"
+	"repro/internal/results"
 	"repro/internal/stats"
 )
 
@@ -31,10 +35,12 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	format := fs.String("format", "text", "output format: text, markdown, or csv")
 	quick := fs.Bool("quick", false, "trim parameter sweeps for a fast run")
-	id := fs.String("id", "", "run a single experiment (e.g. E3); default all")
+	id := fs.String("id", "", "experiments to run: IDs, comma lists, and ranges (e.g. E3, E2a,E5, E3-E7); default all")
 	list := fs.Bool("list", false, "list experiments and exit")
 	limit := fs.Uint64("limit", 0, "emulation step limit per program (0 = default)")
 	outdir := fs.String("outdir", "", "additionally write each table as CSV into this directory")
+	store := fs.String("store", "", "append results to the JSONL store in this directory (e.g. results/runs)")
+	runID := fs.String("run-id", "", "run identifier for -store records (default: generated)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	version := buildinfo.Flag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -70,33 +76,20 @@ func run(args []string, out io.Writer) error {
 		}
 		return "", fmt.Errorf("unknown format %q", *format)
 	}
-	// Validate the format before the expensive run.
+	// Validate the format and selection before the expensive run.
 	if _, err := render(stats.NewTable("probe", "c")); err != nil {
 		return err
 	}
+	exps, err := harness.Select(*id)
+	if err != nil {
+		return err
+	}
 
+	start := time.Now()
 	cfg := harness.Config{Quick: *quick, Limit: *limit}
-	var results []harness.Result
-	if *id != "" {
-		e, err := harness.ByID(*id)
-		if err != nil {
-			return err
-		}
-		s, err := harness.NewSuiteContext(ctx, cfg)
-		if err != nil {
-			return err
-		}
-		tables, err := e.Run(ctx, s, cfg)
-		if err != nil {
-			return err
-		}
-		results = []harness.Result{{Experiment: e, Tables: tables}}
-	} else {
-		var err error
-		results, err = harness.RunAllContext(ctx, cfg)
-		if err != nil {
-			return err
-		}
+	res, err := harness.RunSelected(ctx, cfg, exps)
+	if err != nil {
+		return err
 	}
 
 	if *outdir != "" {
@@ -104,7 +97,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	for _, r := range results {
+	for _, r := range res {
 		fmt.Fprintf(out, "=== %s: %s ===\n", r.Experiment.ID, r.Experiment.Title)
 		fmt.Fprintf(out, "paper analogue: %s\nexpected shape: %s\n\n", r.Experiment.Paper, r.Experiment.Expect)
 		for i, t := range r.Tables {
@@ -114,16 +107,27 @@ func run(args []string, out io.Writer) error {
 			}
 			fmt.Fprintln(out, s)
 			if *outdir != "" {
-				name := r.Experiment.ID
-				if len(r.Tables) > 1 {
-					name += string(rune('a' + i))
-				}
-				path := filepath.Join(*outdir, name+".csv")
+				path := filepath.Join(*outdir, r.TableName(i)+".csv")
 				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
 					return err
 				}
 			}
 		}
+	}
+
+	if *store != "" {
+		rid := *runID
+		if rid == "" {
+			rid = results.NewRunID(start)
+		}
+		recs := make([]results.Record, len(res))
+		for i, r := range res {
+			recs[i] = r.Record(rid, start, cfg)
+		}
+		if err := results.Open(*store).Append(recs...); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "recorded run %s (%d experiments) in %s\n", rid, len(recs), results.Open(*store).Path())
 	}
 	return nil
 }

@@ -4,6 +4,9 @@
 package buildinfo
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"runtime"
@@ -51,4 +54,19 @@ func String(tool string) string {
 // returns the value to check after parsing.
 func Flag(fs *flag.FlagSet) *bool {
 	return fs.Bool("version", false, "print version and exit")
+}
+
+// Hash returns a short stable digest of v's JSON encoding — the
+// config-hash the results store keys records on. encoding/json writes
+// struct fields in declaration order and sorts map keys, so the digest
+// is deterministic for a given value. v must be JSON-encodable; Hash
+// panics otherwise (a config that cannot be hashed is a programming
+// error, not an input error).
+func Hash(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("buildinfo: unhashable config: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
 }

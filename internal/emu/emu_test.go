@@ -2,6 +2,7 @@ package emu
 
 import (
 	"errors"
+	"sync"
 	"testing"
 
 	"repro/internal/isa"
@@ -444,4 +445,43 @@ func TestWhileLoopSemantics(t *testing.T) {
 	if m.Regs[2] != 10 {
 		t.Errorf("sum = %d, want 10", m.Regs[2])
 	}
+}
+
+// TestConcurrentNewSharedProgram guards the contract that any number of
+// goroutines may construct machines over one already-built program.
+// New re-runs Resolve, and Resolve must perform no writes on an
+// already-resolved program — the harness pipelines and sweeps build
+// machines for the same program concurrently. Run under -race this
+// test fails if Resolve ever writes unconditionally again.
+func TestConcurrentNewSharedProgram(t *testing.T) {
+	b := prog.NewBuilder("shared")
+	b.Movi(1, 3)
+	loop := b.NewLabel("loop")
+	b.Label(loop)
+	b.Subi(1, 1, 1)
+	b.If(prog.RI(isa.CmpGT, 1, 0), func() {
+		b.Br(loop)
+	})
+	b.Halt(0)
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m, err := New(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := m.Run(100000); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
 }

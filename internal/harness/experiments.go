@@ -1,11 +1,16 @@
+// experiments.go — the 14 reconstructed tables/figures, declared as
+// Specs for the generic engine in spec.go. Each experiment is data: a
+// variant grid (predictor spec × trace × evaluator or timing-model
+// options), the workloads it runs on, and the tables shaped from the
+// grid's cells. Adding a predictor kind or a sweep point to an
+// experiment means editing its grid, not a loop body; the golden CSV
+// test pins every rendered byte.
 package harness
 
 import (
-	"context"
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -27,772 +32,674 @@ func init() {
 	registerExperiment(e14())
 }
 
-// E1 — benchmark characterisation (paper Table 1 analogue).
+// lit is a summary-row cell with a fixed value.
+func lit(s string) Col {
+	return Col{Value: func(Row) string { return s }}
+}
+
+// geoRateCol renders the geomean misprediction rate of one variant
+// (sub-)key over the row's workloads.
+func geoRateCol(name, sub string) Col {
+	return Col{name, func(r Row) string {
+		return stats.Pct(stats.Geomean(r.Over(sub, rate)))
+	}}
+}
+
+// geoCyclesCol renders the geomean speedup of variant sub over variant
+// "orig" (cycles ratio per workload, then geomean), in the given format.
+func geoCyclesCol(name, sub, format string) Col {
+	return Col{name, func(r Row) string {
+		o, c := r.Cells("orig"), r.Cells(sub)
+		sp := make([]float64, len(o))
+		for i := range o {
+			sp[i] = float64(o[i].P.Cycles) / float64(c[i].P.Cycles)
+		}
+		return fmt.Sprintf(format, stats.Geomean(sp))
+	}}
+}
+
+// E1 — benchmark characterisation (paper Table 1 analogue). A pure
+// trace-characterisation table: no variants, every column derives from
+// the prepared workload itself.
 func e1() Experiment {
-	return Experiment{
+	return Spec{
 		ID:    "E1",
 		Title: "Benchmark characterisation under if-conversion",
 		Paper: "Table 1: benchmark suite, dynamic branches, branches removed by predication, region-based branches",
 		Expect: "if-conversion removes a large fraction of dynamic conditional branches; " +
 			"a visible fraction of the remaining branches are region-based; " +
 			"nullified instructions appear as the predication cost",
-		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
-			t := stats.NewTable("E1: workload characterisation (orig -> if-converted)",
-				"workload", "static insts", "dyn insts", "dyn cond branches",
-				"branches removed", "region br (dyn)", "nullified")
-			var remTotal, brTotal float64
-			for _, e := range s.Entries {
-				ot, ct := e.OrigTrace, e.ConvTrace
-				removed := 1 - float64(ct.Branches)/float64(ot.Branches)
-				remTotal += float64(ot.Branches) - float64(ct.Branches)
-				brTotal += float64(ot.Branches)
-				regionPct := 0.0
-				if ct.Branches > 0 {
-					regionPct = float64(ct.RegionBranches) / float64(ct.Branches)
+		Tables: []TableSpec{{
+			Title: "E1: workload characterisation (orig -> if-converted)",
+			Shape: RowsPerEntry,
+			Cols: []Col{
+				workloadCol(),
+				{"static insts", func(r Row) string {
+					return fmt.Sprintf("%d -> %d", len(r.Entry.Orig.Insts), len(r.Entry.Conv.Insts))
+				}},
+				{"dyn insts", func(r Row) string {
+					return fmt.Sprintf("%d -> %d", r.Entry.OrigTrace.Insts, r.Entry.ConvTrace.Insts)
+				}},
+				{"dyn cond branches", func(r Row) string {
+					return fmt.Sprintf("%d -> %d", r.Entry.OrigTrace.Branches, r.Entry.ConvTrace.Branches)
+				}},
+				{"branches removed", func(r Row) string {
+					ot, ct := r.Entry.OrigTrace, r.Entry.ConvTrace
+					return stats.Pct(1 - float64(ct.Branches)/float64(ot.Branches))
+				}},
+				{"region br (dyn)", func(r Row) string {
+					ct := r.Entry.ConvTrace
+					regionPct := 0.0
+					if ct.Branches > 0 {
+						regionPct = float64(ct.RegionBranches) / float64(ct.Branches)
+					}
+					return stats.Pct(regionPct)
+				}},
+				{"nullified", func(r Row) string {
+					ct := r.Entry.ConvTrace
+					return stats.Pct(float64(ct.Nullified) / float64(ct.Insts))
+				}},
+			},
+			Notes: []func([]Row) string{func(rows []Row) string {
+				var remTotal, brTotal float64
+				for _, r := range rows {
+					ot, ct := r.Entry.OrigTrace, r.Entry.ConvTrace
+					remTotal += float64(ot.Branches) - float64(ct.Branches)
+					brTotal += float64(ot.Branches)
 				}
-				t.AddRow(e.Name,
-					fmt.Sprintf("%d -> %d", len(e.Orig.Insts), len(e.Conv.Insts)),
-					fmt.Sprintf("%d -> %d", ot.Insts, ct.Insts),
-					fmt.Sprintf("%d -> %d", ot.Branches, ct.Branches),
-					stats.Pct(removed),
-					stats.Pct(regionPct),
-					stats.Pct(float64(ct.Nullified)/float64(ct.Insts)))
-			}
-			t.AddNote("suite-wide, %s of dynamic conditional branches are removed by if-conversion",
-				stats.Pct(remTotal/brTotal))
-			return []*stats.Table{t}, nil
-		},
-	}
+				return fmt.Sprintf("suite-wide, %s of dynamic conditional branches are removed by if-conversion",
+					stats.Pct(remTotal/brTotal))
+			}},
+		}},
+	}.Experiment()
+}
+
+// e2Preds is the E2b predictor sweep; quick runs keep only the default
+// gshare (the paper's main configuration).
+var e2Preds = []sim.Spec{
+	sim.For("bimodal", defTableBits),
+	defSpec,
+	sim.For("local", 8, 10, defTableBits),
+	sim.For("tournament", defTableBits, defHistBits),
+	sim.For("agree", defTableBits, defHistBits),
 }
 
 // E2 — the effect of predication on the remaining branches.
 func e2() Experiment {
-	return Experiment{
+	variants := []Variant{
+		{Key: "orig", Trace: TraceOrig},
+		{Key: "conv"},
+		// E2c: the paper's profile-guided compiler. Full runs only.
+		{Key: "prof", Trace: TraceProfiled, FullOnly: true},
+	}
+	var groups []string
+	for _, sp := range e2Preds {
+		name := sp.MustNew().Name()
+		groups = append(groups, name)
+		full := sp != defSpec
+		variants = append(variants,
+			Variant{Key: name + "/orig", Trace: TraceOrig, Pred: sp, FullOnly: full},
+			Variant{Key: name + "/conv", Pred: sp, FullOnly: full})
+	}
+	skipUnconverted := func(r Row) bool {
+		// Nothing converted: no remaining-branch story to tell.
+		_, rep, _, err := r.Entry.Profiled()
+		return err == nil && len(rep.Regions) == 0
+	}
+	return Spec{
 		ID:    "E2",
 		Title: "Misprediction rate of remaining branches: original vs if-converted code",
 		Paper: "figure: predication's effect on the predictability of remaining branches, across predictor types",
 		Expect: "the misprediction *rate* of the remaining branches rises after if-conversion " +
 			"(easy branches were removed and correlation bits vanished from the history), " +
 			"even though the total misprediction count drops",
-		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
-			specs := []sim.Spec{
-				sim.For("bimodal", defTableBits),
-				defSpec,
-				sim.For("local", 8, 10, defTableBits),
-				sim.For("tournament", defTableBits, defHistBits),
-				sim.For("agree", defTableBits, defHistBits),
-			}
-			if cfg.Quick {
-				specs = specs[1:2]
-			}
-			var tables []*stats.Table
-			type pair struct{ mo, mc core.Metrics }
-			pairs, err := overEntries(ctx, s, func(e *Entry) (pair, error) {
-				return pair{
-					mo: core.Evaluate(e.OrigTrace, core.EvalConfig{Predictor: newGshare()}),
-					mc: core.Evaluate(e.ConvTrace, core.EvalConfig{Predictor: newGshare()}),
-				}, nil
-			})
-			if err != nil {
-				return nil, err
-			}
-			per := stats.NewTable("E2a: per-workload misprediction rate with gshare (orig -> converted)",
-				"workload", "rate orig", "rate conv", "misses orig", "misses conv")
-			for i, e := range s.Entries {
-				mo, mc := pairs[i].mo, pairs[i].mc
-				per.AddRow(e.Name, stats.Pct(mo.MispredictRate()), stats.Pct(mc.MispredictRate()),
-					stats.N(mo.Mispredicts), stats.N(mc.Mispredicts))
-			}
-			tables = append(tables, per)
-
-			geo := stats.NewTable("E2b: geomean misprediction rate across the suite, per predictor",
-				"predictor", "rate orig", "rate conv", "delta")
-			for _, sp := range specs {
-				sp := sp
-				name := sp.MustNew().Name()
-				rr, err := overEntries(ctx, s, func(e *Entry) ([2]float64, error) {
-					mo := core.Evaluate(e.OrigTrace, core.EvalConfig{Predictor: sp.MustNew()})
-					mc := core.Evaluate(e.ConvTrace, core.EvalConfig{Predictor: sp.MustNew()})
-					return [2]float64{mo.MispredictRate(), mc.MispredictRate()}, nil
-				})
-				if err != nil {
-					return nil, err
-				}
-				var ro, rc []float64
-				for _, r := range rr {
-					ro = append(ro, r[0])
-					rc = append(rc, r[1])
-				}
-				go_, gc := stats.Geomean(ro), stats.Geomean(rc)
-				geo.AddRow(name, stats.Pct(go_), stats.Pct(gc), stats.Ratio(gc, go_))
-			}
-			tables = append(tables, geo)
-
-			// E2c: under profile-guided conversion — the paper's compiler —
-			// hard branches survive alongside converted neighbours, which is
-			// where the remaining-branch degradation shows.
-			if !cfg.Quick {
-				type row struct {
-					skip   bool
-					ro, rc float64
-				}
-				rows, err := overEntries(ctx, s, func(e *Entry) (row, error) {
-					_, rep, tr, err := e.Profiled()
-					if err != nil {
-						return row{}, err
-					}
-					if len(rep.Regions) == 0 {
-						return row{skip: true}, nil // nothing converted: no remaining-branch story
-					}
-					mo := core.Evaluate(e.OrigTrace, core.EvalConfig{Predictor: newGshare()})
-					mc := core.Evaluate(tr, core.EvalConfig{Predictor: newGshare()})
-					return row{ro: mo.MispredictRate(), rc: mc.MispredictRate()}, nil
-				})
-				if err != nil {
-					return nil, err
-				}
-				pg := stats.NewTable("E2c: remaining-branch rate under profile-guided conversion (gshare 12/8)",
-					"workload", "rate orig", "rate conv", "delta")
-				var ro, rc []float64
-				for i, e := range s.Entries {
-					r := rows[i]
-					if r.skip {
-						continue
-					}
-					pg.AddRow(e.Name, stats.Pct(r.ro), stats.Pct(r.rc), stats.Ratio(r.rc, r.ro))
-					ro = append(ro, r.ro)
-					rc = append(rc, r.rc)
-				}
-				pg.AddRow("geomean", stats.Pct(stats.Geomean(ro)), stats.Pct(stats.Geomean(rc)),
-					stats.Ratio(stats.Geomean(rc), stats.Geomean(ro)))
-				tables = append(tables, pg)
-			}
-			return tables, nil
+		Variants: variants,
+		Tables: []TableSpec{
+			{
+				Title: "E2a: per-workload misprediction rate with gshare (orig -> converted)",
+				Shape: RowsPerEntry,
+				Cols: []Col{
+					workloadCol(),
+					{"rate orig", func(r Row) string { return stats.Pct(r.Cell("orig").M.MispredictRate()) }},
+					{"rate conv", func(r Row) string { return stats.Pct(r.Cell("conv").M.MispredictRate()) }},
+					{"misses orig", func(r Row) string { return stats.N(r.Cell("orig").M.Mispredicts) }},
+					{"misses conv", func(r Row) string { return stats.N(r.Cell("conv").M.Mispredicts) }},
+				},
+			},
+			{
+				Title:  "E2b: geomean misprediction rate across the suite, per predictor",
+				Shape:  RowsPerGroup,
+				Groups: groups,
+				Cols: []Col{
+					groupCol("predictor"),
+					geoRateCol("rate orig", "orig"),
+					geoRateCol("rate conv", "conv"),
+					{"delta", func(r Row) string {
+						go_ := stats.Geomean(r.Over("orig", rate))
+						gc := stats.Geomean(r.Over("conv", rate))
+						return stats.Ratio(gc, go_)
+					}},
+				},
+			},
+			{
+				Title:    "E2c: remaining-branch rate under profile-guided conversion (gshare 12/8)",
+				Shape:    RowsPerEntry,
+				FullOnly: true,
+				Skip:     skipUnconverted,
+				Cols: []Col{
+					workloadCol(),
+					{"rate orig", func(r Row) string { return stats.Pct(r.Cell("orig").M.MispredictRate()) }},
+					{"rate conv", func(r Row) string { return stats.Pct(r.Cell("prof").M.MispredictRate()) }},
+					{"delta", func(r Row) string {
+						return stats.Ratio(r.Cell("prof").M.MispredictRate(), r.Cell("orig").M.MispredictRate())
+					}},
+				},
+				Summary: []Col{
+					lit("geomean"),
+					geoRateCol("", "orig"),
+					geoRateCol("", "prof"),
+					{Value: func(r Row) string {
+						return stats.Ratio(stats.Geomean(r.Over("prof", rate)), stats.Geomean(r.Over("orig", rate)))
+					}},
+				},
+			},
 		},
-	}
+	}.Experiment()
 }
 
 // E3 — the squash false path filter.
 func e3() Experiment {
-	return Experiment{
+	variants := []Variant{
+		{Key: "base"},
+		{Key: "sfpf", UseSFPF: true, ResolveDelay: defResolve},
+	}
+	var groups []string
+	for _, bits := range []int{4, 6, 8, 10, 12, 14} {
+		label := stats.N(bits)
+		groups = append(groups, label)
+		full := bits != 6 && bits != 12
+		pred := sim.For("gshare", bits, defHistBits)
+		variants = append(variants,
+			Variant{Key: label + "/base", Pred: pred, FullOnly: full},
+			Variant{Key: label + "/sfpf", Pred: pred, UseSFPF: true, ResolveDelay: defResolve, FullOnly: full})
+	}
+	return Spec{
 		ID:    "E3",
 		Title: "Squash false path filter on predicated code",
 		Paper: "figure: fraction of branches filtered and misprediction rate with/without the SFPF, across predictor sizes",
 		Expect: "the filter covers a visible fraction of region-based branches with zero errors; " +
 			"misprediction rate drops, more at small table sizes where pollution hurts most",
-		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
-			type row struct{ base, f core.Metrics }
-			rows, err := overEntries(ctx, s, func(e *Entry) (row, error) {
-				return row{
-					base: core.Evaluate(e.ConvTrace, core.EvalConfig{Predictor: newGshare()}),
-					f: core.Evaluate(e.ConvTrace, core.EvalConfig{
-						Predictor: newGshare(), UseSFPF: true, ResolveDelay: defResolve,
-					}),
-				}, nil
-			})
-			if err != nil {
-				return nil, err
-			}
-			per := stats.NewTable("E3a: per-workload SFPF effect (gshare 12-bit, resolve delay 6)",
-				"workload", "cond branches", "region br", "filtered", "coverage",
-				"rate base", "rate sfpf", "filter errors")
-			var errs uint64
-			for i, e := range s.Entries {
-				base, f := rows[i].base, rows[i].f
-				errs += f.FilterErrors
-				per.AddRow(e.Name, stats.N(f.Branches), stats.N(f.RegionBranches),
-					stats.N(f.Filtered), stats.Pct(f.FilterCoverage()),
-					stats.Pct(base.MispredictRate()), stats.Pct(f.MispredictRate()),
-					stats.N(f.FilterErrors))
-			}
-			per.AddNote("total filter errors across the suite: %d (must be 0 — the 100%% accuracy claim)", errs)
-
-			sizes := []int{4, 6, 8, 10, 12, 14}
-			if cfg.Quick {
-				sizes = []int{6, 12}
-			}
-			sweep := stats.NewTable("E3b: geomean misprediction rate vs gshare size, with and without SFPF",
-				"table bits", "rate base", "rate sfpf", "improvement")
-			for _, bits := range sizes {
-				b := bits
-				rb, err := geoRates(ctx, s, func(*Entry) core.EvalConfig {
-					return core.EvalConfig{Predictor: sim.For("gshare", b, defHistBits).MustNew()}
-				})
-				if err != nil {
-					return nil, err
-				}
-				rf, err := geoRates(ctx, s, func(*Entry) core.EvalConfig {
-					return core.EvalConfig{
-						Predictor: sim.For("gshare", b, defHistBits).MustNew(),
-						UseSFPF:   true, ResolveDelay: defResolve,
+		Variants: variants,
+		Tables: []TableSpec{
+			{
+				Title: "E3a: per-workload SFPF effect (gshare 12-bit, resolve delay 6)",
+				Shape: RowsPerEntry,
+				Cols: []Col{
+					workloadCol(),
+					{"cond branches", func(r Row) string { return stats.N(r.Cell("sfpf").M.Branches) }},
+					{"region br", func(r Row) string { return stats.N(r.Cell("sfpf").M.RegionBranches) }},
+					{"filtered", func(r Row) string { return stats.N(r.Cell("sfpf").M.Filtered) }},
+					{"coverage", func(r Row) string { return stats.Pct(r.Cell("sfpf").M.FilterCoverage()) }},
+					{"rate base", func(r Row) string { return stats.Pct(r.Cell("base").M.MispredictRate()) }},
+					{"rate sfpf", func(r Row) string { return stats.Pct(r.Cell("sfpf").M.MispredictRate()) }},
+					{"filter errors", func(r Row) string { return stats.N(r.Cell("sfpf").M.FilterErrors) }},
+				},
+				Notes: []func([]Row) string{func(rows []Row) string {
+					var errs uint64
+					for _, r := range rows {
+						errs += r.Cell("sfpf").M.FilterErrors
 					}
-				})
-				if err != nil {
-					return nil, err
-				}
-				sweep.AddRow(stats.N(bits), stats.Pct(rb), stats.Pct(rf), stats.Ratio(rb, rf))
-			}
-			return []*stats.Table{per, sweep}, nil
+					return fmt.Sprintf("total filter errors across the suite: %d (must be 0 — the 100%% accuracy claim)", errs)
+				}},
+			},
+			{
+				Title:  "E3b: geomean misprediction rate vs gshare size, with and without SFPF",
+				Shape:  RowsPerGroup,
+				Groups: groups,
+				Cols: []Col{
+					groupCol("table bits"),
+					geoRateCol("rate base", "base"),
+					geoRateCol("rate sfpf", "sfpf"),
+					{"improvement", func(r Row) string {
+						return stats.Ratio(stats.Geomean(r.Over("base", rate)), stats.Geomean(r.Over("sfpf", rate)))
+					}},
+				},
+			},
 		},
-	}
+	}.Experiment()
 }
 
 // E4 — the predicate global update predictor.
 func e4() Experiment {
-	return Experiment{
+	variants := []Variant{
+		{Key: "base"},
+		{Key: "pgu", PGU: core.PGUAll, PGUDelay: defPGUDelay},
+	}
+	var groups []string
+	for _, h := range []int{2, 4, 6, 8, 10, 12} {
+		label := stats.N(h)
+		groups = append(groups, label)
+		full := h != 4 && h != 8
+		pred := sim.For("gshare", defTableBits, h)
+		variants = append(variants,
+			Variant{Key: label + "/base", Pred: pred, FullOnly: full},
+			Variant{Key: label + "/pgu", Pred: pred, PGU: core.PGUAll, PGUDelay: defPGUDelay, FullOnly: full})
+	}
+	return Spec{
 		ID:    "E4",
 		Title: "Predicate global update (PGU) vs plain global history",
 		Paper: "figure: misprediction rate of gshare vs PGU-gshare across history lengths",
 		Expect: "inserting predicate-define outcomes into the history recovers the correlation " +
 			"if-conversion removed; the gap is largest on correlation-heavy workloads (corr, fsm) " +
 			"and neutral on uncorrelated ones",
-		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
-			type row struct{ base, pgu core.Metrics }
-			rows, err := overEntries(ctx, s, func(e *Entry) (row, error) {
-				return row{
-					base: core.Evaluate(e.ConvTrace, core.EvalConfig{Predictor: newGshare()}),
-					pgu: core.Evaluate(e.ConvTrace, core.EvalConfig{
-						Predictor: newGshare(), PGU: core.PGUAll, PGUDelay: defPGUDelay,
-					}),
-				}, nil
-			})
-			if err != nil {
-				return nil, err
-			}
-			per := stats.NewTable("E4a: per-workload misprediction rate (gshare 12/8)",
-				"workload", "rate base", "rate pgu-all", "inserted bits", "improvement")
-			for i, e := range s.Entries {
-				base, pgu := rows[i].base, rows[i].pgu
-				per.AddRow(e.Name, stats.Pct(base.MispredictRate()), stats.Pct(pgu.MispredictRate()),
-					stats.N(pgu.InsertedBits), stats.Ratio(base.MispredictRate(), pgu.MispredictRate()))
-			}
-
-			hists := []int{2, 4, 6, 8, 10, 12}
-			if cfg.Quick {
-				hists = []int{4, 8}
-			}
-			sweep := stats.NewTable("E4b: geomean misprediction rate vs history length (12-bit table)",
-				"history bits", "rate base", "rate pgu-all", "improvement")
-			for _, h := range hists {
-				hb := h
-				rb, err := geoRates(ctx, s, func(*Entry) core.EvalConfig {
-					return core.EvalConfig{Predictor: sim.For("gshare", defTableBits, hb).MustNew()}
-				})
-				if err != nil {
-					return nil, err
-				}
-				rp, err := geoRates(ctx, s, func(*Entry) core.EvalConfig {
-					return core.EvalConfig{
-						Predictor: sim.For("gshare", defTableBits, hb).MustNew(),
-						PGU:       core.PGUAll, PGUDelay: defPGUDelay,
-					}
-				})
-				if err != nil {
-					return nil, err
-				}
-				sweep.AddRow(stats.N(h), stats.Pct(rb), stats.Pct(rp), stats.Ratio(rb, rp))
-			}
-			return []*stats.Table{per, sweep}, nil
+		Variants: variants,
+		Tables: []TableSpec{
+			{
+				Title: "E4a: per-workload misprediction rate (gshare 12/8)",
+				Shape: RowsPerEntry,
+				Cols: []Col{
+					workloadCol(),
+					{"rate base", func(r Row) string { return stats.Pct(r.Cell("base").M.MispredictRate()) }},
+					{"rate pgu-all", func(r Row) string { return stats.Pct(r.Cell("pgu").M.MispredictRate()) }},
+					{"inserted bits", func(r Row) string { return stats.N(r.Cell("pgu").M.InsertedBits) }},
+					{"improvement", func(r Row) string {
+						return stats.Ratio(r.Cell("base").M.MispredictRate(), r.Cell("pgu").M.MispredictRate())
+					}},
+				},
+			},
+			{
+				Title:  "E4b: geomean misprediction rate vs history length (12-bit table)",
+				Shape:  RowsPerGroup,
+				Groups: groups,
+				Cols: []Col{
+					groupCol("history bits"),
+					geoRateCol("rate base", "base"),
+					geoRateCol("rate pgu-all", "pgu"),
+					{"improvement", func(r Row) string {
+						return stats.Ratio(stats.Geomean(r.Over("base", rate)), stats.Geomean(r.Over("pgu", rate)))
+					}},
+				},
+			},
 		},
-	}
+	}.Experiment()
 }
 
 // E5 — both mechanisms combined.
 func e5() Experiment {
-	return Experiment{
+	rateCol := func(name, sub string) Col {
+		return Col{name, func(r Row) string { return stats.Pct(r.Cell(sub).M.MispredictRate()) }}
+	}
+	return Spec{
 		ID:    "E5",
 		Title: "SFPF and PGU combined",
 		Paper: "figure: misprediction rate for baseline, +SFPF, +PGU, +both",
 		Expect: "the mechanisms are complementary (one removes false-path branches, the other " +
 			"restores correlation); combined is at least as good as the better individual one on most workloads",
-		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
-			type row struct{ base, sf, pg, both core.Metrics }
-			rows, err := overEntries(ctx, s, func(e *Entry) (row, error) {
-				return row{
-					base: core.Evaluate(e.ConvTrace, core.EvalConfig{Predictor: newGshare()}),
-					sf: core.Evaluate(e.ConvTrace, core.EvalConfig{
-						Predictor: newGshare(), UseSFPF: true, ResolveDelay: defResolve,
-					}),
-					pg: core.Evaluate(e.ConvTrace, core.EvalConfig{
-						Predictor: newGshare(), PGU: core.PGUAll, PGUDelay: defPGUDelay,
-					}),
-					both: core.Evaluate(e.ConvTrace, core.EvalConfig{
-						Predictor: newGshare(), UseSFPF: true, ResolveDelay: defResolve,
-						PGU: core.PGUAll, PGUDelay: defPGUDelay,
-					}),
-				}, nil
-			})
-			if err != nil {
-				return nil, err
-			}
-			t := stats.NewTable("E5: misprediction rate on predicated code (gshare 12/8)",
-				"workload", "base", "+sfpf", "+pgu", "+both", "MPKI base", "MPKI both")
-			var rb, rs, rp, rc []float64
-			for i, e := range s.Entries {
-				r := rows[i]
-				t.AddRow(e.Name, stats.Pct(r.base.MispredictRate()), stats.Pct(r.sf.MispredictRate()),
-					stats.Pct(r.pg.MispredictRate()), stats.Pct(r.both.MispredictRate()),
-					stats.F2(r.base.MPKI()), stats.F2(r.both.MPKI()))
-				rb = append(rb, r.base.MispredictRate())
-				rs = append(rs, r.sf.MispredictRate())
-				rp = append(rp, r.pg.MispredictRate())
-				rc = append(rc, r.both.MispredictRate())
-			}
-			t.AddRow("geomean", stats.Pct(stats.Geomean(rb)), stats.Pct(stats.Geomean(rs)),
-				stats.Pct(stats.Geomean(rp)), stats.Pct(stats.Geomean(rc)), "", "")
-			return []*stats.Table{t}, nil
+		Variants: []Variant{
+			{Key: "base"},
+			{Key: "sfpf", UseSFPF: true, ResolveDelay: defResolve},
+			{Key: "pgu", PGU: core.PGUAll, PGUDelay: defPGUDelay},
+			{Key: "both", UseSFPF: true, ResolveDelay: defResolve, PGU: core.PGUAll, PGUDelay: defPGUDelay},
 		},
-	}
+		Tables: []TableSpec{{
+			Title: "E5: misprediction rate on predicated code (gshare 12/8)",
+			Shape: RowsPerEntry,
+			Cols: []Col{
+				workloadCol(),
+				rateCol("base", "base"),
+				rateCol("+sfpf", "sfpf"),
+				rateCol("+pgu", "pgu"),
+				rateCol("+both", "both"),
+				{"MPKI base", func(r Row) string { return stats.F2(r.Cell("base").M.MPKI()) }},
+				{"MPKI both", func(r Row) string { return stats.F2(r.Cell("both").M.MPKI()) }},
+			},
+			Summary: []Col{
+				lit("geomean"),
+				geoRateCol("", "base"),
+				geoRateCol("", "sfpf"),
+				geoRateCol("", "pgu"),
+				geoRateCol("", "both"),
+			},
+		}},
+	}.Experiment()
 }
 
 // E6 — end-to-end performance on the timing model.
 func e6() Experiment {
-	return Experiment{
+	speedupCol := func(name, sub string) Col {
+		return Col{name, func(r Row) string {
+			return stats.Ratio(float64(r.Cell("orig").P.Cycles), float64(r.Cell(sub).P.Cycles))
+		}}
+	}
+	return Spec{
 		ID:    "E6",
 		Title: "Pipeline performance: branching vs predicated vs predicated+mechanisms",
 		Paper: "figure: speedup of predicated code with the proposed predictors over branching code",
 		Expect: "predication wins on hard-to-predict workloads and costs a little on predictable ones; " +
 			"SFPF and PGU recover most of the predictor-induced losses and extend the wins",
-		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
-			type row struct {
-				orig                  pipeline.Stats
-				conv, sfpf, pgu, both uint64 // cycles
-			}
-			rows, err := overEntries(ctx, s, func(e *Entry) (row, error) {
-				orig, err := pipeline.Run(e.Orig, pipeline.DefaultConfig(newGshare()), cfg.Limit)
-				if err != nil {
-					return row{}, err
-				}
-				conv, err := pipeline.Run(e.Conv, pipeline.DefaultConfig(newGshare()), cfg.Limit)
-				if err != nil {
-					return row{}, err
-				}
-				cs := pipeline.DefaultConfig(newGshare())
-				cs.UseSFPF = true
-				sfpf, err := pipeline.Run(e.Conv, cs, cfg.Limit)
-				if err != nil {
-					return row{}, err
-				}
-				cp := pipeline.DefaultConfig(newGshare())
-				cp.PGU = core.PGUAll
-				pgu, err := pipeline.Run(e.Conv, cp, cfg.Limit)
-				if err != nil {
-					return row{}, err
-				}
-				cb := pipeline.DefaultConfig(newGshare())
-				cb.UseSFPF = true
-				cb.PGU = core.PGUAll
-				both, err := pipeline.Run(e.Conv, cb, cfg.Limit)
-				if err != nil {
-					return row{}, err
-				}
-				return row{orig: orig, conv: conv.Cycles, sfpf: sfpf.Cycles,
-					pgu: pgu.Cycles, both: both.Cycles}, nil
-			})
-			if err != nil {
-				return nil, err
-			}
-			t := stats.NewTable("E6: cycles and speedup over branching code (gshare 12/8, 10-cycle penalty)",
-				"workload", "cycles orig", "IPC orig", "speedup conv", "conv+sfpf", "conv+pgu", "conv+both")
-			var sp1, sp2, sp3, sp4 []float64
-			for i, e := range s.Entries {
-				r := rows[i]
-				o := float64(r.orig.Cycles)
-				t.AddRow(e.Name, stats.N(r.orig.Cycles), stats.F2(r.orig.IPC()),
-					stats.Ratio(o, float64(r.conv)),
-					stats.Ratio(o, float64(r.sfpf)),
-					stats.Ratio(o, float64(r.pgu)),
-					stats.Ratio(o, float64(r.both)))
-				sp1 = append(sp1, o/float64(r.conv))
-				sp2 = append(sp2, o/float64(r.sfpf))
-				sp3 = append(sp3, o/float64(r.pgu))
-				sp4 = append(sp4, o/float64(r.both))
-			}
-			t.AddRow("geomean", "", "",
-				fmt.Sprintf("%.2fx", stats.Geomean(sp1)),
-				fmt.Sprintf("%.2fx", stats.Geomean(sp2)),
-				fmt.Sprintf("%.2fx", stats.Geomean(sp3)),
-				fmt.Sprintf("%.2fx", stats.Geomean(sp4)))
-			return []*stats.Table{t}, nil
+		Variants: []Variant{
+			{Key: "orig", Trace: TraceOrig, Pipeline: true},
+			{Key: "conv", Pipeline: true},
+			{Key: "sfpf", Pipeline: true, UseSFPF: true},
+			{Key: "pgu", Pipeline: true, PGU: core.PGUAll},
+			{Key: "both", Pipeline: true, UseSFPF: true, PGU: core.PGUAll},
 		},
-	}
+		Tables: []TableSpec{{
+			Title: "E6: cycles and speedup over branching code (gshare 12/8, 10-cycle penalty)",
+			Shape: RowsPerEntry,
+			Cols: []Col{
+				workloadCol(),
+				{"cycles orig", func(r Row) string { return stats.N(r.Cell("orig").P.Cycles) }},
+				{"IPC orig", func(r Row) string { return stats.F2(r.Cell("orig").P.IPC()) }},
+				speedupCol("speedup conv", "conv"),
+				speedupCol("conv+sfpf", "sfpf"),
+				speedupCol("conv+pgu", "pgu"),
+				speedupCol("conv+both", "both"),
+			},
+			Summary: []Col{
+				lit("geomean"),
+				lit(""),
+				lit(""),
+				geoCyclesCol("", "conv", "%.2fx"),
+				geoCyclesCol("", "sfpf", "%.2fx"),
+				geoCyclesCol("", "pgu", "%.2fx"),
+				geoCyclesCol("", "both", "%.2fx"),
+			},
+		}},
+	}.Experiment()
 }
 
 // E7 — sensitivity to the predicate resolve delay.
 func e7() Experiment {
-	return Experiment{
+	var variants []Variant
+	var groups []string
+	for _, d := range []uint64{0, 2, 4, 6, 8, 12, 16, 24} {
+		label := stats.N(d)
+		groups = append(groups, label)
+		variants = append(variants, Variant{
+			Key: label, UseSFPF: true, ResolveDelay: d,
+			FullOnly: d != 0 && d != 6 && d != 16,
+		})
+	}
+	return Spec{
 		ID:    "E7",
 		Title: "SFPF coverage vs predicate resolve delay",
 		Paper: "sensitivity analysis: how deep pipelines (late predicate resolution) erode the filter",
 		Expect: "filter coverage falls monotonically as the resolve delay grows; misprediction rate " +
 			"degrades back toward the unfiltered baseline",
-		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
-			delays := []uint64{0, 2, 4, 6, 8, 12, 16, 24}
-			if cfg.Quick {
-				delays = []uint64{0, 6, 16}
-			}
-			t := stats.NewTable("E7: geomean SFPF coverage and misprediction rate vs resolve delay (gshare 12/8)",
-				"resolve delay", "coverage", "rate")
-			for _, d := range delays {
-				d := d
-				pairs, err := overEntries(ctx, s, func(e *Entry) ([2]float64, error) {
-					m := core.Evaluate(e.ConvTrace, core.EvalConfig{
-						Predictor: newGshare(), UseSFPF: true, ResolveDelay: d,
-					})
-					return [2]float64{m.FilterCoverage(), m.MispredictRate()}, nil
-				})
-				if err != nil {
-					return nil, err
-				}
-				var cov, rate []float64
-				for _, p := range pairs {
-					cov = append(cov, p[0])
-					rate = append(rate, p[1])
-				}
-				t.AddRow(stats.N(d), stats.Pct(stats.Mean(cov)), stats.Pct(stats.Geomean(rate)))
-			}
-			return []*stats.Table{t}, nil
-		},
-	}
+		Variants: variants,
+		Tables: []TableSpec{{
+			Title:  "E7: geomean SFPF coverage and misprediction rate vs resolve delay (gshare 12/8)",
+			Shape:  RowsPerGroup,
+			Groups: groups,
+			Cols: []Col{
+				groupCol("resolve delay"),
+				{"coverage", func(r Row) string {
+					return stats.Pct(stats.Mean(r.Over("", func(c Cell) float64 { return c.M.FilterCoverage() })))
+				}},
+				{"rate", func(r Row) string { return stats.Pct(stats.Geomean(r.Over("", rate))) }},
+			},
+		}},
+	}.Experiment()
 }
 
 // E8 — PGU insertion-policy ablation.
 func e8() Experiment {
-	return Experiment{
+	var variants []Variant
+	var groups []string
+	for _, pol := range []core.PGUPolicy{core.PGUOff, core.PGURegionGuards, core.PGUBranchGuards, core.PGUAll} {
+		label := pol.String()
+		groups = append(groups, label)
+		variants = append(variants, Variant{Key: label, PGU: pol, PGUDelay: defPGUDelay})
+	}
+	return Spec{
 		ID:    "E8",
 		Title: "PGU insertion policy ablation",
 		Paper: "design-space discussion: which predicate defines should update the history",
 		Expect: "more insertion gives more correlation but consumes history capacity; " +
 			"region/branch-guard policies spend fewer bits for most of the benefit",
-		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
-			policies := []core.PGUPolicy{core.PGUOff, core.PGURegionGuards, core.PGUBranchGuards, core.PGUAll}
-			t := stats.NewTable("E8: geomean misprediction rate per insertion policy (gshare 12/8)",
-				"policy", "rate", "inserted bits (suite)")
-			for _, pol := range policies {
-				p := pol
-				type cell struct {
-					rate float64
-					bits uint64
-				}
-				cells, err := overEntries(ctx, s, func(e *Entry) (cell, error) {
-					m := core.Evaluate(e.ConvTrace, core.EvalConfig{
-						Predictor: newGshare(), PGU: p, PGUDelay: defPGUDelay,
-					})
-					return cell{rate: m.MispredictRate(), bits: m.InsertedBits}, nil
-				})
-				if err != nil {
-					return nil, err
-				}
-				var rates []float64
-				var bits uint64
-				for _, c := range cells {
-					rates = append(rates, c.rate)
-					bits += c.bits
-				}
-				t.AddRow(p.String(), stats.Pct(stats.Geomean(rates)), stats.N(bits))
-			}
-			return []*stats.Table{t}, nil
+		Variants: variants,
+		Tables: []TableSpec{{
+			Title:  "E8: geomean misprediction rate per insertion policy (gshare 12/8)",
+			Shape:  RowsPerGroup,
+			Groups: groups,
+			Cols: []Col{
+				groupCol("policy"),
+				{"rate", func(r Row) string { return stats.Pct(stats.Geomean(r.Over("", rate))) }},
+				{"inserted bits (suite)", func(r Row) string {
+					var bits uint64
+					for _, c := range r.Cells("") {
+						bits += c.M.InsertedBits
+					}
+					return stats.N(bits)
+				}},
+			},
+		}},
+	}.Experiment()
+}
+
+// E9 — filtering known-true guards as well (extension).
+func e9() Experiment {
+	return Spec{
+		ID:    "E9",
+		Title: "Filtering known-true guards (extension beyond the paper)",
+		Paper: "the abstract claims only the known-false case; this quantifies the symmetric case",
+		Expect: "guard-implies-taken branches with resolved true guards are also 100% predictable; " +
+			"coverage roughly doubles on predicated code with near-50% path predicates",
+		Variants: []Variant{
+			{Key: "false-only", UseSFPF: true, ResolveDelay: defResolve},
+			{Key: "both", UseSFPF: true, FilterTrue: true, ResolveDelay: defResolve},
 		},
-	}
+		Tables: []TableSpec{{
+			Title: "E9: SFPF false-only vs both directions (gshare 12/8, resolve delay 6)",
+			Shape: RowsPerEntry,
+			Cols: []Col{
+				workloadCol(),
+				{"coverage false-only", func(r Row) string { return stats.Pct(r.Cell("false-only").M.FilterCoverage()) }},
+				{"coverage both", func(r Row) string { return stats.Pct(r.Cell("both").M.FilterCoverage()) }},
+				{"rate false-only", func(r Row) string { return stats.Pct(r.Cell("false-only").M.MispredictRate()) }},
+				{"rate both", func(r Row) string { return stats.Pct(r.Cell("both").M.MispredictRate()) }},
+				{"errors", func(r Row) string { return stats.N(r.Cell("both").M.FilterErrors) }},
+			},
+			Notes: []func([]Row) string{func(rows []Row) string {
+				var errs uint64
+				for _, r := range rows {
+					errs += r.Cell("both").M.FilterErrors
+				}
+				return fmt.Sprintf("total filter errors: %d (must be 0)", errs)
+			}},
+		}},
+	}.Experiment()
 }
 
 // E10 — compare scheduling ablation.
 func e10() Experiment {
-	return Experiment{
+	return Spec{
 		ID:    "E10",
 		Title: "Compare scheduling ablation (what feeds the filter)",
 		Paper: "methodology dependency: the paper's compiler schedules compares early; this quantifies how much the SFPF relies on that",
 		Expect: "without compare scheduling, guard defines sit next to their branches, guards rarely " +
 			"resolve before fetch, and filter coverage collapses",
-		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
-			rows, err := overEntries(ctx, s, func(e *Entry) ([2]float64, error) {
-				sched := core.Evaluate(e.ConvTrace, core.EvalConfig{
-					Predictor: newGshare(), UseSFPF: true, ResolveDelay: defResolve,
-				})
-				rawTr, err := e.Unscheduled()
-				if err != nil {
-					return [2]float64{}, err
-				}
-				unsched := core.Evaluate(rawTr, core.EvalConfig{
-					Predictor: newGshare(), UseSFPF: true, ResolveDelay: defResolve,
-				})
-				return [2]float64{sched.FilterCoverage(), unsched.FilterCoverage()}, nil
-			})
-			if err != nil {
-				return nil, err
-			}
-			t := stats.NewTable("E10: SFPF coverage with and without compare scheduling (gshare 12/8, resolve delay 6)",
-				"workload", "coverage scheduled", "coverage unscheduled")
-			for i, e := range s.Entries {
-				t.AddRow(e.Name, stats.Pct(rows[i][0]), stats.Pct(rows[i][1]))
-			}
-			return []*stats.Table{t}, nil
+		Variants: []Variant{
+			{Key: "sched", UseSFPF: true, ResolveDelay: defResolve},
+			{Key: "unsched", Trace: TraceUnscheduled, UseSFPF: true, ResolveDelay: defResolve},
 		},
-	}
+		Tables: []TableSpec{{
+			Title: "E10: SFPF coverage with and without compare scheduling (gshare 12/8, resolve delay 6)",
+			Shape: RowsPerEntry,
+			Cols: []Col{
+				workloadCol(),
+				{"coverage scheduled", func(r Row) string { return stats.Pct(r.Cell("sched").M.FilterCoverage()) }},
+				{"coverage unscheduled", func(r Row) string { return stats.Pct(r.Cell("unsched").M.FilterCoverage()) }},
+			},
+		}},
+	}.Experiment()
 }
 
 // E11 — profile-guided hyperblock selection.
 func e11() Experiment {
-	return Experiment{
+	return Spec{
 		ID:    "E11",
 		Title: "Profile-guided vs greedy if-conversion",
 		Paper: "methodology: the paper's IMPACT binaries used profile-driven hyperblock selection; this reproduces that selection and its effect",
 		Expect: "profile-guided selection skips regions whose nullification cost exceeds their " +
 			"misprediction savings, eliminating the pathological predication losses greedy " +
 			"conversion shows, at the price of converting less",
-		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
-			type row struct {
-				profRegions            int
-				orig, greedy, profiled uint64 // cycles
-			}
-			rows, err := overEntries(ctx, s, func(e *Entry) (row, error) {
-				pc, prep, _, err := e.Profiled()
-				if err != nil {
-					return row{}, err
-				}
-				orig, err := pipeline.Run(e.Orig, pipeline.DefaultConfig(newGshare()), cfg.Limit)
-				if err != nil {
-					return row{}, err
-				}
-				greedy, err := pipeline.Run(e.Conv, pipeline.DefaultConfig(newGshare()), cfg.Limit)
-				if err != nil {
-					return row{}, err
-				}
-				profiled, err := pipeline.Run(pc, pipeline.DefaultConfig(newGshare()), cfg.Limit)
-				if err != nil {
-					return row{}, err
-				}
-				return row{profRegions: len(prep.Regions), orig: orig.Cycles,
-					greedy: greedy.Cycles, profiled: profiled.Cycles}, nil
-			})
-			if err != nil {
-				return nil, err
-			}
-			t := stats.NewTable("E11: speedup over branching code, greedy vs profile-guided conversion (gshare 12/8)",
-				"workload", "greedy regions", "profiled regions", "speedup greedy", "speedup profiled")
-			var sg, sp []float64
-			for i, e := range s.Entries {
-				r := rows[i]
-				o := float64(r.orig)
-				t.AddRow(e.Name, stats.N(len(e.Report.Regions)), stats.N(r.profRegions),
-					stats.Ratio(o, float64(r.greedy)), stats.Ratio(o, float64(r.profiled)))
-				sg = append(sg, o/float64(r.greedy))
-				sp = append(sp, o/float64(r.profiled))
-			}
-			t.AddRow("geomean", "", "",
-				fmt.Sprintf("%.2fx", stats.Geomean(sg)), fmt.Sprintf("%.2fx", stats.Geomean(sp)))
-			return []*stats.Table{t}, nil
+		Variants: []Variant{
+			{Key: "orig", Trace: TraceOrig, Pipeline: true},
+			{Key: "greedy", Pipeline: true},
+			{Key: "prof", Trace: TraceProfiled, Pipeline: true},
 		},
-	}
+		Tables: []TableSpec{{
+			Title: "E11: speedup over branching code, greedy vs profile-guided conversion (gshare 12/8)",
+			Shape: RowsPerEntry,
+			Cols: []Col{
+				workloadCol(),
+				{"greedy regions", func(r Row) string { return stats.N(len(r.Entry.Report.Regions)) }},
+				{"profiled regions", func(r Row) string {
+					_, rep, _, _ := r.Entry.Profiled() // already materialized by the prof cells
+					return stats.N(len(rep.Regions))
+				}},
+				{"speedup greedy", func(r Row) string {
+					return stats.Ratio(float64(r.Cell("orig").P.Cycles), float64(r.Cell("greedy").P.Cycles))
+				}},
+				{"speedup profiled", func(r Row) string {
+					return stats.Ratio(float64(r.Cell("orig").P.Cycles), float64(r.Cell("prof").P.Cycles))
+				}},
+			},
+			Summary: []Col{
+				lit("geomean"),
+				lit(""),
+				lit(""),
+				geoCyclesCol("", "greedy", "%.2fx"),
+				geoCyclesCol("", "prof", "%.2fx"),
+			},
+		}},
+	}.Experiment()
 }
 
 // E12 — issue-width sensitivity.
 func e12() Experiment {
-	return Experiment{
+	var variants []Variant
+	var groups []string
+	for _, w := range []int{1, 2, 4, 8} {
+		label := stats.N(w)
+		groups = append(groups, label)
+		full := w != 1 && w != 4
+		variants = append(variants,
+			Variant{Key: label + "/orig", Trace: TraceOrig, Pipeline: true, IssueWidth: w, FullOnly: full},
+			Variant{Key: label + "/conv", Pipeline: true, IssueWidth: w, FullOnly: full},
+			Variant{Key: label + "/both", Pipeline: true, IssueWidth: w, UseSFPF: true, PGU: core.PGUAll, FullOnly: full})
+	}
+	return Spec{
 		ID:    "E12",
 		Title: "Predication trade-off vs issue width",
 		Paper: "context: the paper targets wide EPIC machines; width amortises nullified slots while misprediction penalties stay flat",
 		Expect: "the geomean speedup of predicated code (and of predicated+mechanisms) over branching " +
 			"code grows with issue width",
-		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
-			widths := []int{1, 2, 4, 8}
-			if cfg.Quick {
-				widths = []int{1, 4}
-			}
-			t := stats.NewTable("E12: geomean speedup over branching code vs issue width (gshare 12/8)",
-				"issue width", "IPC orig (geomean)", "speedup conv", "speedup conv+both")
-			for _, w := range widths {
-				w := w
-				type cell struct{ ipc, sc, sb float64 }
-				cells, err := overEntries(ctx, s, func(e *Entry) (cell, error) {
-					mk := func() pipeline.Config {
-						c := pipeline.DefaultConfig(newGshare())
-						c.IssueWidth = w
-						return c
-					}
-					orig, err := pipeline.Run(e.Orig, mk(), cfg.Limit)
-					if err != nil {
-						return cell{}, err
-					}
-					conv, err := pipeline.Run(e.Conv, mk(), cfg.Limit)
-					if err != nil {
-						return cell{}, err
-					}
-					cb := mk()
-					cb.UseSFPF = true
-					cb.PGU = core.PGUAll
-					both, err := pipeline.Run(e.Conv, cb, cfg.Limit)
-					if err != nil {
-						return cell{}, err
-					}
-					return cell{
-						ipc: orig.IPC(),
-						sc:  float64(orig.Cycles) / float64(conv.Cycles),
-						sb:  float64(orig.Cycles) / float64(both.Cycles),
-					}, nil
-				})
-				if err != nil {
-					return nil, err
-				}
-				var ipcs, sc, sb []float64
-				for _, c := range cells {
-					ipcs = append(ipcs, c.ipc)
-					sc = append(sc, c.sc)
-					sb = append(sb, c.sb)
-				}
-				t.AddRow(stats.N(w), stats.F2(stats.Geomean(ipcs)),
-					fmt.Sprintf("%.3fx", stats.Geomean(sc)),
-					fmt.Sprintf("%.3fx", stats.Geomean(sb)))
-			}
-			return []*stats.Table{t}, nil
-		},
-	}
+		Variants: variants,
+		Tables: []TableSpec{{
+			Title:  "E12: geomean speedup over branching code vs issue width (gshare 12/8)",
+			Shape:  RowsPerGroup,
+			Groups: groups,
+			Cols: []Col{
+				groupCol("issue width"),
+				{"IPC orig (geomean)", func(r Row) string {
+					return stats.F2(stats.Geomean(r.Over("orig", func(c Cell) float64 { return c.P.IPC() })))
+				}},
+				geoCyclesCol("speedup conv", "conv", "%.3fx"),
+				geoCyclesCol("speedup conv+both", "both", "%.3fx"),
+			},
+		}},
+	}.Experiment()
 }
 
 // E13 — PGU across predictor architectures.
 func e13() Experiment {
-	return Experiment{
+	var variants []Variant
+	var groups []string
+	for _, sp := range []sim.Spec{
+		sim.For("gshare", 12, 8),
+		sim.For("agree", 12, 8),
+		sim.For("perceptron", 8, 24),
+	} {
+		name := sp.MustNew().Name()
+		groups = append(groups, name)
+		variants = append(variants,
+			Variant{Key: name + "/base", Pred: sp},
+			Variant{Key: name + "/pgu", Pred: sp, PGU: core.PGUAll, PGUDelay: defPGUDelay})
+	}
+	return Spec{
 		ID:    "E13",
 		Title: "PGU across predictor architectures (counters vs agree vs perceptron)",
 		Paper: "extension: the paper used counter-based global predictors; this asks whether the mechanism generalises",
 		Expect: "every global-history architecture benefits on correlated workloads, and none regresses " +
 			"materially on the rest: the mechanism is predictor-agnostic, needing only an open history",
-		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
-			specs := []sim.Spec{
-				sim.For("gshare", 12, 8),
-				sim.For("agree", 12, 8),
-				sim.For("perceptron", 8, 24),
-			}
-			t := stats.NewTable("E13: geomean misprediction rate on predicated code, base vs PGU-all",
-				"predictor", "rate base", "rate pgu-all", "improvement", "worst per-workload ratio")
-			for _, sp := range specs {
-				sp := sp
-				type cell struct {
-					rb, rp            float64
-					missBase, missPGU uint64
-				}
-				cells, err := overEntries(ctx, s, func(e *Entry) (cell, error) {
-					base := core.Evaluate(e.ConvTrace, core.EvalConfig{Predictor: sp.MustNew()})
-					pgu := core.Evaluate(e.ConvTrace, core.EvalConfig{
-						Predictor: sp.MustNew(), PGU: core.PGUAll, PGUDelay: defPGUDelay,
-					})
-					return cell{
-						rb: base.MispredictRate(), rp: pgu.MispredictRate(),
-						missBase: base.Mispredicts, missPGU: pgu.Mispredicts,
-					}, nil
-				})
-				if err != nil {
-					return nil, err
-				}
-				var rb, rp []float64
-				worst := 0.0
-				for _, c := range cells {
-					rb = append(rb, c.rb)
-					rp = append(rp, c.rp)
-					// ratio > 1 means PGU hurt this workload; tiny baselines
-					// are excluded as noise.
-					if c.missBase >= 50 {
-						if r := float64(c.missPGU) / float64(c.missBase); r > worst {
-							worst = r
+		Variants: variants,
+		Tables: []TableSpec{{
+			Title:  "E13: geomean misprediction rate on predicated code, base vs PGU-all",
+			Shape:  RowsPerGroup,
+			Groups: groups,
+			Cols: []Col{
+				groupCol("predictor"),
+				geoRateCol("rate base", "base"),
+				geoRateCol("rate pgu-all", "pgu"),
+				{"improvement", func(r Row) string {
+					return stats.Ratio(stats.Geomean(r.Over("base", rate)), stats.Geomean(r.Over("pgu", rate)))
+				}},
+				{"worst per-workload ratio", func(r Row) string {
+					base, pgu := r.Cells("base"), r.Cells("pgu")
+					worst := 0.0
+					for i := range base {
+						// ratio > 1 means PGU hurt this workload; tiny
+						// baselines are excluded as noise.
+						if base[i].M.Mispredicts >= 50 {
+							if ratio := float64(pgu[i].M.Mispredicts) / float64(base[i].M.Mispredicts); ratio > worst {
+								worst = ratio
+							}
 						}
 					}
-				}
-				gb, gp := stats.Geomean(rb), stats.Geomean(rp)
-				t.AddRow(sp.MustNew().Name(), stats.Pct(gb), stats.Pct(gp), stats.Ratio(gb, gp),
-					stats.F2(worst))
-			}
-			t.AddNote("worst per-workload ratio: pgu/base misprediction counts; > 1 means insertion hurt that workload")
-			return []*stats.Table{t}, nil
-		},
-	}
+					return stats.F2(worst)
+				}},
+			},
+			Notes: []func([]Row) string{
+				staticNote("worst per-workload ratio: pgu/base misprediction counts; > 1 means insertion hurt that workload"),
+			},
+		}},
+	}.Experiment()
 }
 
 // E14 — return-address stack depth on the recursive workload.
 func e14() Experiment {
-	return Experiment{
+	variants := []Variant{{Key: "0 (off)", Trace: TraceOrig, Pipeline: true, NoRAS: true}}
+	groups := []string{"0 (off)"}
+	for _, d := range []int{1, 2, 4, 8, 16} {
+		label := stats.N(d)
+		groups = append(groups, label)
+		variants = append(variants, Variant{
+			Key: label, Trace: TraceOrig, Pipeline: true, RASDepth: d,
+			FullOnly: d != 2 && d != 8,
+		})
+	}
+	return Spec{
 		ID:    "E14",
 		Title: "Return-address stack depth on recursive code",
 		Paper: "front-end context: the paper assumes targets are handled; this quantifies the indirect-branch side on the one recursive workload",
 		Expect: "misses fall monotonically with stack depth and reach zero once the depth covers the " +
 			"recursion; cycles follow",
-		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
-			var entry *Entry
-			for _, e := range s.Entries {
-				if e.Name == "queens" {
-					entry = e
-				}
-			}
-			if entry == nil {
-				return nil, fmt.Errorf("queens workload missing")
-			}
-			depths := []int{1, 2, 4, 8, 16}
-			if cfg.Quick {
-				depths = []int{2, 8}
-			}
-			type point struct {
-				label   string
-				depth   int
-				disable bool
-			}
-			points := []point{{label: "0 (off)", disable: true}}
-			for _, d := range depths {
-				points = append(points, point{label: stats.N(d), depth: d})
-			}
-			rows, err := sim.Map(ctx, points, 0, func(_ context.Context, pt point) (pipeline.Stats, error) {
-				c := pipeline.DefaultConfig(newGshare())
-				c.RASDepth = pt.depth
-				c.NoRAS = pt.disable
-				return pipeline.Run(entry.Orig, c, cfg.Limit)
-			})
-			if err != nil {
-				return nil, err
-			}
-			t := stats.NewTable("E14: RAS depth vs return mispredictions on queens (gshare 12/8)",
-				"ras depth", "indirect branches", "misses", "cycles", "IPC")
-			for i, pt := range points {
-				st := rows[i]
-				t.AddRow(pt.label, stats.N(st.IndirectBranches), stats.N(st.RASMisses),
-					stats.N(st.Cycles), stats.F2(st.IPC()))
-			}
-			return []*stats.Table{t}, nil
-		},
-	}
-}
-
-// E9 — filtering known-true guards as well (extension).
-func e9() Experiment {
-	return Experiment{
-		ID:    "E9",
-		Title: "Filtering known-true guards (extension beyond the paper)",
-		Paper: "the abstract claims only the known-false case; this quantifies the symmetric case",
-		Expect: "guard-implies-taken branches with resolved true guards are also 100% predictable; " +
-			"coverage roughly doubles on predicated code with near-50% path predicates",
-		Run: func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error) {
-			type row struct{ f, b core.Metrics }
-			rows, err := overEntries(ctx, s, func(e *Entry) (row, error) {
-				return row{
-					f: core.Evaluate(e.ConvTrace, core.EvalConfig{
-						Predictor: newGshare(), UseSFPF: true, ResolveDelay: defResolve,
-					}),
-					b: core.Evaluate(e.ConvTrace, core.EvalConfig{
-						Predictor: newGshare(), UseSFPF: true, FilterTrue: true, ResolveDelay: defResolve,
-					}),
-				}, nil
-			})
-			if err != nil {
-				return nil, err
-			}
-			t := stats.NewTable("E9: SFPF false-only vs both directions (gshare 12/8, resolve delay 6)",
-				"workload", "coverage false-only", "coverage both", "rate false-only", "rate both", "errors")
-			var errs uint64
-			for i, e := range s.Entries {
-				f, b := rows[i].f, rows[i].b
-				errs += b.FilterErrors
-				t.AddRow(e.Name, stats.Pct(f.FilterCoverage()), stats.Pct(b.FilterCoverage()),
-					stats.Pct(f.MispredictRate()), stats.Pct(b.MispredictRate()), stats.N(b.FilterErrors))
-			}
-			t.AddNote("total filter errors: %d (must be 0)", errs)
-			return []*stats.Table{t}, nil
-		},
-	}
+		Workloads: []string{"queens"},
+		Variants:  variants,
+		Tables: []TableSpec{{
+			Title:  "E14: RAS depth vs return mispredictions on queens (gshare 12/8)",
+			Shape:  RowsPerGroup,
+			Groups: groups,
+			Cols: []Col{
+				groupCol("ras depth"),
+				{"indirect branches", func(r Row) string { return stats.N(r.Cell("").P.IndirectBranches) }},
+				{"misses", func(r Row) string { return stats.N(r.Cell("").P.RASMisses) }},
+				{"cycles", func(r Row) string { return stats.N(r.Cell("").P.Cycles) }},
+				{"IPC", func(r Row) string { return stats.F2(r.Cell("").P.IPC()) }},
+			},
+		}},
+	}.Experiment()
 }

@@ -15,6 +15,10 @@ import (
 // as a silently drifting results directory. When a change is intentional,
 // regenerate with `go run ./cmd/experiments -outdir results` and commit
 // the new files alongside the code.
+//
+// Each experiment is its own subtest, so `-run 'TestGoldenCSVs/E2$'`
+// re-checks one experiment and a failure names the experiment, not just
+// the file.
 func TestGoldenCSVs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment suite in -short mode")
@@ -26,49 +30,42 @@ func TestGoldenCSVs(t *testing.T) {
 
 	s := testSuite(t)
 	cfg := Config{}.withDefaults()
-	generated := make(map[string]string) // file base name -> CSV content
+	claimed := make(map[string]bool) // file base names experiments generate
 	for _, e := range All() {
-		tables, err := e.Run(context.Background(), s, cfg)
-		if err != nil {
-			t.Fatalf("%s: %v", e.ID, err)
-		}
-		for i, tb := range tables {
-			// Mirror cmd/experiments' file naming exactly: the experiment
-			// ID, with a letter suffix when it emits several tables.
-			name := e.ID
-			if len(tables) > 1 {
-				name += string(rune('a' + i))
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(context.Background(), s, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
 			}
-			generated[name+".csv"] = tb.CSV()
-		}
+			r := Result{Experiment: e, Tables: tables}
+			for i, tb := range tables {
+				name := r.TableName(i) + ".csv"
+				claimed[name] = true
+				got, err := os.ReadFile(filepath.Join(resultsDir, name))
+				if err != nil {
+					t.Errorf("missing file results/%s: experiment output not checked in (%v)", name, err)
+					continue
+				}
+				if string(got) != tb.CSV() {
+					t.Errorf("results/%s differs from regenerated output (intentional? regenerate with `go run ./cmd/experiments -outdir results`)", name)
+				}
+			}
+		})
 	}
 
-	entries, err := os.ReadDir(resultsDir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	checkedIn := make(map[string]bool)
-	for _, ent := range entries {
-		if ent.IsDir() || filepath.Ext(ent.Name()) != ".csv" {
-			continue
-		}
-		checkedIn[ent.Name()] = true
-		want, ok := generated[ent.Name()]
-		if !ok {
-			t.Errorf("stale file results/%s: no experiment generates it", ent.Name())
-			continue
-		}
-		got, err := os.ReadFile(filepath.Join(resultsDir, ent.Name()))
+	t.Run("no-stale-files", func(t *testing.T) {
+		entries, err := os.ReadDir(resultsDir)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if string(got) != want {
-			t.Errorf("results/%s differs from regenerated output (intentional? regenerate with `go run ./cmd/experiments -outdir results`)", ent.Name())
+		for _, ent := range entries {
+			if ent.IsDir() || filepath.Ext(ent.Name()) != ".csv" {
+				continue
+			}
+			if !claimed[ent.Name()] {
+				t.Errorf("stale file results/%s: no experiment generates it", ent.Name())
+			}
 		}
-	}
-	for name := range generated {
-		if !checkedIn[name] {
-			t.Errorf("missing file results/%s: experiment output not checked in", name)
-		}
-	}
+	})
 }

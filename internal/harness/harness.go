@@ -13,13 +13,18 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/bpred"
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/ifconv"
 	"repro/internal/profile"
 	"repro/internal/prog"
+	"repro/internal/results"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -174,18 +179,58 @@ type Experiment struct {
 	// Expect states the shape the result should show if the reproduction
 	// holds.
 	Expect string
-	Run    func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error)
+	// Spec is the experiment's declarative definition when it runs on
+	// the generic engine (see spec.go); nil for a hand-written Run (the
+	// escape hatch for experiments that do not fit a grid).
+	Spec *Spec
+	Run  func(ctx context.Context, s *Suite, cfg Config) ([]*stats.Table, error)
+}
+
+// ConfigHash identifies what this experiment would compute under cfg:
+// the experiment, the run bounds, and — for spec-driven experiments —
+// the active variant grid and workload selection. Two runs with equal
+// hashes answered the same question; the results store keys records on
+// it so `bpstats` can tell a regression from a reconfiguration.
+func (e Experiment) ConfigHash(cfg Config) string {
+	cfg = cfg.withDefaults()
+	doc := struct {
+		ID        string
+		Limit     uint64
+		Quick     bool
+		Custom    bool      `json:",omitempty"`
+		Workloads []string  `json:",omitempty"`
+		Variants  []Variant `json:",omitempty"`
+	}{ID: e.ID, Limit: cfg.Limit, Quick: cfg.Quick}
+	if e.Spec == nil {
+		doc.Custom = true
+	} else {
+		doc.Workloads = e.Spec.Workloads
+		doc.Variants = e.Spec.ActiveVariants(cfg)
+	}
+	return buildinfo.Hash(doc)
 }
 
 var experiments []Experiment
 
 func registerExperiment(e Experiment) { experiments = append(experiments, e) }
 
-// All returns every experiment sorted by ID.
+// All returns every experiment in natural ID order (E1, E2, ... E14 —
+// numeric, not lexical, so E9 precedes E10). Ranges in Select and the
+// -list output follow this order.
 func All() []Experiment {
 	out := append([]Experiment(nil), experiments...)
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	sort.Slice(out, func(i, j int) bool { return idOrd(out[i].ID) < idOrd(out[j].ID) })
 	return out
+}
+
+// idOrd maps "E<n>" to n for natural ordering; non-conforming IDs sort
+// last in lexical order among themselves (the registry has none today).
+func idOrd(id string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "E"))
+	if err != nil {
+		return 1 << 30
+	}
+	return n
 }
 
 // ByID finds an experiment.
@@ -198,10 +243,117 @@ func ByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("harness: unknown experiment %q", id)
 }
 
-// Result pairs an experiment with its output tables.
+// Select resolves an experiment-selection expression: a comma-separated
+// list of experiment IDs ("E2,E5"), numeric ranges ("E3-E6"), and table
+// names ("E2a" selects E2 — the letter suffix cmd/experiments appends to
+// multi-table CSV files). The empty expression selects every experiment.
+// Unknown IDs fail up front, before any suite is built.
+func Select(expr string) ([]Experiment, error) {
+	if strings.TrimSpace(expr) == "" {
+		return All(), nil
+	}
+	var out []Experiment
+	seen := make(map[string]bool)
+	add := func(e Experiment) {
+		if !seen[e.ID] {
+			seen[e.ID] = true
+			out = append(out, e)
+		}
+	}
+	for _, tok := range strings.Split(expr, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if e, err := ByID(tok); err == nil {
+			add(e)
+			continue
+		}
+		// Table name: an ID plus the letter suffix of a multi-table
+		// experiment's CSV file ("E2a" -> E2).
+		if n := len(tok); n > 1 && tok[n-1] >= 'a' && tok[n-1] <= 'z' {
+			if e, err := ByID(tok[:n-1]); err == nil {
+				add(e)
+				continue
+			}
+		}
+		// Range: "E3-E6" in registry (sorted-ID) order, inclusive.
+		if lo, hi, ok := strings.Cut(tok, "-"); ok {
+			elo, errLo := ByID(strings.TrimSpace(lo))
+			ehi, errHi := ByID(strings.TrimSpace(hi))
+			if errLo == nil && errHi == nil {
+				in := false
+				for _, e := range All() {
+					if e.ID == elo.ID {
+						in = true
+					}
+					if in {
+						add(e)
+					}
+					if e.ID == ehi.ID {
+						if !in {
+							return nil, fmt.Errorf("harness: empty range %q (bounds out of order)", tok)
+						}
+						in = false
+					}
+				}
+				if in {
+					return nil, fmt.Errorf("harness: empty range %q (bounds out of order)", tok)
+				}
+				continue
+			}
+		}
+		return nil, fmt.Errorf("harness: unknown experiment %q in %q (run -list for IDs)", tok, expr)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("harness: selection %q names no experiments", expr)
+	}
+	return out, nil
+}
+
+// Result pairs an experiment with its output tables and the wall time
+// the run took (the results store records it).
 type Result struct {
 	Experiment Experiment
 	Tables     []*stats.Table
+	Wall       time.Duration
+}
+
+// TableName returns the base name of the i-th table's CSV file: the
+// experiment ID, with a letter suffix when the experiment emits several
+// tables ("E2" -> E2a, E2b, ...). cmd/experiments, the golden test, and
+// the results store all name tables through this one function.
+func (r Result) TableName(i int) string {
+	if len(r.Tables) <= 1 {
+		return r.Experiment.ID
+	}
+	return r.Experiment.ID + string(rune('a'+i))
+}
+
+// Record converts the result into a results-store record for the given
+// run. The config hash ties the record to the exact grid that produced
+// it, so `bpstats diff` can refuse to compare unlike configurations.
+func (r Result) Record(runID string, at time.Time, cfg Config) results.Record {
+	cfg = cfg.withDefaults()
+	rec := results.Record{
+		RunID:      runID,
+		Time:       at.UTC().Format(time.RFC3339),
+		Version:    buildinfo.Version(),
+		Experiment: r.Experiment.ID,
+		ConfigHash: r.Experiment.ConfigHash(cfg),
+		Quick:      cfg.Quick,
+		Limit:      cfg.Limit,
+		WallMS:     float64(r.Wall) / float64(time.Millisecond),
+	}
+	for i, t := range r.Tables {
+		rec.Tables = append(rec.Tables, results.Table{
+			Name:    r.TableName(i),
+			Title:   t.Title,
+			Columns: t.Columns,
+			Rows:    t.Rows,
+		})
+	}
+	return rec
 }
 
 // RunAll builds the suite once and runs every experiment.
@@ -213,39 +365,25 @@ func RunAll(cfg Config) ([]Result, error) {
 // CLI -timeout) aborts the in-flight experiment's sweep and returns the
 // context error.
 func RunAllContext(ctx context.Context, cfg Config) ([]Result, error) {
+	return RunSelected(ctx, cfg, All())
+}
+
+// RunSelected builds the suite once and runs the given experiments in
+// order, timing each.
+func RunSelected(ctx context.Context, cfg Config, exps []Experiment) ([]Result, error) {
 	cfg = cfg.withDefaults()
 	s, err := NewSuiteContext(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
 	var out []Result
-	for _, e := range All() {
+	for _, e := range exps {
+		start := time.Now()
 		tables, err := e.Run(ctx, s, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s: %w", e.ID, err)
 		}
-		out = append(out, Result{Experiment: e, Tables: tables})
+		out = append(out, Result{Experiment: e, Tables: tables, Wall: time.Since(start)})
 	}
 	return out, nil
-}
-
-// overEntries computes one result per suite entry on the engine's worker
-// pool, preserving suite order — the basis of every per-workload table
-// and the reason parallel runs render byte-identical output.
-func overEntries[T any](ctx context.Context, s *Suite, fn func(*Entry) (T, error)) ([]T, error) {
-	return sim.Map(ctx, s.Entries, 0, func(_ context.Context, e *Entry) (T, error) {
-		return fn(e)
-	})
-}
-
-// geoRates evaluates cfgOf over every entry's converted trace on the
-// sweep pool and returns the geometric-mean misprediction rate.
-func geoRates(ctx context.Context, s *Suite, cfgOf func(e *Entry) core.EvalConfig) (float64, error) {
-	rates, err := overEntries(ctx, s, func(e *Entry) (float64, error) {
-		return core.Evaluate(e.ConvTrace, cfgOf(e)).MispredictRate(), nil
-	})
-	if err != nil {
-		return 0, err
-	}
-	return stats.Geomean(rates), nil
 }

@@ -48,8 +48,8 @@ func TestRegistryComplete(t *testing.T) {
 		t.Fatalf("%d experiments registered", len(all))
 	}
 	for i, e := range all {
-		if i > 0 && all[i-1].ID >= e.ID {
-			t.Errorf("experiments not sorted: %s then %s", all[i-1].ID, e.ID)
+		if i > 0 && idOrd(all[i-1].ID) >= idOrd(e.ID) {
+			t.Errorf("experiments not in natural order: %s then %s", all[i-1].ID, e.ID)
 		}
 		if e.Run == nil {
 			t.Errorf("%s has no Run", e.ID)

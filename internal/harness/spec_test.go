@@ -1,0 +1,164 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func ids(exps []Experiment) string {
+	parts := make([]string, len(exps))
+	for i, e := range exps {
+		parts[i] = e.ID
+	}
+	return strings.Join(parts, ",")
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(All()) {
+		t.Fatalf("Select(\"\") returned %d experiments, want %d", len(all), len(All()))
+	}
+
+	cases := []struct {
+		expr string
+		want string
+	}{
+		{"E3", "E3"},
+		{"E2a", "E2"}, // table name resolves to its experiment
+		{"E3b", "E3"}, //
+		{"E2a,E5", "E2,E5"},
+		{"E5, E2", "E5,E2"}, // order preserved, spaces tolerated
+		{"E3-E7", "E3,E4,E5,E6,E7"},
+		{"E5,E3-E4,E5", "E5,E3,E4"}, // duplicates collapse, first position wins
+		{"E13-E14", "E13,E14"},
+		{"E8-E10", "E8,E9,E10"}, // natural order, not lexical
+		{"E1,,E2", "E1,E2"},     // empty tokens are tolerated
+	}
+	for _, c := range cases {
+		got, err := Select(c.expr)
+		if err != nil {
+			t.Errorf("Select(%q): %v", c.expr, err)
+			continue
+		}
+		if ids(got) != c.want {
+			t.Errorf("Select(%q) = %s, want %s", c.expr, ids(got), c.want)
+		}
+	}
+
+	for _, expr := range []string{"E99", "nope", "E7-E3", "E1-", "-E3", "E1-E2-E3", ","} {
+		if got, err := Select(expr); err == nil {
+			t.Errorf("Select(%q) accepted: %s", expr, ids(got))
+		}
+	}
+}
+
+// TestSpecDeterministicOutput runs one spec-driven experiment twice and
+// requires byte-identical rendering: the engine's fan-out over the
+// worker pool must not leak scheduling order into row order.
+func TestSpecDeterministicOutput(t *testing.T) {
+	s := testSuite(t)
+	cfg := Config{Quick: true}
+	e, err := ByID("E5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() string {
+		tables, err := e.Run(context.Background(), s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, tb := range tables {
+			sb.WriteString(tb.CSV())
+		}
+		return sb.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("two runs of E5 rendered differently:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}
+
+// TestSpecQuickTrimming checks both trimming axes: FullOnly variants
+// drop out of sweeps, and FullOnly tables disappear entirely.
+func TestSpecQuickTrimming(t *testing.T) {
+	s := testSuite(t)
+
+	e3, _ := ByID("E3")
+	full := e3.Spec.ActiveVariants(Config{})
+	quick := e3.Spec.ActiveVariants(Config{Quick: true})
+	if len(quick) >= len(full) {
+		t.Fatalf("quick kept %d of %d variants", len(quick), len(full))
+	}
+	tables, err := e3.Run(context.Background(), s, Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("E3 quick produced %d tables, want 2", len(tables))
+	}
+	if got := len(tables[1].Rows); got != 2 {
+		t.Fatalf("E3b quick has %d sweep rows, want 2 (table bits 6 and 12)", got)
+	}
+
+	e2, _ := ByID("E2")
+	tables, err = e2.Run(context.Background(), s, Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("E2 quick produced %d tables, want 2 (E2c is full-only)", len(tables))
+	}
+	for _, tb := range tables {
+		if strings.Contains(tb.Title, "E2c") {
+			t.Fatalf("full-only table rendered in quick mode: %s", tb.Title)
+		}
+	}
+}
+
+func TestSpecContextCancellation(t *testing.T) {
+	s := testSuite(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e, _ := ByID("E5")
+	if _, err := e.Run(ctx, s, Config{Quick: true}); err == nil {
+		t.Fatal("cancelled context did not abort the spec run")
+	}
+}
+
+func TestSpecMissingWorkloadErrors(t *testing.T) {
+	s := testSuite(t)
+	spec := Spec{
+		ID: "EX", Title: "x", Workloads: []string{"no-such-workload"},
+		Variants: []Variant{{Key: "a"}},
+		Tables:   []TableSpec{{Title: "x", Shape: RowsPerEntry, Cols: []Col{workloadCol()}}},
+	}
+	if _, err := spec.Experiment().Run(context.Background(), s, Config{}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestConfigHash(t *testing.T) {
+	e, _ := ByID("E3")
+	full := e.ConfigHash(Config{})
+	again := e.ConfigHash(Config{})
+	quick := e.ConfigHash(Config{Quick: true})
+	limited := e.ConfigHash(Config{Limit: 1000})
+	if full != again {
+		t.Fatal("hash not stable across calls")
+	}
+	if full == quick {
+		t.Fatal("quick trimming must change the hash (different grid)")
+	}
+	if full == limited {
+		t.Fatal("a different step limit must change the hash")
+	}
+	other, _ := ByID("E4")
+	if e.ConfigHash(Config{}) == other.ConfigHash(Config{}) {
+		t.Fatal("different experiments share a hash")
+	}
+}

@@ -52,7 +52,10 @@ func (p *Program) SetData(base int64, words []int64) {
 
 // Resolve fills in the Target of every direct branch from its Label. It is
 // idempotent; instructions with a resolved target and no label are left
-// alone.
+// alone. A re-resolution of an already-resolved program performs no
+// writes, so any number of goroutines may share one resolved program
+// (every construction path — Builder.Build, the assembler, deserialize —
+// resolves before the program is published).
 func (p *Program) Resolve() error {
 	for i := range p.Insts {
 		in := &p.Insts[i]
@@ -65,10 +68,14 @@ func (p *Program) Resolve() error {
 		}
 		switch {
 		case in.IsDirectBranch():
-			in.Target = t
+			if in.Target != t {
+				in.Target = t
+			}
 		case in.Op == isa.OpMovi:
 			// movi of a label materialises a code address (used with brr).
-			in.Imm = int64(t)
+			if in.Imm != int64(t) {
+				in.Imm = int64(t)
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,51 @@
+package results
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ReadCSVTable loads one committed results/<name>.csv view as a Table.
+// The first record is the header; the table name is the file basename
+// without extension (the same name Record.Tables uses).
+func ReadCSVTable(path string) (Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Table{}, fmt.Errorf("results: %w", err)
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1 // shape is checked by Diff, not the reader
+	recs, err := r.ReadAll()
+	if err != nil {
+		return Table{}, fmt.Errorf("results: %s: %w", path, err)
+	}
+	if len(recs) == 0 {
+		return Table{}, fmt.Errorf("results: %s: empty CSV", path)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return Table{Name: name, Columns: recs[0], Rows: recs[1:]}, nil
+}
+
+// ReadCSVDir loads every *.csv directly under dir as a Table, sorted by
+// name — the committed-views side of a run-vs-checkout diff.
+func ReadCSVDir(dir string) ([]Table, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	sort.Strings(paths)
+	var out []Table
+	for _, p := range paths {
+		t, err := ReadCSVTable(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

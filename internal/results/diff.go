@@ -1,0 +1,177 @@
+package results
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CellDelta records one differing cell between two versions of a table.
+type CellDelta struct {
+	Table   string
+	RowKey  string // first cell of the row, the human-facing row label
+	ColName string
+	A, B    string
+	Delta   float64 // relative numeric delta; +Inf when not comparable as numbers
+	Numeric bool
+}
+
+func (d CellDelta) String() string {
+	if d.Numeric {
+		return fmt.Sprintf("%s[%s, %s]: %s -> %s (%+.2f%%)", d.Table, d.RowKey, d.ColName, d.A, d.B, 100*d.Delta)
+	}
+	return fmt.Sprintf("%s[%s, %s]: %q -> %q (non-numeric change)", d.Table, d.RowKey, d.ColName, d.A, d.B)
+}
+
+// DiffReport is the outcome of comparing two sets of tables cell by
+// cell. Only differing cells appear in Deltas; Compared counts every
+// cell examined, so an all-equal diff is Compared>0 with no deltas.
+type DiffReport struct {
+	Deltas   []CellDelta
+	Compared int
+	OnlyA    []string // table names present only on the A side
+	OnlyB    []string // table names present only on the B side
+	Shape    []string // tables whose row/column shape differs
+}
+
+// MaxDelta returns the largest relative delta in the report, +Inf when
+// any cell changed non-numerically or any table is missing/misshapen.
+func (r DiffReport) MaxDelta() float64 {
+	max := 0.0
+	if len(r.OnlyA) > 0 || len(r.OnlyB) > 0 || len(r.Shape) > 0 {
+		return math.Inf(1)
+	}
+	for _, d := range r.Deltas {
+		if d.Delta > max {
+			max = d.Delta
+		}
+	}
+	return max
+}
+
+// Exceeds reports whether the diff crosses threshold: any missing or
+// misshapen table, any non-numeric change, or any relative numeric
+// delta strictly above threshold. Exceeds(0) is therefore true for any
+// difference at all — the regression-gate setting.
+func (r DiffReport) Exceeds(threshold float64) bool {
+	if len(r.OnlyA) > 0 || len(r.OnlyB) > 0 || len(r.Shape) > 0 {
+		return true
+	}
+	for _, d := range r.Deltas {
+		if !d.Numeric || d.Delta > threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// Diff compares two table sets by table name. Tables present on only
+// one side are reported, not treated as empty.
+func Diff(a, b []Table) DiffReport {
+	var rep DiffReport
+	am := tableMap(a)
+	bm := tableMap(b)
+	var names []string
+	for n := range am {
+		if _, ok := bm[n]; ok {
+			names = append(names, n)
+		} else {
+			rep.OnlyA = append(rep.OnlyA, n)
+		}
+	}
+	for n := range bm {
+		if _, ok := am[n]; !ok {
+			rep.OnlyB = append(rep.OnlyB, n)
+		}
+	}
+	sort.Strings(names)
+	sort.Strings(rep.OnlyA)
+	sort.Strings(rep.OnlyB)
+	for _, n := range names {
+		diffTable(&rep, am[n], bm[n])
+	}
+	return rep
+}
+
+func tableMap(ts []Table) map[string]Table {
+	m := make(map[string]Table, len(ts))
+	for _, t := range ts {
+		m[t.Name] = t
+	}
+	return m
+}
+
+func diffTable(rep *DiffReport, a, b Table) {
+	if len(a.Rows) != len(b.Rows) || len(a.Columns) != len(b.Columns) {
+		rep.Shape = append(rep.Shape, fmt.Sprintf("%s: %dx%d vs %dx%d rows x cols",
+			a.Name, len(a.Rows), len(a.Columns), len(b.Rows), len(b.Columns)))
+		return
+	}
+	for i := range a.Rows {
+		ra, rb := a.Rows[i], b.Rows[i]
+		for j := range ra {
+			if j >= len(rb) {
+				break
+			}
+			rep.Compared++
+			if ra[j] == rb[j] {
+				continue
+			}
+			d := CellDelta{Table: a.Name, RowKey: rowKey(ra, i), A: ra[j], B: rb[j]}
+			if j < len(a.Columns) {
+				d.ColName = a.Columns[j]
+			}
+			fa, oka := parseNumeric(ra[j])
+			fb, okb := parseNumeric(rb[j])
+			if oka && okb {
+				d.Numeric = true
+				d.Delta = relDelta(fa, fb)
+			} else {
+				d.Delta = math.Inf(1)
+			}
+			rep.Deltas = append(rep.Deltas, d)
+		}
+	}
+}
+
+func rowKey(row []string, i int) string {
+	if len(row) > 0 && row[0] != "" {
+		return row[0]
+	}
+	return fmt.Sprintf("row %d", i)
+}
+
+func relDelta(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Abs(a)
+	if den < 1e-12 {
+		den = 1e-12
+	}
+	return math.Abs(b-a) / den
+}
+
+// parseNumeric interprets the cell formats the stats package emits:
+// plain numbers ("1234", "1.23"), percentages ("12.3%"), and ratios
+// ("1.23x"). Anything else — including composite cells like
+// "12 -> 34" — is non-numeric and compared as a string.
+func parseNumeric(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, false
+	}
+	switch {
+	case strings.HasSuffix(s, "%"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		return v / 100, err == nil
+	case strings.HasSuffix(s, "x"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+		return v, err == nil
+	default:
+		v, err := strconv.ParseFloat(s, 64)
+		return v, err == nil
+	}
+}

@@ -1,0 +1,205 @@
+// Package results is the append-only experiment results store. Every
+// harness engine run can append one record per experiment — config
+// hash, build version, wall time, and the rendered table cells — to a
+// JSONL file under the store directory. The committed results/*.csv
+// files are views regenerable from this store; the store itself is the
+// durable history that `bpstats` lists, diffs, and exports.
+package results
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Table is the stored form of one rendered experiment table: the name
+// the harness writes it under (results/<Name>.csv), its title, and the
+// cell grid. Notes are presentation, not data, and are not stored.
+type Table struct {
+	Name    string     `json:"name"`
+	Title   string     `json:"title,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// Stats converts the stored table back to a renderable stats.Table.
+func (t Table) Stats() *stats.Table {
+	return &stats.Table{Title: t.Title, Columns: t.Columns, Rows: t.Rows}
+}
+
+// Record is one experiment's outcome within a run.
+type Record struct {
+	RunID      string  `json:"run_id"`
+	Time       string  `json:"time"` // RFC3339
+	Version    string  `json:"version"`
+	Experiment string  `json:"experiment"`
+	ConfigHash string  `json:"config_hash"`
+	Quick      bool    `json:"quick,omitempty"`
+	Limit      uint64  `json:"limit"`
+	WallMS     float64 `json:"wall_ms"`
+	Tables     []Table `json:"tables"`
+}
+
+// Store is a JSONL results store rooted at a directory. The zero-cost
+// handle never touches the filesystem until Append or Load.
+type Store struct {
+	dir string
+}
+
+// DefaultDir is the conventional store location inside a checkout.
+const DefaultDir = "results/runs"
+
+// Open returns a store handle for dir.
+func Open(dir string) *Store { return &Store{dir: dir} }
+
+// Path returns the JSONL file the store appends to.
+func (s *Store) Path() string { return filepath.Join(s.dir, "runs.jsonl") }
+
+// Append writes the records to the store, creating it if needed. The
+// file is opened in append mode so concurrent tools interleave whole
+// lines rather than clobbering each other.
+func (s *Store) Append(recs ...Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	f, err := os.OpenFile(s.Path(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w) // Encode terminates each record with '\n'
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			f.Close()
+			return fmt.Errorf("results: encode %s: %w", r.Experiment, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("results: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	return nil
+}
+
+// Load reads every record in the store in append order. A store that
+// does not exist yet loads as empty, not as an error.
+func (s *Store) Load() ([]Record, error) {
+	f, err := os.Open(s.Path())
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	defer f.Close()
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20) // records hold full table grids
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal([]byte(raw), &r); err != nil {
+			return nil, fmt.Errorf("results: %s:%d: %w", s.Path(), line, err)
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	return recs, nil
+}
+
+// Run groups the records sharing one run ID.
+type Run struct {
+	ID      string
+	Time    string
+	Version string
+	Records []Record
+}
+
+// Tables returns every table in the run, in record order, keyed by name.
+func (r Run) Tables() []Table {
+	var out []Table
+	for _, rec := range r.Records {
+		out = append(out, rec.Tables...)
+	}
+	return out
+}
+
+// Experiments returns the sorted experiment IDs present in the run.
+func (r Run) Experiments() []string {
+	var ids []string
+	for _, rec := range r.Records {
+		ids = append(ids, rec.Experiment)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// GroupRuns partitions records into runs, ordered by first appearance
+// in the store (append order == chronological order).
+func GroupRuns(recs []Record) []Run {
+	idx := make(map[string]int)
+	var runs []Run
+	for _, r := range recs {
+		i, ok := idx[r.RunID]
+		if !ok {
+			i = len(runs)
+			idx[r.RunID] = i
+			runs = append(runs, Run{ID: r.RunID, Time: r.Time, Version: r.Version})
+		}
+		runs[i].Records = append(runs[i].Records, r)
+	}
+	return runs
+}
+
+// FindRun resolves key to a run: "latest" means the most recently
+// started run, anything else must match a run ID exactly.
+func FindRun(runs []Run, key string) (Run, error) {
+	if len(runs) == 0 {
+		return Run{}, fmt.Errorf("results: store has no runs")
+	}
+	if key == "latest" || key == "" {
+		return runs[len(runs)-1], nil
+	}
+	for _, r := range runs {
+		if r.ID == key {
+			return r, nil
+		}
+	}
+	ids := make([]string, len(runs))
+	for i, r := range runs {
+		ids[i] = r.ID
+	}
+	return Run{}, fmt.Errorf("results: no run %q (have: %s)", key, strings.Join(ids, ", "))
+}
+
+// NewRunID returns a fresh run identifier: a UTC timestamp for humans
+// plus a random suffix so simultaneous runs never collide.
+func NewRunID(now time.Time) string {
+	var b [3]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("results: rand: %v", err))
+	}
+	return now.UTC().Format("20060102-150405") + "-" + hex.EncodeToString(b[:])
+}

@@ -1,0 +1,231 @@
+package results
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func sampleTable(name string) Table {
+	return Table{
+		Name:    name,
+		Title:   "sample",
+		Columns: []string{"workload", "rate", "speedup", "misses"},
+		Rows: [][]string{
+			{"corr", "12.3%", "1.10x", "123"},
+			{"fsm", "4.5%", "0.98x", "45"},
+			{"geomean", "7.4%", "1.04x", ""},
+		},
+	}
+}
+
+func sampleRecord(runID, exp string) Record {
+	return Record{
+		RunID:      runID,
+		Time:       "2026-08-08T00:00:00Z",
+		Version:    "test",
+		Experiment: exp,
+		ConfigHash: "deadbeefdeadbeef",
+		Limit:      200000,
+		WallMS:     12.5,
+		Tables:     []Table{sampleTable(exp)},
+	}
+}
+
+func TestStoreAppendLoad(t *testing.T) {
+	s := Open(filepath.Join(t.TempDir(), "runs"))
+
+	recs, err := s.Load()
+	if err != nil {
+		t.Fatalf("Load on missing store: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("missing store loaded %d records", len(recs))
+	}
+
+	if err := s.Append(sampleRecord("r1", "E5")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(sampleRecord("r1", "E8"), sampleRecord("r2", "E5")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0].Experiment != "E5" || recs[0].RunID != "r1" {
+		t.Fatalf("record order not preserved: %+v", recs[0])
+	}
+	if got := recs[0].Tables[0]; got.Rows[0][1] != "12.3%" {
+		t.Fatalf("table cells did not round-trip: %+v", got)
+	}
+
+	runs := GroupRuns(recs)
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs, want 2", len(runs))
+	}
+	if runs[0].ID != "r1" || len(runs[0].Records) != 2 {
+		t.Fatalf("run grouping wrong: %+v", runs[0])
+	}
+
+	latest, err := FindRun(runs, "latest")
+	if err != nil || latest.ID != "r2" {
+		t.Fatalf("FindRun(latest) = %v, %v; want r2", latest.ID, err)
+	}
+	byID, err := FindRun(runs, "r1")
+	if err != nil || byID.ID != "r1" {
+		t.Fatalf("FindRun(r1) = %v, %v", byID.ID, err)
+	}
+	if _, err := FindRun(runs, "nope"); err == nil {
+		t.Fatal("FindRun with unknown ID should error")
+	}
+	if _, err := FindRun(nil, "latest"); err == nil {
+		t.Fatal("FindRun on empty store should error")
+	}
+
+	if got := runs[0].Experiments(); len(got) != 2 || got[0] != "E5" || got[1] != "E8" {
+		t.Fatalf("Experiments() = %v", got)
+	}
+}
+
+func TestNewRunIDUnique(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	a, b := NewRunID(now), NewRunID(now)
+	if a == b {
+		t.Fatalf("two IDs from the same instant collided: %s", a)
+	}
+	const wantPrefix = "20260808-120000-"
+	if a[:len(wantPrefix)] != wantPrefix {
+		t.Fatalf("ID %q missing timestamp prefix %q", a, wantPrefix)
+	}
+}
+
+func TestDiffIdenticalIsZero(t *testing.T) {
+	a := []Table{sampleTable("E5"), sampleTable("E8")}
+	b := []Table{sampleTable("E8"), sampleTable("E5")} // order must not matter
+	rep := Diff(a, b)
+	if len(rep.Deltas) != 0 || rep.MaxDelta() != 0 {
+		t.Fatalf("identical tables produced deltas: %+v", rep.Deltas)
+	}
+	if rep.Compared == 0 {
+		t.Fatal("identical diff compared no cells")
+	}
+	if rep.Exceeds(0) {
+		t.Fatal("identical diff must pass a zero threshold")
+	}
+}
+
+func TestDiffDetectsSeededRegression(t *testing.T) {
+	a := sampleTable("E5")
+	b := sampleTable("E5")
+	b.Rows = [][]string{
+		{"corr", "13.5%", "1.10x", "123"}, // seeded regression: 12.3% -> 13.5%
+		{"fsm", "4.5%", "0.98x", "45"},
+		{"geomean", "7.4%", "1.04x", ""},
+	}
+	rep := Diff([]Table{a}, []Table{b})
+	if len(rep.Deltas) != 1 {
+		t.Fatalf("got %d deltas, want 1: %+v", len(rep.Deltas), rep.Deltas)
+	}
+	d := rep.Deltas[0]
+	if !d.Numeric || d.RowKey != "corr" || d.ColName != "rate" {
+		t.Fatalf("delta misattributed: %+v", d)
+	}
+	want := (0.135 - 0.123) / 0.123
+	if math.Abs(d.Delta-want) > 1e-9 {
+		t.Fatalf("delta = %v, want %v", d.Delta, want)
+	}
+	if !rep.Exceeds(0) || !rep.Exceeds(0.05) {
+		t.Fatal("a ~10% regression must exceed 0 and 5% thresholds")
+	}
+	if rep.Exceeds(0.20) {
+		t.Fatal("a ~10% regression must pass a 20% threshold")
+	}
+}
+
+func TestDiffNonNumericAndShape(t *testing.T) {
+	a := sampleTable("E1")
+	b := sampleTable("E1")
+	b.Rows[0][0] = "corr2" // non-numeric change
+	rep := Diff([]Table{a}, []Table{b})
+	if len(rep.Deltas) != 1 || rep.Deltas[0].Numeric {
+		t.Fatalf("non-numeric change not flagged: %+v", rep.Deltas)
+	}
+	if !rep.Exceeds(math.MaxFloat64) {
+		t.Fatal("non-numeric change must exceed any threshold")
+	}
+
+	short := sampleTable("E1")
+	short.Rows = short.Rows[:1]
+	rep = Diff([]Table{a}, []Table{short})
+	if len(rep.Shape) != 1 || !rep.Exceeds(math.MaxFloat64) {
+		t.Fatalf("shape mismatch not flagged: %+v", rep)
+	}
+
+	rep = Diff([]Table{a}, nil)
+	if len(rep.OnlyA) != 1 || !rep.Exceeds(math.MaxFloat64) {
+		t.Fatalf("missing table not flagged: %+v", rep)
+	}
+	if !math.IsInf(rep.MaxDelta(), 1) {
+		t.Fatal("missing table must report infinite max delta")
+	}
+}
+
+func TestParseNumeric(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"12.3%", 0.123, true},
+		{"1.23x", 1.23, true},
+		{"1234", 1234, true},
+		{"0.98", 0.98, true},
+		{"-", 0, false},
+		{"", 0, false},
+		{"12 -> 34", 0, false},
+		{"corr", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseNumeric(c.in)
+		if ok != c.ok || (ok && math.Abs(got-c.want) > 1e-12) {
+			t.Errorf("parseNumeric(%q) = %v, %v; want %v, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestReadCSVTable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "E5.csv")
+	csv := "workload,rate,note\ncorr,12.3%,\"has, comma\"\nfsm,4.5%,plain\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ReadCSVTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name != "E5" {
+		t.Fatalf("name = %q, want E5", tab.Name)
+	}
+	if len(tab.Columns) != 3 || len(tab.Rows) != 2 {
+		t.Fatalf("shape = %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+	if tab.Rows[0][2] != "has, comma" {
+		t.Fatalf("quoted cell = %q", tab.Rows[0][2])
+	}
+
+	tabs, err := ReadCSVDir(dir)
+	if err != nil || len(tabs) != 1 {
+		t.Fatalf("ReadCSVDir = %v, %v", tabs, err)
+	}
+
+	if _, err := ReadCSVTable(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

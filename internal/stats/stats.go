@@ -110,12 +110,13 @@ func (t *Table) Markdown() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values (quoting cells that
-// need it).
+// CSV renders the table as comma-separated values, quoting cells per
+// RFC 4180 (any cell containing a comma, quote, CR, or LF is wrapped in
+// quotes with embedded quotes doubled).
 func (t *Table) CSV() string {
 	var b strings.Builder
 	esc := func(s string) string {
-		if strings.ContainsAny(s, ",\"\n") {
+		if strings.ContainsAny(s, ",\"\r\n") {
 			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 		}
 		return s

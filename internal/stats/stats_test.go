@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/csv"
 	"math"
 	"strings"
 	"testing"
@@ -56,6 +57,34 @@ func TestTableCSV(t *testing.T) {
 	}
 	if !strings.HasPrefix(csv, "a,b\n") {
 		t.Errorf("CSV header wrong:\n%s", csv)
+	}
+}
+
+// TestTableCSVRFC4180 pins the full quoting rule: cells containing a
+// comma, quote, CR, or LF are quoted; everything else passes through
+// bare. encoding/csv must be able to read the output back unchanged.
+func TestTableCSVRFC4180(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("line\nbreak", "cr\rreturn")
+	tb.AddRow("plain", "12.3%")
+	out := tb.CSV()
+	if !strings.Contains(out, "\"line\nbreak\"") {
+		t.Errorf("LF cell not quoted:\n%q", out)
+	}
+	if !strings.Contains(out, "\"cr\rreturn\"") {
+		t.Errorf("CR cell not quoted:\n%q", out)
+	}
+	if !strings.Contains(out, "plain,12.3%") {
+		t.Errorf("bare cells were quoted:\n%q", out)
+	}
+
+	r := csv.NewReader(strings.NewReader(out))
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV is not readable by encoding/csv: %v", err)
+	}
+	if len(recs) != 3 || recs[1][0] != "line\nbreak" || recs[1][1] != "cr\rreturn" {
+		t.Errorf("round-trip mismatch: %q", recs)
 	}
 }
 
