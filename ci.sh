@@ -63,6 +63,8 @@ cov_floor repro/internal/sim 85
 cov_floor repro/internal/serve 80
 cov_floor repro/internal/harness 85
 cov_floor repro/internal/results 75
+cov_floor repro/internal/charz 85
+cov_floor repro/internal/charz/probe 85
 rm -f "$covfile"
 
 echo "== fuzz smoke =="
@@ -71,9 +73,21 @@ echo "== fuzz smoke =="
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/sim
 go test -run='^$' -fuzz=FuzzPredictorVsReference -fuzztime=10s ./internal/oracle
 go test -run='^$' -fuzz=FuzzTraceRoundTrip -fuzztime=10s ./internal/oracle
+go test -run='^$' -fuzz=FuzzCharacterize -fuzztime=10s ./internal/charz
 
 echo "== oracle =="
 go run ./cmd/oracle -events 100000
+
+echo "== bpchar probe gate =="
+# The black-box prober is the predictors' second-opinion oracle: every
+# registry kind must probe back to the structure its spec claims
+# (history depth, table size, hysteresis) through the public interface
+# alone. probe -all exits nonzero on any mismatch.
+go run ./cmd/bpchar probe -all
+# Smoke the other two subcommands end to end: characterize a synthetic
+# point and solve/generate a targeted one.
+go run ./cmd/bpchar characterize -w 'syn:lag:k=6:eps=0.02' >/dev/null
+go run ./cmd/bpchar generate -rate 0.5 -cond 0.3 -depth 6 >/dev/null
 
 echo "== bench smoke =="
 # One iteration of each feed benchmark: catches a broken or panicking

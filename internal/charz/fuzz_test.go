@@ -1,0 +1,49 @@
+package charz
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// FuzzCharacterize feeds arbitrary bytes through the trace
+// deserializer into the characterizer: malformed inputs must be
+// rejected by ReadTrace, and anything it accepts must characterize
+// without panicking and with every metric finite.
+func FuzzCharacterize(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("NOPE1234"))
+	f.Add([]byte("P64T\x00\x00\x00\x00"))
+	// Seed with real serializations so the fuzzer starts past the
+	// magic/version checks.
+	for _, name := range []string{
+		"syn:lag:k=2:eps=0.1:n=64",
+		"syn:periodic:pat=110:n=64",
+		"syn:bias:p=0.9:n=64",
+	} {
+		tr, err := trace.Collect(MustPoint(name).Build(), 0)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := trace.ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		rep, err := Characterize(tr, Options{})
+		if err != nil {
+			t.Fatalf("characterizing an accepted trace: %v", err)
+		}
+		checkFinite(t, rep)
+		if rep.Events > uint64(len(tr.Events)) {
+			t.Fatalf("report counts %d events, trace has %d", rep.Events, len(tr.Events))
+		}
+	})
+}

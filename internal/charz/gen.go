@@ -1,0 +1,504 @@
+// gen.go — the synthetic workload generator: parametric outcome
+// processes with known characterization, compiled into real branching
+// programs. A Point's canonical name ("syn:lag:k=6") doubles as a
+// workload name, so the synthetic family is reachable everywhere a
+// workload name is accepted without being part of the fixed experiment
+// suite (whose membership the golden CSVs pin down).
+package charz
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/rng"
+)
+
+// Prefix marks synthetic workload names.
+const Prefix = "syn:"
+
+// Family names a synthetic outcome process.
+type Family string
+
+// The synthetic families.
+const (
+	// FamBias is an i.i.d. biased coin: taken with probability P.
+	FamBias Family = "bias"
+	// FamPeriodic repeats Pattern, each outcome flipped with
+	// probability Eps.
+	FamPeriodic Family = "periodic"
+	// FamLag is a noisy lag-k copy: y[t] = y[t-k] flipped with
+	// probability Eps — predictable only with history depth >= Lag.
+	FamLag Family = "lag"
+	// FamXCorr emits leader/follower branch pairs: the leader is a
+	// fair coin, the follower copies the leader's same-iteration
+	// outcome flipped with probability Eps. The follower's own history
+	// is useless; only global (cross-branch) history predicts it.
+	FamXCorr Family = "xcorr"
+)
+
+// Generator defaults. A Point's canonical name omits parameters at
+// their default, so "syn:bias:p=0.90" and
+// "syn:bias:p=0.90:n=8192:seed=1" are the same workload.
+const (
+	// defN is the default number of outcomes per synthetic branch site.
+	defN = 8192
+	// defSeed is the default generator seed.
+	defSeed = 1
+	// defLag is the default lag-family depth.
+	defLag = 4
+	// defEps is the default flip probability for lag and xcorr.
+	defEps = 0.05
+)
+
+// Fanout is the number of synthetic branch sites a built program
+// interleaves. Each site carries an independent stream with the Point's
+// parameters, so per-branch metrics match the process while the
+// loop-control branch is diluted to 1/(Fanout+1) of events. In a
+// characterization of a built program, the sites are the Fanout
+// lowest-PC branches and the loop branch is the highest. Must stay even
+// (xcorr pairs sites).
+const Fanout = 8
+
+// Point is one point in characterization space: a family plus its
+// parameters. The zero value of a parameter means "default"; Parse and
+// the catalog always return normalized points.
+type Point struct {
+	Family  Family
+	P       float64 // bias: taken probability (default 0.5)
+	Pattern string  // periodic: the repeated outcome string, e.g. "1101"
+	Lag     int     // lag: copy distance k (default 4)
+	Eps     float64 // periodic/lag/xcorr: flip probability
+	N       int     // outcomes per branch site (default 8192)
+	Seed    uint64  // generator seed (default 1)
+}
+
+// withDefaults fills zero integer parameters with the family defaults.
+// The float parameters P and Eps are left alone — zero is meaningful for
+// both (a never-taken coin, a noiseless copy) — so their defaults are
+// applied by ParsePoint only when the key is absent; hand-constructed
+// points state them explicitly.
+func (p Point) withDefaults() Point {
+	if p.Lag == 0 {
+		p.Lag = defLag
+	}
+	if p.N == 0 {
+		p.N = defN
+	}
+	if p.Seed == 0 {
+		p.Seed = defSeed
+	}
+	return p
+}
+
+func (p Point) validate() error {
+	switch p.Family {
+	case FamBias:
+	case FamPeriodic:
+		if p.Pattern == "" {
+			return fmt.Errorf("charz: periodic point needs a pattern")
+		}
+		if len(p.Pattern) > 64 {
+			return fmt.Errorf("charz: pattern %q longer than 64", p.Pattern)
+		}
+		for _, c := range p.Pattern {
+			if c != '0' && c != '1' {
+				return fmt.Errorf("charz: pattern %q must be 0/1 only", p.Pattern)
+			}
+		}
+	case FamLag:
+		if p.Lag < 1 || p.Lag > 32 {
+			return fmt.Errorf("charz: lag %d out of range [1,32]", p.Lag)
+		}
+	case FamXCorr:
+	default:
+		return fmt.Errorf("charz: unknown family %q", p.Family)
+	}
+	if p.P < 0 || p.P > 1 {
+		return fmt.Errorf("charz: probability %v out of [0,1]", p.P)
+	}
+	if p.Eps < 0 || p.Eps > 0.5 {
+		return fmt.Errorf("charz: noise %v out of [0,0.5]", p.Eps)
+	}
+	if p.N < 64 || p.N > 1<<20 {
+		return fmt.Errorf("charz: n=%d out of range [64,%d]", p.N, 1<<20)
+	}
+	return nil
+}
+
+// Name renders the canonical spec string: "syn:<family>[:k=v...]" with
+// default-valued parameters omitted. ParsePoint round-trips it.
+func (p Point) Name() string {
+	p = p.withDefaults()
+	var b strings.Builder
+	b.WriteString(Prefix)
+	b.WriteString(string(p.Family))
+	put := func(k, v string) { fmt.Fprintf(&b, ":%s=%s", k, v) }
+	switch p.Family {
+	case FamBias:
+		if p.P != 0.5 {
+			put("p", trimFloat(p.P))
+		}
+	case FamPeriodic:
+		put("pat", p.Pattern)
+		if p.Eps != 0 {
+			put("eps", trimFloat(p.Eps))
+		}
+	case FamLag:
+		if p.Lag != defLag {
+			put("k", strconv.Itoa(p.Lag))
+		}
+		if p.Eps != defEps {
+			put("eps", trimFloat(p.Eps))
+		}
+	case FamXCorr:
+		if p.P != 0.5 {
+			put("p", trimFloat(p.P))
+		}
+		if p.Eps != defEps {
+			put("eps", trimFloat(p.Eps))
+		}
+	}
+	if p.N != defN {
+		put("n", strconv.Itoa(p.N))
+	}
+	if p.Seed != defSeed {
+		put("seed", strconv.FormatUint(p.Seed, 10))
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Description renders a one-line human description of the point.
+func (p Point) Description() string {
+	p = p.withDefaults()
+	switch p.Family {
+	case FamBias:
+		return fmt.Sprintf("synthetic: i.i.d. branch taken with p=%.2f", p.P)
+	case FamPeriodic:
+		return fmt.Sprintf("synthetic: periodic pattern %q, flip prob %.2f", p.Pattern, p.Eps)
+	case FamLag:
+		return fmt.Sprintf("synthetic: noisy lag-%d copy, flip prob %.2f", p.Lag, p.Eps)
+	case FamXCorr:
+		return fmt.Sprintf("synthetic: cross-branch correlated pairs, flip prob %.2f", p.Eps)
+	}
+	return "synthetic workload"
+}
+
+// IsSynthetic reports whether name spells a synthetic workload.
+func IsSynthetic(name string) bool { return strings.HasPrefix(name, Prefix) }
+
+// ParsePoint reads a synthetic workload spec: "syn:<family>" followed by
+// colon-separated key=value parameters, e.g. "syn:lag:k=6:eps=0.02".
+// Keys: p (probability), pat (pattern), k (lag), eps (noise), n
+// (outcomes per branch site), seed. The returned point is normalized
+// (defaults filled in), so Name round-trips.
+func ParsePoint(name string) (Point, error) {
+	if !IsSynthetic(name) {
+		return Point{}, fmt.Errorf("charz: %q is not a synthetic workload name (want %q prefix)", name, Prefix)
+	}
+	fields := strings.Split(name[len(Prefix):], ":")
+	pt := Point{Family: Family(fields[0])}
+	seen := make(map[string]bool)
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return Point{}, fmt.Errorf("charz: bad parameter %q in %q (want key=value)", f, name)
+		}
+		if seen[k] {
+			return Point{}, fmt.Errorf("charz: duplicate parameter %q in %q", k, name)
+		}
+		seen[k] = true
+		var err error
+		switch k {
+		case "p":
+			pt.P, err = strconv.ParseFloat(v, 64)
+		case "pat":
+			pt.Pattern = v
+		case "k":
+			pt.Lag, err = strconv.Atoi(v)
+		case "eps":
+			pt.Eps, err = strconv.ParseFloat(v, 64)
+		case "n":
+			pt.N, err = strconv.Atoi(v)
+		case "seed":
+			pt.Seed, err = strconv.ParseUint(v, 10, 64)
+		default:
+			return Point{}, fmt.Errorf("charz: unknown parameter %q in %q", k, name)
+		}
+		if err != nil {
+			return Point{}, fmt.Errorf("charz: bad value %q for %q in %q", v, k, name)
+		}
+	}
+	// Keys that don't belong to the family would be silently ignored
+	// downstream — reject them so a typoed spec can't masquerade as a
+	// different point.
+	allowed, known := map[Family]string{
+		FamBias:     "p n seed",
+		FamPeriodic: "pat eps n seed",
+		FamLag:      "k eps n seed",
+		FamXCorr:    "p eps n seed",
+	}[pt.Family]
+	if known {
+		for k := range seen {
+			if !strings.Contains(" "+allowed+" ", " "+k+" ") {
+				return Point{}, fmt.Errorf("charz: parameter %q not valid for family %q in %q", k, pt.Family, name)
+			}
+		}
+	}
+	// Explicit zeros would be swallowed by defaulting; catch them here.
+	if seen["k"] && pt.Lag == 0 {
+		return Point{}, fmt.Errorf("charz: lag 0 out of range [1,32] in %q", name)
+	}
+	if seen["n"] && pt.N == 0 {
+		return Point{}, fmt.Errorf("charz: n=0 out of range [64,%d] in %q", 1<<20, name)
+	}
+	if !seen["p"] {
+		pt.P = 0.5
+	}
+	if !seen["eps"] && (pt.Family == FamLag || pt.Family == FamXCorr) {
+		pt.Eps = defEps
+	}
+	pt = pt.withDefaults()
+	if err := pt.validate(); err != nil {
+		return Point{}, err
+	}
+	return pt, nil
+}
+
+// MustPoint is ParsePoint but panics on error, for static catalogs.
+func MustPoint(name string) Point {
+	pt, err := ParsePoint(name)
+	if err != nil {
+		panic(err)
+	}
+	return pt
+}
+
+// Catalog returns the named grid of synthetic points experiment E15
+// sweeps: a ramp of biases, short and long periods, local-history
+// correlation at several depths, cross-branch correlation, and a noisy
+// mixture. Sorted by name.
+func Catalog() []Point {
+	specs := []string{
+		"syn:bias:p=0.55",
+		"syn:bias:p=0.7",
+		"syn:bias:p=0.85",
+		"syn:bias:p=0.97",
+		"syn:periodic:pat=10",
+		"syn:periodic:pat=110",
+		"syn:periodic:pat=11010010",
+		"syn:lag:k=2:eps=0.02",
+		"syn:lag:k=6:eps=0.02",
+		"syn:lag:k=12:eps=0.02",
+		"syn:lag:k=4:eps=0.25",
+		"syn:xcorr:eps=0.02",
+	}
+	out := make([]Point, len(specs))
+	for i, s := range specs {
+		out[i] = MustPoint(s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// CatalogNames returns the canonical names of the catalog points.
+func CatalogNames() []string {
+	pts := Catalog()
+	out := make([]string, len(pts))
+	for i, p := range pts {
+		out[i] = p.Name()
+	}
+	return out
+}
+
+// outcomes generates the per-site outcome streams: Fanout
+// independent streams of p.N outcomes each, every one an instance of
+// the point's process (xcorr pairs adjacent sites).
+func (p Point) outcomes() [][]bool {
+	p = p.withDefaults()
+	out := make([][]bool, Fanout)
+	for i := range out {
+		out[i] = make([]bool, p.N)
+	}
+	for i := 0; i < Fanout; i++ {
+		r := rng.New(p.Seed*0x9e3779b9 + uint64(i) + 1)
+		switch p.Family {
+		case FamBias:
+			for t := range out[i] {
+				out[i][t] = r.Chance(p.P)
+			}
+		case FamPeriodic:
+			for t := range out[i] {
+				bit := p.Pattern[t%len(p.Pattern)] == '1'
+				out[i][t] = bit != r.Chance(p.Eps)
+			}
+		case FamLag:
+			for t := range out[i] {
+				if t < p.Lag {
+					out[i][t] = r.Bool()
+				} else {
+					out[i][t] = out[i][t-p.Lag] != r.Chance(p.Eps)
+				}
+			}
+		case FamXCorr:
+			if i%2 == 0 {
+				for t := range out[i] {
+					out[i][t] = r.Chance(p.P)
+				}
+			} else {
+				for t := range out[i] {
+					out[i][t] = out[i-1][t] != r.Chance(p.Eps)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// synthBase is where the built program's outcome table lives.
+const synthBase = 4096
+
+// Build compiles the point into a branching program: the outcome
+// streams are interleaved into a data table, and an unrolled loop
+// issues one conditional branch per site per iteration.
+//
+//	r1=outcome r5=sink r6=loop counter r7=cursor
+func (p Point) Build() *prog.Program {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		panic(fmt.Sprintf("charz: building %s: %v", p.Name(), err))
+	}
+	lanes := p.outcomes()
+	words := make([]int64, p.N*Fanout)
+	for t := 0; t < p.N; t++ {
+		for i := 0; i < Fanout; i++ {
+			if lanes[i][t] {
+				words[t*Fanout+i] = 1
+			}
+		}
+	}
+	b := prog.NewBuilder(p.Name())
+	b.SetData(synthBase, words)
+	b.Movi(7, synthBase)
+	b.Movi(5, 0)
+	b.CountedLoop(6, int64(p.N), func() {
+		for i := 0; i < Fanout; i++ {
+			b.Ld(1, 7, int64(i))
+			// If branches to its end label when the condition is FALSE,
+			// so compare against zero with EQ: the emitted branch is
+			// taken exactly when the outcome word is 1.
+			b.If(prog.RI(isa.CmpEQ, 1, 0), func() {
+				b.Addi(5, 5, 1)
+			})
+		}
+		b.Addi(7, 7, Fanout)
+	})
+	b.Out(5)
+	b.Halt(0)
+	return b.MustProgram()
+}
+
+// Target is a requested point in characterization space for Solve: the
+// desired taken rate and the entropy left after conditioning on Depth
+// bits of local history.
+type Target struct {
+	// TakenRate is the desired aggregate taken rate; 0 means 0.5.
+	TakenRate float64
+	// CondEntropy is the desired H(Y | local history of Depth); a
+	// negative value means "no history structure" (CondEntropy = H(Y)).
+	CondEntropy float64
+	// Depth is the history depth at which the structure appears
+	// (default 4).
+	Depth int
+	// N and Seed pass through to the returned point.
+	N    int
+	Seed uint64
+}
+
+// Solve inverts the characterization: it returns a Point whose
+// generated trace approximately realizes the target. An unstructured
+// target maps to the bias family; a structured balanced target maps to
+// lag-Depth with the noise solved from the residual entropy; a
+// structured biased target maps to a periodic pattern of length Depth
+// with the target's duty cycle plus solved noise.
+func Solve(t Target) (Point, error) {
+	rate := t.TakenRate
+	if rate == 0 {
+		rate = 0.5
+	}
+	if rate < 0 || rate > 1 {
+		return Point{}, fmt.Errorf("charz: target rate %v out of [0,1]", rate)
+	}
+	depth := t.Depth
+	if depth == 0 {
+		depth = 4
+	}
+	if depth < 1 || depth > 32 {
+		return Point{}, fmt.Errorf("charz: target depth %d out of range [1,32]", depth)
+	}
+	base := Point{N: t.N, Seed: t.Seed}
+
+	if t.CondEntropy < 0 || t.CondEntropy >= H2(rate)-1e-9 {
+		// No removable structure: an i.i.d. coin at the rate.
+		base.Family = FamBias
+		base.P = rate
+		return base.withDefaults(), nil
+	}
+	eps := InvH2(t.CondEntropy)
+	if rate > 0.45 && rate < 0.55 {
+		base.Family = FamLag
+		base.Lag = depth
+		base.Eps = eps
+		return base.withDefaults(), nil
+	}
+	// Biased + structured: a periodic pattern of length depth whose duty
+	// cycle approximates the rate, noised to the residual entropy.
+	ones := int(rate*float64(depth) + 0.5)
+	if ones < 1 {
+		ones = 1
+	}
+	if ones >= depth {
+		ones = depth - 1
+	}
+	pat := make([]byte, depth)
+	acc := 0
+	for i := range pat {
+		acc += ones
+		if acc >= depth {
+			acc -= depth
+			pat[i] = '1'
+		} else {
+			pat[i] = '0'
+		}
+	}
+	base.Family = FamPeriodic
+	base.Pattern = string(pat)
+	base.Eps = eps
+	return base.withDefaults(), nil
+}
+
+// InvH2 inverts the binary entropy function on [0, 1/2]: it returns the
+// p <= 0.5 with H2(p) = h, by bisection.
+func InvH2(h float64) float64 {
+	if h <= 0 {
+		return 0
+	}
+	if h >= 1 {
+		return 0.5
+	}
+	lo, hi := 0.0, 0.5
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if H2(mid) < h {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,229 @@
+package charz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestPointNameRoundTrip(t *testing.T) {
+	pts := append(Catalog(),
+		MustPoint("syn:bias"),
+		MustPoint("syn:periodic:pat=11010010:eps=0.1"),
+		MustPoint("syn:lag:k=12:eps=0.25:n=1024:seed=9"),
+		MustPoint("syn:xcorr:p=0.3:eps=0"),
+	)
+	for _, p := range pts {
+		name := p.Name()
+		back, err := ParsePoint(name)
+		if err != nil {
+			t.Errorf("ParsePoint(%q): %v", name, err)
+			continue
+		}
+		if got := back.Name(); got != name {
+			t.Errorf("name round trip: %q -> %q", name, got)
+		}
+	}
+}
+
+func TestParsePointErrors(t *testing.T) {
+	for _, name := range []string{
+		"scan",                // no prefix
+		"syn:",                // no family
+		"syn:martian",         // unknown family
+		"syn:bias:p=1.5",      // probability out of range
+		"syn:bias:k=3",        // param from the wrong family
+		"syn:periodic:pat=12", // non-binary pattern
+		"syn:periodic:pat=",   // empty pattern
+		"syn:lag:k=0",         // lag out of range
+		"syn:lag:k=4:eps=2",   // noise out of range
+		"syn:lag:k=4:k=5",     // duplicate key
+		"syn:bias:n=0",        // empty trace
+		"syn:bias:what",       // not key=value
+	} {
+		if _, err := ParsePoint(name); err == nil {
+			t.Errorf("ParsePoint(%q) accepted", name)
+		}
+	}
+}
+
+func TestIsSynthetic(t *testing.T) {
+	if !IsSynthetic("syn:bias:p=0.7") || IsSynthetic("scan") || IsSynthetic("") {
+		t.Error("IsSynthetic misclassifies")
+	}
+}
+
+func TestCatalogSortedAndDescribed(t *testing.T) {
+	names := CatalogNames()
+	for i, n := range names {
+		if i > 0 && names[i-1] >= n {
+			t.Errorf("catalog not sorted: %q before %q", names[i-1], n)
+		}
+		p := MustPoint(n)
+		if !strings.HasPrefix(p.Description(), "synthetic:") {
+			t.Errorf("%s description: %q", n, p.Description())
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	p := MustPoint("syn:lag:k=3:eps=0.1:n=256")
+	a, err := trace.Collect(p.Build(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := trace.Collect(p.Build(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs between identical builds", i)
+		}
+	}
+}
+
+// genReport builds a point's program and characterizes its trace.
+func genReport(t *testing.T, p Point, opt Options) *Report {
+	t.Helper()
+	tr, err := trace.Collect(p.Build(), 3_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Characterize(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The program is Fanout site branches plus the loop back-edge.
+	if len(rep.Branches) != Fanout+1 {
+		t.Fatalf("%s: %d static branches, want %d", p.Name(), len(rep.Branches), Fanout+1)
+	}
+	return rep
+}
+
+// sites drops the loop branch (highest PC): the first Fanout branches
+// are the generated outcome streams.
+func sites(rep *Report) []BranchMetrics { return rep.Branches[:Fanout] }
+
+func siteMeanRate(rep *Report) float64 {
+	var s float64
+	for _, b := range sites(rep) {
+		s += b.TakenRate
+	}
+	return s / Fanout
+}
+
+// TestRoundTripBias: an i.i.d. point re-characterizes to its own
+// parameters, with no removable history structure.
+func TestRoundTripBias(t *testing.T) {
+	rep := genReport(t, MustPoint("syn:bias:p=0.7"), Options{})
+	near(t, "site rate", siteMeanRate(rep), 0.7, 0.02)
+	for _, b := range sites(rep) {
+		if b.CondEntropy[3] < b.Entropy-0.1 {
+			t.Errorf("site 0x%x: H(Y|h8) = %v well below H(Y) = %v on an i.i.d. stream",
+				b.PC, b.CondEntropy[3], b.Entropy)
+		}
+	}
+}
+
+// TestRoundTripPeriodic: a clean periodic point is deterministic given
+// enough history, at its pattern's duty-cycle rate.
+func TestRoundTripPeriodic(t *testing.T) {
+	rep := genReport(t, MustPoint("syn:periodic:pat=110"), Options{})
+	near(t, "site rate", siteMeanRate(rep), 2.0/3, 0.01)
+	for _, b := range sites(rep) {
+		near(t, "site H(Y|h4)", b.CondEntropy[2], 0, 0.01)
+		if b.Separability < 0.95 {
+			t.Errorf("site 0x%x: sep = %v", b.PC, b.Separability)
+		}
+	}
+}
+
+// TestRoundTripLag: the noisy lag-k copy leaves exactly H2(eps) of
+// entropy once history reaches depth k, and ~full entropy short of it.
+func TestRoundTripLag(t *testing.T) {
+	p := MustPoint("syn:lag:k=4:eps=0.1")
+	rep := genReport(t, p, Options{})
+	near(t, "site rate", siteMeanRate(rep), 0.5, 0.03)
+	want := H2(0.1)
+	for _, b := range sites(rep) {
+		near(t, "site H(Y|h4)", b.CondEntropy[2], want, 0.08)
+		if b.CondEntropy[1] < 0.9 {
+			t.Errorf("site 0x%x: H(Y|h2) = %v, but depth 2 cannot see lag 4", b.PC, b.CondEntropy[1])
+		}
+	}
+}
+
+// TestRoundTripXCorr: follower lanes are opaque to local history but
+// pinned by the leader through one bit of global history.
+func TestRoundTripXCorr(t *testing.T) {
+	rep := genReport(t, MustPoint("syn:xcorr:eps=0.02"), Options{})
+	ss := sites(rep)
+	for i, b := range ss {
+		if i%2 == 0 {
+			continue
+		}
+		if b.CondEntropy[3] < 0.8 {
+			t.Errorf("follower 0x%x: local H(Y|h8) = %v, want ~1", b.PC, b.CondEntropy[3])
+		}
+		if b.GlobalCondEntropy > H2(0.02)+0.1 {
+			t.Errorf("follower 0x%x: H(Y|g8) = %v, want ~%v", b.PC, b.GlobalCondEntropy, H2(0.02))
+		}
+	}
+}
+
+// TestSolveFamilies checks the solver's family selection and that its
+// output realizes the requested point when generated and re-measured.
+func TestSolveFamilies(t *testing.T) {
+	cases := []struct {
+		target Target
+		family Family
+	}{
+		{Target{TakenRate: 0.7, CondEntropy: -1}, FamBias},
+		{Target{TakenRate: 0.5, CondEntropy: 0.3, Depth: 5}, FamLag},
+		{Target{TakenRate: 0.8, CondEntropy: 0.2, Depth: 5}, FamPeriodic},
+	}
+	for _, c := range cases {
+		pt, err := Solve(c.target)
+		if err != nil {
+			t.Fatalf("Solve(%+v): %v", c.target, err)
+		}
+		if pt.Family != c.family {
+			t.Errorf("Solve(%+v) chose %s, want %s", c.target, pt.Family, c.family)
+			continue
+		}
+		depth := c.target.Depth
+		if depth == 0 {
+			depth = 4
+		}
+		rep := genReport(t, pt, Options{Depths: []int{depth}})
+		near(t, pt.Name()+" rate", siteMeanRate(rep), c.target.TakenRate, 0.04)
+		wantCond := c.target.CondEntropy
+		if wantCond < 0 {
+			wantCond = H2(c.target.TakenRate)
+		}
+		var cond float64
+		for _, b := range sites(rep) {
+			cond += b.CondEntropy[0]
+		}
+		cond /= Fanout
+		near(t, pt.Name()+" cond", cond, wantCond, 0.12)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	for _, tgt := range []Target{
+		{TakenRate: -0.1},
+		{TakenRate: 1.1},
+		{TakenRate: 0.5, Depth: 33},
+		{TakenRate: 0.5, Depth: -1},
+	} {
+		if _, err := Solve(tgt); err == nil {
+			t.Errorf("Solve(%+v) accepted", tgt)
+		}
+	}
+}

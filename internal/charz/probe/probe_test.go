@@ -1,0 +1,130 @@
+package probe
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/sim"
+)
+
+// TestVerifyAllRegistryKinds is the second-opinion oracle: every
+// predictor kind at its registry defaults must probe back to the
+// structure its spec claims, through the public interface only.
+func TestVerifyAllRegistryKinds(t *testing.T) {
+	for _, k := range sim.Kinds() {
+		k := k
+		t.Run(k, func(t *testing.T) {
+			if err := Verify(sim.Spec{Kind: k}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestVerifyNonDefaultParams spot-checks off-default geometries so the
+// probes aren't tuned to the registry numbers.
+func TestVerifyNonDefaultParams(t *testing.T) {
+	for _, spec := range []string{
+		"bimodal:9",
+		"gshare:10:5",
+		"gshare:8:12", // history wider than the table folds down
+		"gselect:11:4",
+		"gag:9",
+		"local:6:7:9",
+		"agree:10:6",
+		"perceptron:6:16",
+	} {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			if err := Verify(sim.MustParse(spec)); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// mismatch probes an impostor implementation against what the claimed
+// spec implies and returns Compare's verdict.
+func mismatch(t *testing.T, claim string, mk func() bpred.Predictor) error {
+	t.Helper()
+	spec := sim.MustParse(claim)
+	r, err := ProbeWith(spec, mk)
+	if err != nil {
+		t.Fatalf("probe %s: %v", claim, err)
+	}
+	exp, err := Expected(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Compare(r, exp)
+}
+
+// TestSensitivityHistoryOffByOne: a gshare wired with one history bit
+// fewer than its spec claims must be flagged, and the probe must report
+// the real depth.
+func TestSensitivityHistoryOffByOne(t *testing.T) {
+	err := mismatch(t, "gshare:12:8", func() bpred.Predictor { return bpred.NewGShare(12, 7) })
+	if err == nil {
+		t.Fatal("history off-by-one not flagged")
+	}
+	if !strings.Contains(err.Error(), "history") {
+		t.Errorf("mismatch not attributed to history: %v", err)
+	}
+}
+
+// TestSensitivityMisSizedTable: a table half the claimed size aliases
+// one ramp step early and must be flagged.
+func TestSensitivityMisSizedTable(t *testing.T) {
+	err := mismatch(t, "gshare:12:8", func() bpred.Predictor { return bpred.NewGShare(11, 8) })
+	if err == nil {
+		t.Fatal("undersized table not flagged")
+	}
+	if !strings.Contains(err.Error(), "table") {
+		t.Errorf("mismatch not attributed to the table: %v", err)
+	}
+}
+
+// TestSensitivityWrongStructure: a historyless predictor posing as a
+// history-based one (and vice versa) must be flagged.
+func TestSensitivityWrongStructure(t *testing.T) {
+	if err := mismatch(t, "gshare:12:8", func() bpred.Predictor { return bpred.NewBimodal(12) }); err == nil {
+		t.Error("bimodal posing as gshare not flagged")
+	}
+	if err := mismatch(t, "bimodal:12", func() bpred.Predictor { return bpred.NewGShare(12, 8) }); err == nil {
+		t.Error("gshare posing as bimodal not flagged")
+	}
+	if err := mismatch(t, "bimodal:12", func() bpred.Predictor { return bpred.NewStatic(true) }); err == nil {
+		t.Error("static predictor posing as bimodal not flagged")
+	}
+}
+
+// TestSensitivityCorrectImpostor is the control: an implementation that
+// actually matches the claim passes.
+func TestSensitivityCorrectImpostor(t *testing.T) {
+	if err := mismatch(t, "gshare:12:8", func() bpred.Predictor { return bpred.NewGShare(12, 8) }); err != nil {
+		t.Errorf("matching implementation flagged: %v", err)
+	}
+}
+
+func TestExpectedErrors(t *testing.T) {
+	if _, err := Expected(sim.Spec{Kind: "martian"}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := Probe(sim.Spec{Kind: "martian"}); err == nil {
+		t.Error("Probe of unknown kind accepted")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r, err := Probe(sim.MustParse("gshare:10:5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.String()
+	for _, want := range []string{"histbits=5", "tablebits=10", "hysteresis=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Result.String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// e15.go — E15: predictor accuracy across the synthetic
+// characterization grid. The charz generator (internal/charz) dials
+// per-branch predictability metrics — bias, periodicity, history
+// correlation depth, cross-branch correlation, noise — and this
+// experiment sweeps every registry predictor kind at its default size
+// over that grid, putting the measured characterization (taken rate,
+// entropy, conditioned entropies, separability) side by side with each
+// predictor's misprediction rate. The grid workloads live outside the
+// fixed suite (the golden CSVs of E1–E14 pin its membership); the
+// harness materializes them by name on demand.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/charz"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func init() {
+	registerExperiment(e15())
+}
+
+// e15 sweeps kind × synthetic-point with every kind at registry
+// defaults, on the original (branching) programs.
+func e15() Experiment {
+	kinds := sim.Kinds()
+	variants := make([]Variant, len(kinds))
+	for i, k := range kinds {
+		variants[i] = Variant{Key: k, Trace: TraceOrig, Pred: sim.Spec{Kind: k}}
+	}
+
+	// One characterization pass per grid point, shared by the metric
+	// columns. Table shaping is sequential, so a plain map suffices.
+	reports := make(map[string]*charz.Report)
+	rep := func(r Row) *charz.Report {
+		if rp, ok := reports[r.Entry.Name]; ok {
+			return rp
+		}
+		rp, err := charz.Characterize(r.Entry.OrigTrace, charz.Options{})
+		if err != nil {
+			// The trace is in memory and the default depths are valid;
+			// failure here is a programming error, like a missing cell.
+			panic(fmt.Sprintf("harness: E15: characterizing %s: %v", r.Entry.Name, err))
+		}
+		reports[r.Entry.Name] = rp
+		return rp
+	}
+
+	cols := []Col{
+		workloadCol(),
+		{"taken", func(r Row) string { return stats.Pct(rep(r).TakenRate) }},
+		{"H(Y)", func(r Row) string { return stats.F3(rep(r).Entropy) }},
+		{"H(Y|h8)", func(r Row) string { return stats.F3(rep(r).CondAt(8)) }},
+		{"H(Y|g8)", func(r Row) string { return stats.F3(rep(r).GlobalCondEntropy) }},
+		{"sep", func(r Row) string { return stats.F3(rep(r).Separability) }},
+	}
+	summary := []Col{lit("geomean"), lit(""), lit(""), lit(""), lit(""), lit("")}
+	for _, k := range kinds {
+		k := k
+		cols = append(cols, Col{k, func(r Row) string { return stats.Pct(rate(r.Cell(k))) }})
+		summary = append(summary, geoRateCol("", k))
+	}
+
+	return Spec{
+		ID:    "E15",
+		Title: "Predictor accuracy across the synthetic characterization grid",
+		Paper: "extension: the workload-characterization literature (PAPERS.md) parameterizes branch predictability; " +
+			"this sweeps every predictor kind over a generated grid of characterization-space points",
+		Expect: "each family is won by the structure that matches it: bias needs only counters, periodic and " +
+			"lag-k need history depth covering the period or lag, xcorr needs global history; rates track " +
+			"the conditioned-entropy columns",
+		Workloads: charz.CatalogNames(),
+		Variants:  variants,
+		Tables: []TableSpec{{
+			Title:   "E15: misprediction rate by predictor kind (registry defaults) across synthetic points",
+			Shape:   RowsPerEntry,
+			Cols:    cols,
+			Summary: summary,
+			Notes: []func([]Row) string{
+				staticNote("characterization metrics are measured on the original trace; H(Y|h8)/H(Y|g8) are outcome entropy conditioned on 8 bits of local/global history"),
+			},
+		}},
+	}.Experiment()
+}

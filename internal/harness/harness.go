@@ -135,6 +135,13 @@ func (e *Entry) Unscheduled() (*trace.Trace, error) {
 type Suite struct {
 	Entries []*Entry
 	cfg     Config
+
+	// extra memoizes entries materialized on demand for workloads
+	// outside the fixed suite — the synthetic charz family a spec can
+	// name without changing suite membership (which the golden CSVs of
+	// the suite-wide experiments pin down).
+	mu    sync.Mutex
+	extra map[string]*Entry
 }
 
 // NewSuite builds, converts, and traces every workload; it is the
@@ -151,23 +158,57 @@ func NewSuiteContext(ctx context.Context, cfg Config) (*Suite, error) {
 	cfg = cfg.withDefaults()
 	entries, err := sim.Map(ctx, workload.Suite(), 0,
 		func(_ context.Context, w workload.Workload) (*Entry, error) {
-			e := &Entry{Name: w.Name, Orig: w.Build(), limit: cfg.Limit}
-			var err error
-			if e.Conv, e.Report, err = ifconv.Convert(e.Orig, ifconv.Config{}); err != nil {
-				return nil, fmt.Errorf("harness: converting %s: %w", w.Name, err)
-			}
-			if e.OrigTrace, err = trace.Collect(e.Orig, cfg.Limit); err != nil {
-				return nil, fmt.Errorf("harness: tracing %s: %w", w.Name, err)
-			}
-			if e.ConvTrace, err = trace.Collect(e.Conv, cfg.Limit); err != nil {
-				return nil, fmt.Errorf("harness: tracing %s (converted): %w", w.Name, err)
-			}
-			return e, nil
+			return buildEntry(w, cfg)
 		})
 	if err != nil {
 		return nil, err
 	}
 	return &Suite{cfg: cfg, Entries: entries}, nil
+}
+
+// buildEntry prepares one workload: build, convert, trace both forms.
+func buildEntry(w workload.Workload, cfg Config) (*Entry, error) {
+	e := &Entry{Name: w.Name, Orig: w.Build(), limit: cfg.Limit}
+	var err error
+	if e.Conv, e.Report, err = ifconv.Convert(e.Orig, ifconv.Config{}); err != nil {
+		return nil, fmt.Errorf("harness: converting %s: %w", w.Name, err)
+	}
+	if e.OrigTrace, err = trace.Collect(e.Orig, cfg.Limit); err != nil {
+		return nil, fmt.Errorf("harness: tracing %s: %w", w.Name, err)
+	}
+	if e.ConvTrace, err = trace.Collect(e.Conv, cfg.Limit); err != nil {
+		return nil, fmt.Errorf("harness: tracing %s (converted): %w", w.Name, err)
+	}
+	return e, nil
+}
+
+// entry resolves a workload name to its prepared entry: a suite member
+// directly, anything else — the synthetic charz family — by building it
+// on first use and memoizing it for the suite's lifetime.
+func (s *Suite) entry(name string) (*Entry, error) {
+	for _, e := range s.Entries {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.extra[name]; ok {
+		return e, nil
+	}
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("%s workload missing", name)
+	}
+	e, err := buildEntry(w, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if s.extra == nil {
+		s.extra = make(map[string]*Entry)
+	}
+	s.extra[name] = e
+	return e, nil
 }
 
 // Experiment regenerates one reconstructed table/figure.

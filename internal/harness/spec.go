@@ -368,8 +368,18 @@ func (sp *Spec) selectEntries(s *Suite) ([]*Entry, error) {
 			delete(want, e.Name)
 		}
 	}
-	for n := range want {
-		return nil, fmt.Errorf("%s workload missing", n)
+	// Names outside the fixed suite — the synthetic charz family — are
+	// materialized on demand, in spec-listed order after suite members.
+	for _, n := range sp.Workloads {
+		if !want[n] {
+			continue
+		}
+		e, err := s.entry(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		delete(want, n)
 	}
 	return out, nil
 }

@@ -344,7 +344,10 @@ func (s *Server) handlePredictors(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
-	ws := workload.All()
+	// Registry workloads first, then the synthetic characterization
+	// catalog; any other "syn:..." point resolves by name in sweeps
+	// even though only the catalog grid is listed.
+	ws := append(workload.All(), workload.Synthetics()...)
 	out := make([]WorkloadJSON, len(ws))
 	for i, wl := range ws {
 		out[i] = WorkloadJSON{Name: wl.Name, Description: wl.Description}

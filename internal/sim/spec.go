@@ -234,6 +234,21 @@ func (s Spec) validate(def *kindDef) error {
 	return nil
 }
 
+// Normalized validates the spec and returns it with defaulted (zero)
+// parameters filled in — the concrete sizes New will build. The
+// black-box prober uses this to know what a spec claims before
+// verifying the built predictor matches.
+func (s Spec) Normalized() (Spec, error) {
+	def, ok := registry[s.Kind]
+	if !ok {
+		return Spec{}, fmt.Errorf("sim: unknown predictor kind %q (want %s)", s.Kind, strings.Join(Kinds(), ", "))
+	}
+	if err := s.validate(def); err != nil {
+		return Spec{}, err
+	}
+	return s.normalize(def), nil
+}
+
 // String renders the canonical full spelling ("gshare:12:8"), with
 // defaults filled in; Parse round-trips it.
 func (s Spec) String() string {

@@ -1,0 +1,6 @@
+package trace
+
+// VersionForTest exposes the serialization version to the external test
+// package (which lives outside the package to break an import cycle
+// through workload).
+const VersionForTest = traceVersion

@@ -1,4 +1,7 @@
-package trace
+// External test package: workload (imported for real programs) now
+// resolves synthetic charz workloads, and charz consumes this package —
+// an in-package test would close an import cycle.
+package trace_test
 
 import (
 	"bytes"
@@ -6,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/ifconv"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -15,7 +19,7 @@ func TestTraceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := Collect(cp, 3_000_000)
+	tr, err := trace.Collect(cp, 3_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +31,7 @@ func TestTraceRoundTrip(t *testing.T) {
 	if n != int64(buf.Len()) {
 		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
 	}
-	back, err := ReadTrace(&buf)
+	back, err := trace.ReadTrace(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,15 +51,15 @@ func TestTraceRoundTrip(t *testing.T) {
 }
 
 func TestReadTraceErrors(t *testing.T) {
-	if _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+	if _, err := trace.ReadTrace(bytes.NewReader(nil)); err == nil {
 		t.Error("empty input accepted")
 	}
-	if _, err := ReadTrace(bytes.NewReader([]byte("NOPE1234"))); err == nil {
+	if _, err := trace.ReadTrace(bytes.NewReader([]byte("NOPE1234"))); err == nil {
 		t.Error("bad magic accepted")
 	}
 	// Truncated valid prefix.
 	p := workload.ByNameMust("stream").Build()
-	tr, err := Collect(p, 3_000_000)
+	tr, err := trace.Collect(p, 3_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +68,7 @@ func TestReadTraceErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	trunc := buf.Bytes()[:buf.Len()/2]
-	if _, err := ReadTrace(bytes.NewReader(trunc)); err == nil {
+	if _, err := trace.ReadTrace(bytes.NewReader(trunc)); err == nil {
 		t.Error("truncated trace accepted")
 	}
 }
@@ -78,7 +82,7 @@ func TestReadTraceTruncationSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := Collect(cp, 3_000_000)
+	tr, err := trace.Collect(cp, 3_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,11 +95,11 @@ func TestReadTraceTruncationSweep(t *testing.T) {
 	}
 	full := buf.Bytes()
 	for n := 0; n < len(full); n++ {
-		if got, err := ReadTrace(bytes.NewReader(full[:n])); err == nil {
+		if got, err := trace.ReadTrace(bytes.NewReader(full[:n])); err == nil {
 			t.Fatalf("prefix of %d/%d bytes accepted: %+v", n, len(full), got)
 		}
 	}
-	if _, err := ReadTrace(bytes.NewReader(full)); err != nil {
+	if _, err := trace.ReadTrace(bytes.NewReader(full)); err != nil {
 		t.Fatalf("full serialization rejected: %v", err)
 	}
 }
@@ -121,13 +125,13 @@ func corruptHeader(version uint32, count uint64) []byte {
 }
 
 func TestReadTraceRejectsBadVersion(t *testing.T) {
-	if _, err := ReadTrace(bytes.NewReader(corruptHeader(traceVersion+1, 0))); err == nil {
+	if _, err := trace.ReadTrace(bytes.NewReader(corruptHeader(trace.VersionForTest+1, 0))); err == nil {
 		t.Fatal("future version accepted")
 	}
 }
 
 func TestReadTraceRejectsImplausibleCount(t *testing.T) {
-	if _, err := ReadTrace(bytes.NewReader(corruptHeader(traceVersion, 1<<40))); err == nil {
+	if _, err := trace.ReadTrace(bytes.NewReader(corruptHeader(trace.VersionForTest, 1<<40))); err == nil {
 		t.Fatal("implausible event count accepted")
 	}
 }
@@ -136,7 +140,7 @@ func TestReadTraceRejectsImplausibleCount(t *testing.T) {
 // count with zero payload bytes: the reader must fail on the first
 // missing record instead of allocating the declared count up front.
 func TestReadTraceLargeCountNoData(t *testing.T) {
-	if _, err := ReadTrace(bytes.NewReader(corruptHeader(traceVersion, 1<<31))); err == nil {
+	if _, err := trace.ReadTrace(bytes.NewReader(corruptHeader(trace.VersionForTest, 1<<31))); err == nil {
 		t.Fatal("eventless trace with huge declared count accepted")
 	}
 }
@@ -145,11 +149,11 @@ func TestReadTraceRejectsHugeNameLength(t *testing.T) {
 	var buf bytes.Buffer
 	buf.Write([]byte("P64T"))
 	var u32 [4]byte
-	binary.LittleEndian.PutUint32(u32[:], traceVersion)
+	binary.LittleEndian.PutUint32(u32[:], trace.VersionForTest)
 	buf.Write(u32[:])
 	binary.LittleEndian.PutUint32(u32[:], 1<<24) // name length over the cap
 	buf.Write(u32[:])
-	if _, err := ReadTrace(bytes.NewReader(buf.Bytes())); err == nil {
+	if _, err := trace.ReadTrace(bytes.NewReader(buf.Bytes())); err == nil {
 		t.Fatal("oversized name length accepted")
 	}
 }

@@ -1,8 +1,12 @@
-package trace
+// External test package: workload (imported for real programs) now
+// resolves synthetic charz workloads, and charz consumes this package —
+// an in-package test would close an import cycle.
+package trace_test
 
 import (
 	"testing"
 
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -14,12 +18,12 @@ func TestStreamMatchesCollect(t *testing.T) {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			p := w.Build()
-			tr, err := Collect(p, 3_000_000)
+			tr, err := trace.Collect(p, 3_000_000)
 			if err != nil {
 				t.Fatal(err)
 			}
-			r := Stream(p, 3_000_000).Replay()
-			var ev Event
+			r := trace.Stream(p, 3_000_000).Replay()
+			var ev trace.Event
 			i := 0
 			for r.Next(&ev) {
 				if i >= len(tr.Events) {
@@ -47,9 +51,9 @@ func TestStreamMatchesCollect(t *testing.T) {
 // interleaved; each must see the full stream.
 func TestStreamReplaysAreIndependent(t *testing.T) {
 	p := workload.ByNameMust("scan").Build()
-	src := Stream(p, 0)
+	src := trace.Stream(p, 0)
 	a, b := src.Replay(), src.Replay()
-	var ea, eb Event
+	var ea, eb trace.Event
 	na, nb := 0, 0
 	for {
 		oka := a.Next(&ea)
@@ -74,8 +78,8 @@ func TestStreamReplaysAreIndependent(t *testing.T) {
 // TestStreamLimit surfaces the emulator step limit as a reader error.
 func TestStreamLimit(t *testing.T) {
 	p := workload.ByNameMust("scan").Build()
-	r := Stream(p, 10).Replay()
-	var ev Event
+	r := trace.Stream(p, 10).Replay()
+	var ev trace.Event
 	for r.Next(&ev) {
 	}
 	if r.Err() == nil {
@@ -87,12 +91,12 @@ func TestStreamLimit(t *testing.T) {
 // slice iteration.
 func TestTraceReplayCursor(t *testing.T) {
 	p := workload.ByNameMust("bsearch").Build()
-	tr, err := Collect(p, 0)
+	tr, err := trace.Collect(p, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	r := tr.Replay()
-	var ev Event
+	var ev trace.Event
 	for i := 0; r.Next(&ev); i++ {
 		if ev != tr.Events[i] {
 			t.Fatalf("replay event %d differs", i)
@@ -112,8 +116,8 @@ func TestTraceReplayCursor(t *testing.T) {
 // phantom recovery or a silently short replay.
 func TestStreamErrorIsSticky(t *testing.T) {
 	p := workload.ByNameMust("scan").Build()
-	r := Stream(p, 10).Replay()
-	var ev Event
+	r := trace.Stream(p, 10).Replay()
+	var ev trace.Event
 	for r.Next(&ev) {
 	}
 	first := r.Err()
@@ -137,12 +141,12 @@ func TestStreamErrorIsSticky(t *testing.T) {
 // for a short program.
 func TestStreamLimitNotSilentlyShort(t *testing.T) {
 	p := workload.ByNameMust("scan").Build()
-	full, err := Collect(p, 3_000_000)
+	full, err := trace.Collect(p, 3_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := Stream(workload.ByNameMust("scan").Build(), 1000).Replay()
-	var ev Event
+	r := trace.Stream(workload.ByNameMust("scan").Build(), 1000).Replay()
+	var ev trace.Event
 	n := 0
 	for r.Next(&ev) {
 		if ev != full.Events[n] {

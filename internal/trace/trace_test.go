@@ -1,4 +1,7 @@
-package trace
+// External test package: workload (imported for real programs) now
+// resolves synthetic charz workloads, and charz consumes this package —
+// an in-package test would close an import cycle.
+package trace_test
 
 import (
 	"testing"
@@ -6,12 +9,13 @@ import (
 	"repro/internal/ifconv"
 	"repro/internal/isa"
 	"repro/internal/prog"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
-func collect(t *testing.T, p *prog.Program) *Trace {
+func collect(t *testing.T, p *prog.Program) *trace.Trace {
 	t.Helper()
-	tr, err := Collect(p, 1_000_000)
+	tr, err := trace.Collect(p, 1_000_000)
 	if err != nil {
 		t.Fatalf("collect %s: %v", p.Name, err)
 	}
@@ -37,7 +41,7 @@ func TestCollectCountsBranches(t *testing.T) {
 	}
 	for i := range tr.Events {
 		ev := &tr.Events[i]
-		if ev.Kind == KindBranch && ev.Guard == isa.P0 {
+		if ev.Kind == trace.KindBranch && ev.Guard == isa.P0 {
 			t.Errorf("unconditional branch recorded: %+v", ev)
 		}
 	}
@@ -54,9 +58,9 @@ func TestCollectTakenMatchesOutcome(t *testing.T) {
 	b.Label("y")
 	b.Halt(0)
 	tr := collect(t, b.MustProgram())
-	var branches []Event
+	var branches []trace.Event
 	for _, ev := range tr.Events {
-		if ev.Kind == KindBranch {
+		if ev.Kind == trace.KindBranch {
 			branches = append(branches, ev)
 		}
 	}
@@ -81,7 +85,7 @@ func TestGuardDist(t *testing.T) {
 	b.Halt(0)
 	tr := collect(t, b.MustProgram())
 	for _, ev := range tr.Events {
-		if ev.Kind == KindBranch {
+		if ev.Kind == trace.KindBranch {
 			if ev.GuardDist != 5 {
 				t.Errorf("GuardDist = %d, want 5", ev.GuardDist)
 			}
@@ -116,7 +120,7 @@ func TestCloopEventsAreConditional(t *testing.T) {
 	tr := collect(t, b.MustProgram())
 	n := 0
 	for _, ev := range tr.Events {
-		if ev.Kind == KindBranch {
+		if ev.Kind == trace.KindBranch {
 			n++
 			if ev.GuardImpliesTaken {
 				t.Error("cloop marked guard-implies-taken")
@@ -169,9 +173,9 @@ func TestFeedsBranchClassification(t *testing.T) {
 	b.Label("x")
 	b.Halt(0)
 	tr := collect(t, b.MustProgram())
-	var defs []Event
+	var defs []trace.Event
 	for _, ev := range tr.Events {
-		if ev.Kind == KindPredDef {
+		if ev.Kind == trace.KindPredDef {
 			defs = append(defs, ev)
 		}
 	}
@@ -193,7 +197,7 @@ func TestNullifiedCompareNotExecuted(t *testing.T) {
 	b.Halt(0)
 	tr := collect(t, b.MustProgram())
 	for _, ev := range tr.Events {
-		if ev.Kind == KindPredDef && ev.Executed {
+		if ev.Kind == trace.KindPredDef && ev.Executed {
 			t.Errorf("nullified compare marked executed: %+v", ev)
 		}
 	}
@@ -206,7 +210,7 @@ func TestCollectLimit(t *testing.T) {
 	b := prog.NewBuilder("t")
 	b.Label("x")
 	b.Br("x")
-	if _, err := Collect(b.MustProgram(), 50); err == nil {
+	if _, err := trace.Collect(b.MustProgram(), 50); err == nil {
 		t.Fatal("infinite loop did not hit the limit")
 	}
 }

@@ -1,0 +1,32 @@
+// synthetic.go — charz-generated workloads resolved by name. The charz
+// generator compiles a characterization-space point ("syn:lag:k=6")
+// into a real branching program; wrapping it here makes the whole
+// parametric family reachable everywhere a workload name is accepted —
+// sweeps, the harness, serving, the oracle — without joining the fixed
+// registry, whose membership the golden experiment CSVs pin down.
+package workload
+
+import "repro/internal/charz"
+
+// synthetic resolves a "syn:..." name into a generated workload. The
+// returned workload carries the point's canonical name, so equivalent
+// spellings ("syn:lag:k=4" and "syn:lag") collapse to one identity.
+func synthetic(name string) (Workload, error) {
+	pt, err := charz.ParsePoint(name)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{Name: pt.Name(), Description: pt.Description(), Build: pt.Build}, nil
+}
+
+// Synthetics returns the charz catalog grid as workloads — the named
+// synthetic points experiment E15 sweeps. They are not part of All();
+// resolve any other point of the family through ByName.
+func Synthetics() []Workload {
+	pts := charz.Catalog()
+	out := make([]Workload, len(pts))
+	for i, pt := range pts {
+		out[i] = Workload{Name: pt.Name(), Description: pt.Description(), Build: pt.Build}
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/charz"
 	"repro/internal/prog"
 )
 
@@ -35,12 +36,17 @@ func All() []Workload {
 // Suite returns the standard experiment suite (currently all workloads).
 func Suite() []Workload { return All() }
 
-// ByName looks a workload up.
+// ByName looks a workload up: first in the registry, then — for
+// "syn:..." names — in the synthetic charz family, which generates the
+// workload from the name's parameters.
 func ByName(name string) (Workload, error) {
 	for _, w := range registry {
 		if w.Name == name {
 			return w, nil
 		}
+	}
+	if charz.IsSynthetic(name) {
+		return synthetic(name)
 	}
 	return Workload{}, fmt.Errorf("workload: unknown workload %q", name)
 }
