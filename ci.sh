@@ -61,6 +61,7 @@ cov_floor repro/internal/bpred 90
 cov_floor repro/internal/core 85
 cov_floor repro/internal/sim 85
 cov_floor repro/internal/serve 80
+cov_floor repro/internal/snap 85
 cov_floor repro/internal/harness 85
 cov_floor repro/internal/results 75
 cov_floor repro/internal/charz 85
@@ -74,6 +75,7 @@ go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/sim
 go test -run='^$' -fuzz=FuzzPredictorVsReference -fuzztime=10s ./internal/oracle
 go test -run='^$' -fuzz=FuzzTraceRoundTrip -fuzztime=10s ./internal/oracle
 go test -run='^$' -fuzz=FuzzCharacterize -fuzztime=10s ./internal/charz
+go test -run='^$' -fuzz=FuzzSnapshotRoundTrip -fuzztime=10s ./internal/snap
 
 echo "== oracle =="
 go run ./cmd/oracle -events 100000
@@ -146,5 +148,55 @@ if ! wait "$servepid"; then
 	echo "bpservd shut down uncleanly" >&2
 	exit 1
 fi
+
+echo "== cluster smoke =="
+# Two bpservd backends with a shared spill directory behind bprouter;
+# bpload drives the cluster in -cluster mode (explicit session IDs,
+# per-batch seqs) and SIGTERMs one backend mid-run. The gate passes only
+# if the run finishes with zero errors AND the surviving backend's
+# metrics are byte-identical to an uninterrupted local replay — the
+# zero-lost-state guarantee for the durable-snapshot failover chain.
+clusterdir=$(mktemp -d)
+trap 'rm -rf "$smokedir" "$clusterdir"
+      kill "$servepid" "$b1pid" "$b2pid" "$rtpid" 2>/dev/null || true' EXIT
+go build -o "$clusterdir" ./cmd/bprouter
+mkdir "$clusterdir/spill"
+"$smokedir/bpservd" -addr 127.0.0.1:0 -portfile "$clusterdir/b1.port" \
+	-spill "$clusterdir/spill" -quiet &
+b1pid=$!
+"$smokedir/bpservd" -addr 127.0.0.1:0 -portfile "$clusterdir/b2.port" \
+	-spill "$clusterdir/spill" -quiet &
+b2pid=$!
+tries=0
+while [ ! -s "$clusterdir/b1.port" ] || [ ! -s "$clusterdir/b2.port" ]; do
+	tries=$((tries + 1))
+	if [ "$tries" -gt 100 ]; then
+		echo "cluster backends never wrote portfiles" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+"$clusterdir/bprouter" -addr 127.0.0.1:0 -portfile "$clusterdir/rt.port" \
+	-backends "http://$(cat "$clusterdir/b1.port"),http://$(cat "$clusterdir/b2.port")" \
+	-health-interval 200ms -quiet &
+rtpid=$!
+tries=0
+while [ ! -s "$clusterdir/rt.port" ]; do
+	tries=$((tries + 1))
+	if [ "$tries" -gt 100 ]; then
+		echo "bprouter never wrote its portfile" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+"$smokedir/bpload" -addr "$(cat "$clusterdir/rt.port")" -cluster -verify \
+	-sessions 6 -events 300000 -batch 2048 -kill-pid "$b1pid" -kill-after 0.4
+wait "$b1pid" || true # SIGTERMed by bpload; must already be gone
+kill -TERM "$rtpid" "$b2pid"
+if ! wait "$b2pid"; then
+	echo "surviving backend shut down uncleanly" >&2
+	exit 1
+fi
+wait "$rtpid" || true
 
 echo "CI OK"

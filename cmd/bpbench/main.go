@@ -337,7 +337,7 @@ func benchAllocs(spec sim.Spec, window []trace.Event) (Result, error) {
 // benchServe measures end-to-end serve-session feed throughput: binary
 // P64T batches posted over real HTTP to an in-process server.
 func benchServe(spec sim.Spec, window []trace.Event, minTime time.Duration) (Result, error) {
-	srv := serve.New(serve.Config{})
+	srv := serve.MustNew(serve.Config{})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

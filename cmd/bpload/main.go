@@ -8,6 +8,18 @@
 //
 //	bpload -addr 127.0.0.1:8080 -sessions 8 -events 1000000
 //	bpload -addr 127.0.0.1:8080 -smoke        # one pass over every endpoint
+//
+// Cluster mode points bpload at a bprouter front tier instead of a single
+// backend: sessions get explicit IDs (so the ring owns their placement),
+// every batch carries a sequence number (so a retried batch is
+// deduplicated, not double-counted), and transport failures are retried
+// rather than fatal. With -kill-pid the run SIGTERMs one backend once the
+// fleet is halfway through its batches — combined with -verify this is
+// the zero-lost-state check: the dying backend spills its sessions, the
+// survivor warm-restores them, and the final metrics must still be
+// byte-identical to an uninterrupted local replay.
+//
+//	bpload -addr 127.0.0.1:9090 -cluster -verify -kill-pid $BACKEND_PID
 package main
 
 import (
@@ -22,6 +34,8 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro"
@@ -53,6 +67,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	sfpf := fs.Bool("sfpf", true, "enable the false-predicate filter")
 	pgu := fs.String("pgu", "all", "PGU policy: off | region | branch | all")
 	verify := fs.Bool("verify", false, "check server metrics byte-identical to a local replay")
+	cluster := fs.Bool("cluster", false, "cluster mode: explicit session IDs, per-batch seq numbers, retry on transport failure (for runs behind bprouter)")
+	idPrefix := fs.String("id-prefix", "bpload", "session ID prefix in cluster mode")
+	killPID := fs.Int("kill-pid", 0, "SIGTERM this PID once the run crosses -kill-after of its batches (cluster mode)")
+	killAfter := fs.Float64("kill-after", 0.5, "fraction of total batches after which -kill-pid fires")
 	smoke := fs.Bool("smoke", false, "run the endpoint smoke sequence instead of a load run")
 	timeout := fs.Duration("timeout", 2*time.Minute, "overall deadline")
 	jsonOut := fs.Bool("json", false, "print the report as JSON")
@@ -83,9 +101,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *sessions < 1 || *batch < 1 {
 		return fmt.Errorf("need -sessions >= 1 and -batch >= 1")
 	}
+	if *killPID != 0 && !*cluster {
+		return fmt.Errorf("-kill-pid requires -cluster (a lone backend cannot lose a member)")
+	}
 	rep, err := runLoad(ctx, c, tr, loadConfig{
 		sessions: *sessions, events: *events, batch: *batch,
 		spec: *spec, opts: opts, verify: *verify,
+		cluster: *cluster, idPrefix: *idPrefix,
+		killPID: *killPID, killAfter: *killAfter,
 	})
 	if err != nil {
 		return err
@@ -99,6 +122,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintf(out, "events          %d\n", rep.Events)
 	fmt.Fprintf(out, "batches         %d\n", rep.Batches)
 	fmt.Fprintf(out, "retries (429)   %d\n", rep.Retries)
+	if rep.Redeliveries > 0 || rep.Killed != 0 {
+		fmt.Fprintf(out, "redeliveries    %d\n", rep.Redeliveries)
+	}
+	if rep.Killed != 0 {
+		fmt.Fprintf(out, "killed backend  pid %d mid-run\n", rep.Killed)
+	}
 	fmt.Fprintf(out, "errors          %d\n", rep.Errors)
 	fmt.Fprintf(out, "elapsed         %.3fs\n", rep.ElapsedSec)
 	fmt.Fprintf(out, "throughput      %.0f events/s\n", rep.EventsPerSec)
@@ -219,12 +248,16 @@ func encodeBatch(events []trace.Event, insts uint64) ([]byte, error) {
 }
 
 type loadConfig struct {
-	sessions int
-	events   uint64
-	batch    int
-	spec     string
-	opts     serve.EvalOptions
-	verify   bool
+	sessions  int
+	events    uint64
+	batch     int
+	spec      string
+	opts      serve.EvalOptions
+	verify    bool
+	cluster   bool
+	idPrefix  string
+	killPID   int
+	killAfter float64
 }
 
 // Report is the load run summary (also the -json output shape).
@@ -233,6 +266,8 @@ type Report struct {
 	Events       uint64  `json:"events"`
 	Batches      uint64  `json:"batches"`
 	Retries      uint64  `json:"retries_429"`
+	Redeliveries uint64  `json:"redeliveries,omitempty"` // transport retries + deduplicated batches (cluster mode)
+	Killed       int     `json:"killed_pid,omitempty"`   // backend PID this run SIGTERMed mid-stream
 	Errors       uint64  `json:"errors"`
 	ElapsedSec   float64 `json:"elapsed_sec"`
 	EventsPerSec float64 `json:"events_per_sec"`
@@ -248,13 +283,43 @@ func runLoad(ctx context.Context, c *client, tr *trace.Trace, cfg loadConfig) (*
 		perSession = 1
 	}
 
+	// Cluster-mode failure injection: once the fleet has delivered
+	// killAfter of its total batches, SIGTERM the named backend exactly
+	// once. The run must ride through it.
+	perSessionBatches := (perSession + uint64(cfg.batch) - 1) / uint64(cfg.batch)
+	killAt := uint64(float64(perSessionBatches*uint64(cfg.sessions)) * cfg.killAfter)
+	var fleetBatches atomic.Uint64
+	var killOnce sync.Once
+	maybeKill := func() {
+		if cfg.killPID == 0 || fleetBatches.Load() < killAt {
+			return
+		}
+		killOnce.Do(func() { syscall.Kill(cfg.killPID, syscall.SIGTERM) })
+	}
+
+	// retriable reports whether cluster mode should redeliver the batch:
+	// transport failures (the backend died mid-request) and gateway
+	// errors (the router had no healthy owner yet). Seq dedup on the
+	// backends makes redelivery safe.
+	retriable := func(err error) bool {
+		if !cfg.cluster {
+			return false
+		}
+		var es *errStatus
+		if !errors.As(err, &es) {
+			return true // transport-level failure
+		}
+		return es.code == http.StatusBadGateway || es.code == http.StatusServiceUnavailable
+	}
+
 	type workerResult struct {
-		sent      uint64
-		batches   uint64
-		retries   uint64
-		latencies []float64
-		final     serve.SessionJSON
-		err       error
+		sent       uint64
+		batches    uint64
+		retries    uint64
+		redelivery uint64
+		latencies  []float64
+		final      serve.SessionJSON
+		err        error
 	}
 	results := make([]workerResult, cfg.sessions)
 	start := time.Now()
@@ -265,12 +330,35 @@ func runLoad(ctx context.Context, c *client, tr *trace.Trace, cfg loadConfig) (*
 		go func() {
 			defer wg.Done()
 			res := &results[i]
+			backoff := func() bool {
+				select {
+				case <-time.After(5 * time.Millisecond):
+					return true
+				case <-ctx.Done():
+					res.err = ctx.Err()
+					return false
+				}
+			}
 			var sess serve.SessionJSON
 			req := serve.SessionRequest{Spec: cfg.spec, EvalOptions: cfg.opts}
-			if res.err = c.postJSON(ctx, "/v1/sessions", req, &sess); res.err != nil {
+			if cfg.cluster {
+				req.ID = fmt.Sprintf("%s-%d", cfg.idPrefix, i)
+			}
+			for {
+				res.err = c.postJSON(ctx, "/v1/sessions", req, &sess)
+				if res.err == nil || !retriable(res.err) {
+					break
+				}
+				res.redelivery++
+				if !backoff() {
+					return
+				}
+			}
+			if res.err != nil {
 				return
 			}
 			b := &batcher{tr: tr, size: cfg.batch}
+			var seq uint64
 			for res.sent < perSession {
 				events, insts := b.next()
 				blob, err := encodeBatch(events, insts)
@@ -278,10 +366,14 @@ func runLoad(ctx context.Context, c *client, tr *trace.Trace, cfg loadConfig) (*
 					res.err = err
 					return
 				}
+				seq++
+				path := "/v1/sessions/" + sess.ID + "/events"
+				if cfg.cluster {
+					path = fmt.Sprintf("%s?seq=%d", path, seq)
+				}
 				for {
 					t0 := time.Now()
-					err = c.do(ctx, http.MethodPost, "/v1/sessions/"+sess.ID+"/events",
-						"application/octet-stream", blob, nil)
+					err = c.do(ctx, http.MethodPost, path, "application/octet-stream", blob, nil)
 					if err == nil {
 						res.latencies = append(res.latencies, float64(time.Since(t0).Microseconds())/1000)
 						break
@@ -289,10 +381,14 @@ func runLoad(ctx context.Context, c *client, tr *trace.Trace, cfg loadConfig) (*
 					var es *errStatus
 					if errors.As(err, &es) && es.code == http.StatusTooManyRequests {
 						res.retries++
-						select {
-						case <-time.After(2 * time.Millisecond):
-						case <-ctx.Done():
-							res.err = ctx.Err()
+						if !backoff() {
+							return
+						}
+						continue
+					}
+					if retriable(err) {
+						res.redelivery++
+						if !backoff() {
 							return
 						}
 						continue
@@ -302,8 +398,46 @@ func runLoad(ctx context.Context, c *client, tr *trace.Trace, cfg loadConfig) (*
 				}
 				res.sent += uint64(len(events))
 				res.batches++
+				fleetBatches.Add(1)
+				maybeKill()
 			}
-			res.err = c.do(ctx, http.MethodDelete, "/v1/sessions/"+sess.ID, "", nil, &res.final)
+			if !cfg.cluster {
+				res.err = c.do(ctx, http.MethodDelete, "/v1/sessions/"+sess.ID, "", nil, &res.final)
+				return
+			}
+			// Cluster teardown is split so every step is idempotent: read
+			// the final metrics with a retriable GET, then delete, where a
+			// 404 after a redelivery means the first attempt won.
+			for {
+				res.err = c.do(ctx, http.MethodGet, "/v1/sessions/"+sess.ID, "", nil, &res.final)
+				if res.err == nil || !retriable(res.err) {
+					break
+				}
+				res.redelivery++
+				if !backoff() {
+					return
+				}
+			}
+			if res.err != nil {
+				return
+			}
+			deleted := false
+			for {
+				err := c.do(ctx, http.MethodDelete, "/v1/sessions/"+sess.ID, "", nil, nil)
+				var es *errStatus
+				if err == nil || (deleted && errors.As(err, &es) && es.code == http.StatusNotFound) {
+					return
+				}
+				if !retriable(err) {
+					res.err = err
+					return
+				}
+				deleted = true // the lost attempt may have landed
+				res.redelivery++
+				if !backoff() {
+					return
+				}
+			}
 		}()
 	}
 	wg.Wait()
@@ -320,7 +454,11 @@ func runLoad(ctx context.Context, c *client, tr *trace.Trace, cfg loadConfig) (*
 		rep.Events += res.sent
 		rep.Batches += res.batches
 		rep.Retries += res.retries
+		rep.Redeliveries += res.redelivery
 		lat = append(lat, res.latencies...)
+	}
+	if cfg.killPID != 0 && fleetBatches.Load() >= killAt {
+		rep.Killed = cfg.killPID
 	}
 	if rep.Errors > 0 {
 		for i := range results {

@@ -6,13 +6,15 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/router"
 	"repro/internal/serve"
 )
 
 func startServer(t *testing.T) string {
 	t.Helper()
-	s := serve.New(serve.Config{})
+	s := serve.MustNew(serve.Config{})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -68,6 +70,50 @@ func TestLoadRunVerified(t *testing.T) {
 	}
 	if rep.EventsPerSec <= 0 || rep.LatencyP99Ms < rep.LatencyP50Ms {
 		t.Errorf("implausible report: %+v", rep)
+	}
+}
+
+// TestClusterRunVerified drives bpload's cluster mode through a real
+// bprouter fronting two backends: explicit session IDs, per-batch seq
+// numbers, and the byte-identical verify must all survive the ring
+// spreading sessions across the fleet.
+func TestClusterRunVerified(t *testing.T) {
+	spill := t.TempDir()
+	var urls []string
+	for i := 0; i < 2; i++ {
+		s := serve.MustNew(serve.Config{Shards: 2, SpillDir: spill})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			s.Close()
+		})
+		urls = append(urls, ts.URL)
+	}
+	rt, err := router.New(router.Config{Backends: urls, HealthEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+
+	var sb strings.Builder
+	err = run(context.Background(), []string{
+		"-addr", strings.TrimPrefix(front.URL, "http://"),
+		"-cluster", "-id-prefix", "cl",
+		"-sessions", "4", "-events", "40000", "-batch", "512",
+		"-spec", "gshare:12:8", "-w", "scan",
+		"-verify", "-json",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("cluster load failed: %v\n%s", err, sb.String())
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("bad -json output: %v\n%s", err, sb.String())
+	}
+	if rep.Errors != 0 || !rep.Verified {
+		t.Errorf("cluster run: errors=%d verified=%v, want 0/true", rep.Errors, rep.Verified)
 	}
 }
 

@@ -1,0 +1,131 @@
+// Command bprouter fronts a fleet of bpservd backends: it
+// consistent-hashes session IDs across them, health-checks the fleet,
+// retries around dead backends, and migrates sessions off draining
+// backends with snapshots (see internal/router).
+//
+// Usage:
+//
+//	bprouter -addr 127.0.0.1:9090 -backends http://127.0.0.1:8081,http://127.0.0.1:8082
+//	curl -X POST 'http://127.0.0.1:9090/admin/drain?backend=http://127.0.0.1:8081'
+//
+// Clients speak the ordinary bpservd API to the router; session
+// placement and failover are invisible to them. Run the backends with a
+// shared -spill directory so a killed backend's sessions warm-restore on
+// whichever backend the ring reassigns them to.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/router"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bprouter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bprouter", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9090", "listen address (port 0 picks a free port)")
+	backends := fs.String("backends", "", "comma-separated bpservd base URLs (required)")
+	vnodes := fs.Int("vnodes", 64, "virtual nodes per backend on the hash ring")
+	healthEvery := fs.Duration("health-interval", time.Second, "backend health-check interval")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request proxy timeout")
+	maxBody := fs.Int64("max-body", 64<<20, "request body size cap in bytes")
+	portfile := fs.String("portfile", "", "write the bound address to this file once listening")
+	quiet := fs.Bool("quiet", false, "suppress router event log lines")
+	drain := fs.Duration("drain", 10*time.Second, "shutdown deadline for in-flight requests")
+	version := buildinfo.Flag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String("bprouter"))
+		return nil
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+
+	logger := log.New(out, "bprouter: ", log.LstdFlags|log.Lmicroseconds)
+	if *quiet {
+		logger = log.New(io.Discard, "", 0)
+	}
+	rt, err := router.New(router.Config{
+		Backends:    urls,
+		VNodes:      *vnodes,
+		HealthEvery: *healthEvery,
+		Timeout:     *timeout,
+		MaxBody:     *maxBody,
+		Logger:      logger,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *portfile != "" {
+		if err := writePortfile(*portfile, bound); err != nil {
+			ln.Close()
+			return err
+		}
+		defer os.Remove(*portfile)
+	}
+	fmt.Fprintf(out, "routing %d backends on %s\n", len(urls), bound)
+
+	hs := &http.Server{Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(out, "shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}
+
+// writePortfile publishes the bound address atomically so a watcher never
+// reads a half-written file.
+func writePortfile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -51,6 +51,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	burst := fs.Int("burst", 128, "rate limiter burst")
 	sweepTimeout := fs.Duration("sweep-timeout", 30*time.Second, "default sweep deadline")
 	sweepWorkers := fs.Int("sweep-workers", 0, "sweep fan-out (0 = GOMAXPROCS)")
+	spill := fs.String("spill", "", "spill directory: evicted/expired/shutdown sessions are snapshotted here and warm-restored on touch (empty disables)")
 	portfile := fs.String("portfile", "", "write the bound address to this file once listening")
 	quiet := fs.Bool("quiet", false, "suppress per-request log lines")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown deadline for in-flight requests")
@@ -70,7 +71,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *quiet {
 		logger = log.New(io.Discard, "", 0)
 	}
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		Shards:          *shards,
 		MaxSessions:     *maxSessions,
 		MaxSessionBytes: *sessionBytes,
@@ -81,8 +82,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		RateBurst:       *burst,
 		SweepTimeout:    *sweepTimeout,
 		SweepWorkers:    *sweepWorkers,
+		SpillDir:        *spill,
 		Logger:          logger,
 	})
+	if err != nil {
+		return err
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

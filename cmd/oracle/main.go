@@ -187,6 +187,19 @@ func run(args []string, out io.Writer) error {
 		}})
 	}
 
+	// Snapshot-resume durability for every selected predictor kind: an
+	// evaluation interrupted by a P64S snapshot/restore at any cut point
+	// must be bit-identical — metrics and final snapshot bytes — to an
+	// uninterrupted run over the same converted workload.
+	for _, kind := range kinds {
+		spec := sim.MustParse(kind)
+		c := cases[0]
+		c.Spec = spec
+		checks = append(checks, check{name: "snapshot:" + spec.String(), fn: func(context.Context) error {
+			return oracle.CheckSnapshotResume(c)
+		}})
+	}
+
 	// The serial-vs-parallel sweep equivalence runs once over the whole
 	// case list; it manages its own worker pool.
 	checks = append(checks, check{name: "sweep:serial-vs-parallel", fn: func(ctx context.Context) error {
@@ -242,7 +255,7 @@ func checkServe(ctx context.Context, c oracle.Case) error {
 	}
 
 	// Serve path: same events, split across two batches.
-	srv := serve.New(serve.Config{Shards: 2})
+	srv := serve.MustNew(serve.Config{Shards: 2})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

@@ -1,0 +1,227 @@
+package bpred
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Stater is implemented by predictors whose accumulated training state
+// can be serialized and restored exactly. AppendState appends only the
+// mutable state (tables, histories, weights) — never the configuration:
+// a snapshot is restored into a predictor freshly constructed with the
+// same configuration (internal/snap carries the sim spec for that), and
+// LoadState validates the payload against the receiver's own geometry.
+//
+// The contract is byte-identical resume: after LoadState, the predictor
+// must behave exactly as the snapshotted one would on every future
+// Predict/Update/PredictUpdate/ObserveBit call. Every concrete predictor
+// kind in this package implements it.
+type Stater interface {
+	Predictor
+	// AppendState appends the predictor's mutable state to buf.
+	AppendState(buf []byte) []byte
+	// LoadState restores mutable state from the cursor, reading exactly
+	// the bytes AppendState wrote for an identically configured
+	// predictor. On error the predictor's state is unspecified; callers
+	// discard it.
+	LoadState(c *wire.Cursor) error
+}
+
+// appendCounters writes a counter table one byte per counter.
+func appendCounters(buf []byte, t []counter) []byte {
+	for _, c := range t {
+		buf = append(buf, byte(c))
+	}
+	return buf
+}
+
+// loadCounters reads len(t) counters into t, validating the 2-bit range
+// so a corrupt snapshot cannot smuggle in out-of-range counter values.
+func loadCounters(c *wire.Cursor, t []counter) error {
+	p := c.Take(len(t))
+	if p == nil {
+		return c.Err()
+	}
+	for i, b := range p {
+		if b > 3 {
+			return c.Fail(fmt.Errorf("bpred: counter %d out of range (%d)", i, b))
+		}
+		t[i] = counter(b)
+	}
+	return nil
+}
+
+// AppendState implements Stater. Static has no mutable state.
+func (s *Static) AppendState(buf []byte) []byte { return buf }
+
+// LoadState implements Stater.
+func (s *Static) LoadState(*wire.Cursor) error { return nil }
+
+// AppendState implements Stater.
+func (b *Bimodal) AppendState(buf []byte) []byte { return appendCounters(buf, b.table) }
+
+// LoadState implements Stater.
+func (b *Bimodal) LoadState(c *wire.Cursor) error { return loadCounters(c, b.table) }
+
+// AppendState implements Stater.
+func (g *GShare) AppendState(buf []byte) []byte {
+	buf = wire.AppendU64(buf, g.hist)
+	return appendCounters(buf, g.table)
+}
+
+// LoadState implements Stater.
+func (g *GShare) LoadState(c *wire.Cursor) error {
+	g.hist = c.U64()
+	return loadCounters(c, g.table)
+}
+
+// AppendState implements Stater.
+func (g *GSelect) AppendState(buf []byte) []byte {
+	buf = wire.AppendU64(buf, g.hist)
+	return appendCounters(buf, g.table)
+}
+
+// LoadState implements Stater.
+func (g *GSelect) LoadState(c *wire.Cursor) error {
+	g.hist = c.U64()
+	return loadCounters(c, g.table)
+}
+
+// AppendState implements Stater.
+func (g *GAg) AppendState(buf []byte) []byte {
+	buf = wire.AppendU64(buf, g.hist)
+	return appendCounters(buf, g.table)
+}
+
+// LoadState implements Stater.
+func (g *GAg) LoadState(c *wire.Cursor) error {
+	g.hist = c.U64()
+	return loadCounters(c, g.table)
+}
+
+// AppendState implements Stater.
+func (l *Local) AppendState(buf []byte) []byte {
+	for _, h := range l.hists {
+		buf = wire.AppendU64(buf, h)
+	}
+	return appendCounters(buf, l.table)
+}
+
+// LoadState implements Stater.
+func (l *Local) LoadState(c *wire.Cursor) error {
+	for i := range l.hists {
+		l.hists[i] = c.U64()
+	}
+	return loadCounters(c, l.table)
+}
+
+// AppendState implements Stater: the global and local components'
+// state followed by the chooser table.
+func (t *Tournament) AppendState(buf []byte) []byte {
+	buf = t.global.AppendState(buf)
+	buf = t.local.AppendState(buf)
+	return appendCounters(buf, t.chooser)
+}
+
+// LoadState implements Stater.
+func (t *Tournament) LoadState(c *wire.Cursor) error {
+	if err := t.global.LoadState(c); err != nil {
+		return err
+	}
+	if err := t.local.LoadState(c); err != nil {
+		return err
+	}
+	return loadCounters(c, t.chooser)
+}
+
+// AppendState implements Stater: the history, the agree counter table,
+// the per-set round-robin cursors, and every bias-table way (full tag
+// plus valid/bias flags).
+func (a *Agree) AppendState(buf []byte) []byte {
+	buf = wire.AppendU64(buf, a.hist)
+	buf = appendCounters(buf, a.table)
+	buf = append(buf, a.rr...)
+	for i := range a.bias {
+		e := &a.bias[i]
+		buf = wire.AppendU64(buf, e.tag)
+		var f byte
+		if e.valid {
+			f |= 1
+		}
+		if e.bias {
+			f |= 2
+		}
+		buf = append(buf, f)
+	}
+	return buf
+}
+
+// LoadState implements Stater.
+func (a *Agree) LoadState(c *wire.Cursor) error {
+	a.hist = c.U64()
+	if err := loadCounters(c, a.table); err != nil {
+		return err
+	}
+	rr := c.Take(len(a.rr))
+	if rr == nil {
+		return c.Err()
+	}
+	for i, v := range rr {
+		if v >= agreeWays {
+			return c.Fail(fmt.Errorf("bpred: agree rr cursor %d out of range (%d)", i, v))
+		}
+		a.rr[i] = v
+	}
+	for i := range a.bias {
+		e := &a.bias[i]
+		e.tag = c.U64()
+		f := c.U8()
+		if f > 3 {
+			return c.Fail(fmt.Errorf("bpred: agree bias flags %d out of range (%d)", i, f))
+		}
+		e.valid = f&1 != 0
+		e.bias = f&2 != 0
+	}
+	return c.Err()
+}
+
+// AppendState implements Stater: the history then every weight vector,
+// one signed byte per weight.
+func (p *Perceptron) AppendState(buf []byte) []byte {
+	buf = wire.AppendU64(buf, p.hist)
+	for _, w := range p.weights {
+		for _, v := range w {
+			buf = append(buf, byte(v))
+		}
+	}
+	return buf
+}
+
+// LoadState implements Stater.
+func (p *Perceptron) LoadState(c *wire.Cursor) error {
+	p.hist = c.U64()
+	for _, w := range p.weights {
+		row := c.Take(len(w))
+		if row == nil {
+			return c.Err()
+		}
+		for i, b := range row {
+			w[i] = int8(b)
+		}
+	}
+	return c.Err()
+}
+
+// Compile-time interface checks: every concrete kind is snapshottable.
+var (
+	_ Stater = (*Static)(nil)
+	_ Stater = (*Bimodal)(nil)
+	_ Stater = (*GShare)(nil)
+	_ Stater = (*GSelect)(nil)
+	_ Stater = (*GAg)(nil)
+	_ Stater = (*Local)(nil)
+	_ Stater = (*Tournament)(nil)
+	_ Stater = (*Agree)(nil)
+	_ Stater = (*Perceptron)(nil)
+)

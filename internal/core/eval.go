@@ -168,7 +168,7 @@ func Evaluate(src trace.Source, cfg EvalConfig) Metrics {
 // batches over an arbitrary lifetime — feed events as they arrive.
 //
 // An Evaluator is not safe for concurrent use; the owner serialises Feed
-// and Snapshot calls.
+// and MetricsSnapshot calls.
 type Evaluator struct {
 	cfg     EvalConfig
 	p       bpred.Predictor
@@ -300,12 +300,30 @@ func (e *Evaluator) Feed(ev *trace.Event) {
 func (e *Evaluator) AddInsts(n uint64) { e.m.Insts += n }
 
 // Metrics returns the metrics accumulated so far. The ByPC map is the
-// evaluator's own: callers that keep feeding must use Snapshot instead.
+// evaluator's own: callers that keep feeding must use MetricsSnapshot
+// instead.
 func (e *Evaluator) Metrics() Metrics { return e.m }
 
-// Snapshot returns an independent copy of the metrics accumulated so far,
-// safe to hold while the evaluator keeps feeding.
-func (e *Evaluator) Snapshot() Metrics { return e.m.Clone() }
+// MetricsSnapshot returns an independent copy of the metrics accumulated
+// so far, safe to hold while the evaluator keeps feeding. It clones only
+// the metrics — the full durable-state snapshot (predictor tables,
+// histories, the pending predicate-bit queue) is internal/snap's job.
+func (e *Evaluator) MetricsSnapshot() Metrics { return e.m.Clone() }
+
+// Config returns the evaluation configuration, with the Predictor field
+// cleared: the predictor itself stays owned by the evaluator. Snapshot
+// writers persist this alongside the predictor spec so a restore can
+// rebuild an identically configured evaluator.
+func (e *Evaluator) Config() EvalConfig {
+	cfg := e.cfg
+	cfg.Predictor = nil
+	return cfg
+}
+
+// Predictor returns the evaluator's predictor. Callers must not train or
+// reset it behind the evaluator's back; the accessor exists so snapshot
+// writers (internal/snap) can serialize its state.
+func (e *Evaluator) Predictor() bpred.Predictor { return e.p }
 
 // Clone returns a deep copy of m (the ByPC per-branch map is copied).
 func (m Metrics) Clone() Metrics {

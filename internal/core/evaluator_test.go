@@ -65,7 +65,7 @@ func TestEvaluatorSnapshotIsIndependent(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		e.Feed(&tr.Events[i])
 	}
-	snap := e.Snapshot()
+	snap := e.MetricsSnapshot()
 	frozen := snap.Clone()
 	for i := 50; i < len(tr.Events); i++ {
 		e.Feed(&tr.Events[i])

@@ -1,0 +1,128 @@
+// Durable evaluator state.
+//
+// The evaluator's mutable state beyond the predictor itself is small but
+// load-bearing for byte-identical resume: the pending predicate-bit
+// queue (PGU bits whose insertion delay has not yet elapsed — dropping
+// them would silently shift every future history lookup) and the
+// accumulated metrics (including the per-branch map when enabled). The
+// squash false path filter carries no evaluator-resident state in the
+// trace-driven model: guard values and distances ride on each event, so
+// a restored evaluator filters future branches identically by
+// construction. internal/snap frames these bytes, together with the
+// predictor's own state, into the versioned snapshot format.
+
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/wire"
+)
+
+// AppendState appends the evaluator's mutable state (pending
+// predicate-bit queue and metrics) to buf. The predictor's state is
+// serialized separately via Predictor (see bpred.Stater). The encoding
+// is canonical: per-branch stats are written in strictly increasing PC
+// order, so identical evaluator states always produce identical bytes.
+func (e *Evaluator) AppendState(buf []byte) []byte {
+	buf = wire.AppendU32(buf, uint32(len(e.pending)))
+	for _, p := range e.pending {
+		buf = wire.AppendU64(buf, p.applyAt)
+		buf = wire.AppendBool(buf, p.bit)
+	}
+
+	m := &e.m
+	for _, v := range []uint64{
+		m.Insts, m.Branches, m.Mispredicts,
+		m.RegionBranches, m.RegionMispredicts,
+		m.Filtered, m.FilteredTrue, m.FilterErrors,
+		m.PredDefs, m.InsertedBits,
+	} {
+		buf = wire.AppendU64(buf, v)
+	}
+	buf = wire.AppendBool(buf, m.ByPC != nil)
+	if m.ByPC != nil {
+		pcs := make([]uint64, 0, len(m.ByPC))
+		for pc := range m.ByPC {
+			pcs = append(pcs, pc)
+		}
+		sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+		buf = wire.AppendU32(buf, uint32(len(pcs)))
+		for _, pc := range pcs {
+			bs := m.ByPC[pc]
+			buf = wire.AppendU64(buf, bs.PC)
+			buf = wire.AppendU64(buf, bs.Count)
+			buf = wire.AppendU64(buf, bs.Taken)
+			buf = wire.AppendU64(buf, bs.Mispredicts)
+			buf = wire.AppendU64(buf, bs.Filtered)
+			buf = wire.AppendBool(buf, bs.Region)
+		}
+	}
+	return buf
+}
+
+// LoadState replaces the evaluator's pending queue and metrics with
+// state read from the cursor. It enforces the canonical encoding
+// (strictly increasing PCs), so for any byte sequence LoadState accepts
+// there is exactly one state — AppendState of the loaded state
+// reproduces the input bytes.
+func (e *Evaluator) LoadState(c *wire.Cursor) error {
+	n := c.U32()
+	if c.Err() != nil {
+		return c.Err()
+	}
+	// Each pending entry is 9 bytes; bound the allocation by the input.
+	if int64(n)*9 > int64(c.Remaining()) {
+		return c.Fail(wire.ErrTruncated)
+	}
+	pending := make([]pendingBit, 0, n)
+	for i := uint32(0); i < n; i++ {
+		pending = append(pending, pendingBit{applyAt: c.U64(), bit: c.Bool()})
+	}
+
+	var m Metrics
+	for _, dst := range []*uint64{
+		&m.Insts, &m.Branches, &m.Mispredicts,
+		&m.RegionBranches, &m.RegionMispredicts,
+		&m.Filtered, &m.FilteredTrue, &m.FilterErrors,
+		&m.PredDefs, &m.InsertedBits,
+	} {
+		*dst = c.U64()
+	}
+	if c.Bool() {
+		count := c.U32()
+		if c.Err() != nil {
+			return c.Err()
+		}
+		if int64(count)*41 > int64(c.Remaining()) {
+			return c.Fail(wire.ErrTruncated)
+		}
+		m.ByPC = make(map[uint64]*BranchStats, count)
+		var prev uint64
+		for i := uint32(0); i < count; i++ {
+			bs := &BranchStats{
+				PC:          c.U64(),
+				Count:       c.U64(),
+				Taken:       c.U64(),
+				Mispredicts: c.U64(),
+				Filtered:    c.U64(),
+				Region:      c.Bool(),
+			}
+			if c.Err() != nil {
+				return c.Err()
+			}
+			if i > 0 && bs.PC <= prev {
+				return c.Fail(fmt.Errorf("core: per-branch stats not in increasing PC order"))
+			}
+			prev = bs.PC
+			m.ByPC[bs.PC] = bs
+		}
+	}
+	if c.Err() != nil {
+		return c.Err()
+	}
+	e.pending = pending
+	e.m = m
+	return nil
+}

@@ -1,0 +1,80 @@
+package oracle
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+
+	"repro/internal/core"
+	"repro/internal/snap"
+	"repro/internal/trace"
+)
+
+// CheckSnapshotResume cuts the case's evaluation at an arbitrary point,
+// round-trips the evaluator through the P64S snapshot codec, resumes on
+// the restored evaluator, and requires the interrupted run to be
+// indistinguishable from an uninterrupted one: bit-identical Metrics and
+// a byte-identical final snapshot. This is the durability oracle — if it
+// holds at every cut point, a server can die and restore at any batch
+// boundary without the client ever observing it.
+func CheckSnapshotResume(c Case) error {
+	tr, err := trace.Collect(c.Prog, c.Limit)
+	if err != nil {
+		return fmt.Errorf("oracle: %s: collect: %w", c.Name, err)
+	}
+
+	// Uninterrupted reference run.
+	refCfg, err := c.config()
+	if err != nil {
+		return err
+	}
+	ref := core.NewEvaluator(refCfg)
+	for i := range tr.Events {
+		ref.Feed(&tr.Events[i])
+	}
+	ref.AddInsts(tr.Insts)
+	meta := snap.Meta{SessionID: "oracle-" + c.Name, Events: uint64(len(tr.Events)), Batches: 1, LastSeq: 1}
+	wantBlob, err := snap.Encode(c.Spec, ref, meta)
+	if err != nil {
+		return fmt.Errorf("oracle: %s: encode reference: %w", c.Name, err)
+	}
+
+	// Interrupted run: cut at several points, including the degenerate
+	// ones (before any event, after the last).
+	for _, num := range []int{0, 1, 2} {
+		cut := len(tr.Events) * num / 2
+		cutCfg, err := c.config()
+		if err != nil {
+			return err
+		}
+		e := core.NewEvaluator(cutCfg)
+		for i := 0; i < cut; i++ {
+			e.Feed(&tr.Events[i])
+		}
+		blob, err := snap.Encode(c.Spec, e, snap.Meta{SessionID: "oracle-" + c.Name})
+		if err != nil {
+			return fmt.Errorf("oracle: %s: encode at cut %d/%d: %w", c.Name, cut, len(tr.Events), err)
+		}
+		res, err := snap.Decode(blob)
+		if err != nil {
+			return fmt.Errorf("oracle: %s: decode at cut %d/%d: %w", c.Name, cut, len(tr.Events), err)
+		}
+		for i := cut; i < len(tr.Events); i++ {
+			res.Eval.Feed(&tr.Events[i])
+		}
+		res.Eval.AddInsts(tr.Insts)
+		if got, want := res.Eval.Metrics(), ref.Metrics(); !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("oracle: %s: resume at cut %d/%d diverges: %s",
+				c.Name, cut, len(tr.Events), metricsDiff(got, want))
+		}
+		gotBlob, err := snap.Encode(res.Spec, res.Eval, meta)
+		if err != nil {
+			return fmt.Errorf("oracle: %s: re-encode at cut %d/%d: %w", c.Name, cut, len(tr.Events), err)
+		}
+		if !bytes.Equal(gotBlob, wantBlob) {
+			return fmt.Errorf("oracle: %s: final snapshot after resume at cut %d/%d is not byte-identical to the uninterrupted run",
+				c.Name, cut, len(tr.Events))
+		}
+	}
+	return nil
+}

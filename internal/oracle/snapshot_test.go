@@ -1,0 +1,34 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSnapshotResume(t *testing.T) {
+	c := equivCase(t, "scan", fullCfg())
+	if err := CheckSnapshotResume(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotResumeAllKinds runs the durability oracle for every
+// registered predictor kind, so a kind whose state codec misses a field
+// fails here and not first in production restore.
+func TestSnapshotResumeAllKinds(t *testing.T) {
+	base := equivCase(t, "filter", fullCfg())
+	base.Limit = 300_000
+	for _, kind := range sim.Kinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			c := base
+			c.Name = base.Name + "-" + kind
+			c.Spec = sim.MustParse(kind)
+			if err := CheckSnapshotResume(c); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

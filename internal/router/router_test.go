@@ -1,0 +1,344 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ifconv"
+	"repro/internal/serve"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+var testTrace = sync.OnceValue(func() *trace.Trace {
+	p, _, err := ifconv.Convert(workload.ByNameMust("scan").Build(), ifconv.Config{})
+	if err != nil {
+		panic(err)
+	}
+	tr, err := trace.Collect(p, 0)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+})
+
+// cluster is a router fronting n in-process bpservd backends that share
+// one spill directory.
+type cluster struct {
+	rt       *Router
+	front    *httptest.Server
+	backends []*httptest.Server
+	serves   []*serve.Server
+}
+
+func newCluster(t *testing.T, n int, spill string) *cluster {
+	t.Helper()
+	c := &cluster{}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		s := serve.MustNew(serve.Config{Shards: 2, SpillDir: spill})
+		ts := httptest.NewServer(s.Handler())
+		c.serves = append(c.serves, s)
+		c.backends = append(c.backends, ts)
+		urls[i] = ts.URL
+	}
+	rt, err := New(Config{Backends: urls, HealthEvery: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.rt = rt
+	c.front = httptest.NewServer(rt.Handler())
+	t.Cleanup(func() {
+		c.front.Close()
+		rt.Close()
+		for i := range c.backends {
+			c.backends[i].Close()
+			c.serves[i].Close()
+		}
+	})
+	return c
+}
+
+func doJSON(t *testing.T, method, url string, body any, wantCode int, out any) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s %s: got %d, want %d; body: %s", method, url, resp.StatusCode, wantCode, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("bad response JSON %q: %v", raw, err)
+		}
+	}
+}
+
+func createSession(t *testing.T, base, id string) serve.SessionJSON {
+	t.Helper()
+	var sess serve.SessionJSON
+	doJSON(t, "POST", base+"/v1/sessions",
+		serve.SessionRequest{ID: id, Spec: "gshare:12:8", EvalOptions: serve.EvalOptions{SFPF: true, PGU: "all"}},
+		http.StatusCreated, &sess)
+	return sess
+}
+
+func feedBatch(t *testing.T, base, id string, events []serve.EventJSON, seq uint64) serve.BatchResponse {
+	t.Helper()
+	var resp serve.BatchResponse
+	doJSON(t, "POST", fmt.Sprintf("%s/v1/sessions/%s/events", base, id),
+		serve.BatchRequest{Events: events, Seq: seq}, http.StatusOK, &resp)
+	return resp
+}
+
+func jsonEvents(n int) []serve.EventJSON {
+	tr := testTrace()
+	if n > len(tr.Events) {
+		n = len(tr.Events)
+	}
+	out := make([]serve.EventJSON, n)
+	for i := 0; i < n; i++ {
+		out[i] = serve.EventToJSON(&tr.Events[i])
+	}
+	return out
+}
+
+// TestRingDeterminismAndSpread: the ring must give every ID a stable
+// owner and spread IDs across all backends.
+func TestRingDeterminismAndSpread(t *testing.T) {
+	c := newCluster(t, 3, "")
+	counts := map[string]int{}
+	for i := 0; i < 300; i++ {
+		id := fmt.Sprintf("spread-%d", i)
+		b1 := c.rt.pick(id, (*Backend).up)
+		b2 := c.rt.pick(id, (*Backend).up)
+		if b1 != b2 {
+			t.Fatalf("pick not deterministic for %s", id)
+		}
+		counts[b1.URL]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("300 ids landed on %d of 3 backends: %v", len(counts), counts)
+	}
+	for url, n := range counts {
+		if n < 30 {
+			t.Fatalf("backend %s got only %d/300 ids: %v", url, n, counts)
+		}
+	}
+}
+
+// TestSessionAffinity: all traffic for one session lands on its ring
+// owner, and the router-generated ID is returned to the client.
+func TestSessionAffinity(t *testing.T) {
+	c := newCluster(t, 2, "")
+	sess := createSession(t, c.front.URL, "")
+	if sess.ID == "" {
+		t.Fatal("router did not assign an id")
+	}
+	events := jsonEvents(200)
+	feedBatch(t, c.front.URL, sess.ID, events, 1)
+	feedBatch(t, c.front.URL, sess.ID, events, 2)
+
+	// The session exists on exactly the owner backend.
+	owner := c.rt.pick(sess.ID, (*Backend).up)
+	found := 0
+	for i, ts := range c.backends {
+		var got serve.SessionJSON
+		req, _ := http.NewRequest("GET", ts.URL+"/v1/sessions/"+sess.ID, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			found++
+			if ts.URL != owner.URL {
+				t.Fatalf("session on backend %d, ring owner is %s", i, owner.URL)
+			}
+			json.NewDecoder(resp.Body).Decode(&got)
+			if got.Events != 400 || got.LastSeq != 2 {
+				t.Fatalf("owner state: %+v", got)
+			}
+		}
+		resp.Body.Close()
+	}
+	if found != 1 {
+		t.Fatalf("session resident on %d backends, want 1", found)
+	}
+
+	// Merged listing sees it once.
+	var list struct {
+		Count int `json:"count"`
+	}
+	doJSON(t, "GET", c.front.URL+"/v1/sessions", nil, http.StatusOK, &list)
+	if list.Count != 1 {
+		t.Fatalf("merged list count %d, want 1", list.Count)
+	}
+}
+
+// TestFailoverWithSharedSpill kills a backend mid-stream and verifies
+// zero lost state: the dead backend's SIGTERM-equivalent close spills
+// its sessions, the router retries onto the survivor, the survivor
+// warm-restores from the shared spill dir, and seq dedup absorbs the
+// retried batch. Final metrics must equal an uninterrupted direct run.
+func TestFailoverWithSharedSpill(t *testing.T) {
+	spill := t.TempDir()
+	c := newCluster(t, 2, spill)
+	sess := createSession(t, c.front.URL, "failover-1")
+	events := jsonEvents(300)
+
+	feedBatch(t, c.front.URL, sess.ID, events[:100], 1)
+
+	// Kill the owner: close its HTTP listener (transport errors for the
+	// router) and drain the serve layer (spills live sessions to disk).
+	owner := c.rt.pick(sess.ID, (*Backend).up)
+	for i, ts := range c.backends {
+		if ts.URL == owner.URL {
+			c.backends[i].Close()
+			c.serves[i].Close()
+		}
+	}
+
+	// The retried batch (same seq) plus the rest flow through the
+	// router's transport-failure retry to the survivor, which restores
+	// the session from the shared spill directory.
+	resp := feedBatch(t, c.front.URL, sess.ID, events[:100], 1)
+	if !resp.Duplicate {
+		t.Fatalf("retried batch not deduplicated: %+v", resp)
+	}
+	feedBatch(t, c.front.URL, sess.ID, events[100:200], 2)
+	feedBatch(t, c.front.URL, sess.ID, events[200:], 3)
+
+	var got serve.SessionJSON
+	doJSON(t, "GET", c.front.URL+"/v1/sessions/"+sess.ID, nil, http.StatusOK, &got)
+	if got.Events != uint64(len(events)) || got.LastSeq != 3 {
+		t.Fatalf("post-failover session: events=%d lastSeq=%d, want %d/3", got.Events, got.LastSeq, len(events))
+	}
+	if c.rt.retries.Load() == 0 {
+		t.Fatal("failover did not exercise the retry path")
+	}
+}
+
+// TestDrainMigratesSessions: draining a backend moves its sessions to
+// the other backend with identical state, via snapshot/restore.
+func TestDrainMigratesSessions(t *testing.T) {
+	c := newCluster(t, 2, "")
+	events := jsonEvents(250)
+
+	// Create sessions until both backends hold at least one.
+	perBackend := map[string][]string{}
+	for i := 0; len(perBackend) < 2 || i < 6; i++ {
+		id := fmt.Sprintf("drain-%d", i)
+		createSession(t, c.front.URL, id)
+		feedBatch(t, c.front.URL, id, events, 1)
+		owner := c.rt.pick(id, (*Backend).up)
+		perBackend[owner.URL] = append(perBackend[owner.URL], id)
+		if i > 64 {
+			t.Fatal("ring never placed sessions on both backends")
+		}
+	}
+	victim := c.rt.Backends()[0]
+	movedIDs := perBackend[victim.URL]
+
+	before := map[string]serve.SessionJSON{}
+	for _, id := range movedIDs {
+		var s serve.SessionJSON
+		doJSON(t, "GET", c.front.URL+"/v1/sessions/"+id, nil, http.StatusOK, &s)
+		before[id] = s
+	}
+
+	var res struct {
+		Migrated int `json:"migrated"`
+		Failed   int `json:"failed"`
+	}
+	doJSON(t, "POST", c.front.URL+"/admin/drain?backend="+victim.URL, nil, http.StatusOK, &res)
+	if res.Failed != 0 || res.Migrated != len(movedIDs) {
+		t.Fatalf("drain: %+v, want migrated=%d failed=0", res, len(movedIDs))
+	}
+
+	// The drained backend is empty; sessions live on with state intact.
+	var list struct {
+		Count int `json:"count"`
+	}
+	doJSON(t, "GET", victim.URL+"/v1/sessions", nil, http.StatusOK, &list)
+	if list.Count != 0 {
+		t.Fatalf("drained backend still holds %d sessions", list.Count)
+	}
+	for _, id := range movedIDs {
+		var after serve.SessionJSON
+		doJSON(t, "GET", c.front.URL+"/v1/sessions/"+id, nil, http.StatusOK, &after)
+		b := before[id]
+		if after.Events != b.Events || after.LastSeq != b.LastSeq ||
+			!reflect.DeepEqual(after.Metrics, b.Metrics) {
+			t.Fatalf("session %s changed across migration:\nbefore %+v\nafter  %+v", id, b, after)
+		}
+		// A new batch still lands (on the surviving backend).
+		feedBatch(t, c.front.URL, id, events, 2)
+	}
+}
+
+// TestRouterMetricsAndHealth: /metrics exposes the per-backend health
+// gauge; /healthz degrades when the whole fleet is down.
+func TestRouterMetricsAndHealth(t *testing.T) {
+	c := newCluster(t, 2, "")
+	resp, err := http.Get(c.front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(raw)
+	for _, want := range []string{
+		"bprouter_backend_healthy{backend=\"" + c.backends[0].URL + "\"} 1",
+		"bprouter_backend_healthy{backend=\"" + c.backends[1].URL + "\"} 1",
+		"bprouter_proxied_total",
+		"bprouter_retries_total",
+		"bprouter_migrations_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	doJSON(t, "GET", c.front.URL+"/healthz", nil, http.StatusOK, nil)
+	// Stop the health loop so it can't re-mark the fleet healthy under us;
+	// the handler keeps serving after Close.
+	c.rt.Close()
+	for _, b := range c.rt.Backends() {
+		b.healthy.Store(false)
+	}
+	doJSON(t, "GET", c.front.URL+"/healthz", nil, http.StatusServiceUnavailable, nil)
+}
+
+// TestNoBackends: construction must fail with no fleet.
+func TestNoBackends(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted an empty fleet")
+	}
+}

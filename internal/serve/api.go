@@ -50,8 +50,13 @@ func (o EvalOptions) Config() (core.EvalConfig, error) {
 	return cfg, nil
 }
 
-// SessionRequest creates a session bound to one predictor spec.
+// SessionRequest creates a session bound to one predictor spec. ID, if
+// set, names the session explicitly ([A-Za-z0-9_-], at most 64 bytes;
+// 409 if taken) — the bprouter supplies IDs so it can place sessions on
+// its hash ring before they exist. An empty ID lets the server generate
+// one.
 type SessionRequest struct {
+	ID   string `json:"id,omitempty"`
 	Spec string `json:"spec"`
 	EvalOptions
 }
@@ -62,6 +67,7 @@ type SessionJSON struct {
 	Spec     string       `json:"spec"`
 	Events   uint64       `json:"events"`
 	Batches  uint64       `json:"batches"`
+	LastSeq  uint64       `json:"last_seq,omitempty"`
 	Created  time.Time    `json:"created"`
 	LastUsed time.Time    `json:"last_used"`
 	Metrics  *MetricsJSON `json:"metrics,omitempty"`
@@ -70,7 +76,7 @@ type SessionJSON struct {
 func sessionJSON(inf *SessionInfo, withMetrics bool) SessionJSON {
 	out := SessionJSON{
 		ID: inf.ID, Spec: inf.Spec,
-		Events: inf.Events, Batches: inf.Batches,
+		Events: inf.Events, Batches: inf.Batches, LastSeq: inf.LastSeq,
 		Created: inf.Created, LastUsed: inf.LastUsed,
 	}
 	if withMetrics {
@@ -138,15 +144,24 @@ func (e EventJSON) Event() (trace.Event, error) {
 
 // BatchRequest feeds events into a session (JSON form). Insts credits
 // dynamic instructions executed over the batch, so MPKI stays meaningful.
+// Seq, when nonzero, numbers the batch in a per-session monotonically
+// increasing sequence (1, 2, 3, ...): a batch at or below the session's
+// last applied seq is acknowledged without being re-applied, making
+// client retries after a failover exactly-once; a gap is refused with
+// 409. The binary form passes ?seq=N instead.
 type BatchRequest struct {
 	Events []EventJSON `json:"events"`
 	Insts  uint64      `json:"insts,omitempty"`
+	Seq    uint64      `json:"seq,omitempty"`
 }
 
-// BatchResponse acknowledges an accepted batch.
+// BatchResponse acknowledges an accepted batch. Duplicate marks a
+// retried batch that was already applied (seq at or below the session's
+// high-water mark); its events were not fed again.
 type BatchResponse struct {
 	Events      int          `json:"events"`
 	TotalEvents uint64       `json:"total_events"`
+	Duplicate   bool         `json:"duplicate,omitempty"`
 	Metrics     *MetricsJSON `json:"metrics,omitempty"`
 }
 

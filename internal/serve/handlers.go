@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ifconv"
 	"repro/internal/sim"
+	"repro/internal/snap"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -83,7 +85,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_spec", err.Error())
 		return
 	}
-	inf, err := s.mgr.Create(r.Context(), spec, cfg)
+	inf, err := s.mgr.Create(r.Context(), req.ID, spec, cfg)
 	if err != nil {
 		writeMgrError(w, s, err)
 		return
@@ -107,8 +109,16 @@ var batchPool = sync.Pool{
 func (s *Server) handlePostEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	var events []trace.Event
-	var insts uint64
+	var insts, seq uint64
 	var pooled *[]trace.Event
+	if v := r.URL.Query().Get("seq"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || n == 0 {
+			writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("bad seq %q", v))
+			return
+		}
+		seq = n
+	}
 	if isBinary(r) {
 		pooled = batchPool.Get().(*[]trace.Event)
 		tr, err := trace.ReadTraceInto(r.Body, *pooled)
@@ -140,11 +150,14 @@ func (s *Server) handlePostEvents(w http.ResponseWriter, r *http.Request) {
 			events[i] = ev
 		}
 		insts = req.Insts
+		if req.Seq != 0 {
+			seq = req.Seq
+		}
 	}
 	withMetrics := r.URL.Query().Get("metrics") == "1"
-	res, err := s.mgr.Feed(r.Context(), id, events, insts, withMetrics)
+	res, err := s.mgr.Feed(r.Context(), id, events, insts, seq, withMetrics)
 	if pooled != nil && (err == nil || errors.Is(err, ErrNotFound) || errors.Is(err, ErrBusy) ||
-		errors.Is(err, ErrFull) || errors.Is(err, ErrClosing)) {
+		errors.Is(err, ErrFull) || errors.Is(err, ErrClosing) || errors.Is(err, ErrSeqGap)) {
 		// The op completed (or was refused before enqueue), so the shard
 		// holds no reference to the buffer. A context error instead means
 		// the op may still be queued — the buffer is dropped, not pooled.
@@ -154,7 +167,7 @@ func (s *Server) handlePostEvents(w http.ResponseWriter, r *http.Request) {
 		writeMgrError(w, s, err)
 		return
 	}
-	resp := BatchResponse{Events: res.Events, TotalEvents: res.TotalEvents}
+	resp := BatchResponse{Events: res.Events, TotalEvents: res.TotalEvents, Duplicate: res.Duplicate}
 	if res.Info != nil {
 		mj := MetricsToJSON(res.Info.Metrics)
 		resp.Metrics = &mj
@@ -169,6 +182,52 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, sessionJSON(inf, true))
+}
+
+// handleGetSnapshot streams a session's P64S snapshot without removing
+// the session: half of the bprouter's migration path (snapshot from the
+// old backend, restore into the new one), and an operator backup tool.
+func (s *Server) handleGetSnapshot(w http.ResponseWriter, r *http.Request) {
+	blob, err := s.mgr.Snapshot(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeMgrError(w, s, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(blob)
+}
+
+// handleRestoreSession installs an uploaded P64S snapshot as a session.
+// The snapshot self-validates (checksum, version, config key) before any
+// state is constructed; the URL ID must match the snapshot's own.
+func (s *Server) handleRestoreSession(w http.ResponseWriter, r *http.Request) {
+	blob, err := io.ReadAll(r.Body)
+	if err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	res, err := snap.Decode(blob)
+	if err != nil {
+		s.tel.restoreFailures.inc()
+		code := "bad_snapshot"
+		if errors.Is(err, snap.ErrVersion) {
+			code = "snapshot_version"
+		}
+		writeError(w, http.StatusBadRequest, code, err.Error())
+		return
+	}
+	inf, err := s.mgr.Restore(r.Context(), r.PathValue("id"), res)
+	if err != nil {
+		writeMgrError(w, s, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sessionJSON(inf, false))
 }
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {

@@ -67,16 +67,20 @@ type telemetry struct {
 	latency  map[string]*histogram     // endpoint → histogram
 	gauges   []gauge
 
-	events       counter
-	batches      counter
-	backpressure counter
-	rateLimited  counter
-	sessCreated  counter
-	sessClosed   counter
-	sessEvicted  counter
-	sessExpired  counter
-	sweeps       counter
-	sweepEvals   counter
+	events          counter
+	batches         counter
+	backpressure    counter
+	rateLimited     counter
+	sessCreated     counter
+	sessClosed      counter
+	sessEvicted     counter
+	sessExpired     counter
+	sessSpilled     counter
+	warmRestores    counter
+	restoreFailures counter
+	spillErrors     counter
+	sweeps          counter
+	sweepEvals      counter
 }
 
 func newTelemetry() *telemetry {
@@ -92,6 +96,10 @@ func newTelemetry() *telemetry {
 	t.sessClosed = counter{name: "bpservd_sessions_closed_total", help: "Sessions closed by clients."}
 	t.sessEvicted = counter{name: "bpservd_sessions_evicted_total", help: "Sessions evicted for capacity (LRU)."}
 	t.sessExpired = counter{name: "bpservd_sessions_expired_total", help: "Sessions expired by idle TTL."}
+	t.sessSpilled = counter{name: "bpservd_sessions_spilled_total", help: "Session snapshots written to the spill directory (eviction, expiry, or shutdown)."}
+	t.warmRestores = counter{name: "bpservd_sessions_warm_restored_total", help: "Sessions restored from the spill directory on touch."}
+	t.restoreFailures = counter{name: "bpservd_snapshot_restore_failures_total", help: "Snapshots that failed to decode (spill files or restore requests)."}
+	t.spillErrors = counter{name: "bpservd_spill_errors_total", help: "Failed attempts to write a session snapshot to the spill directory."}
 	t.sweeps = counter{name: "bpservd_sweeps_total", help: "Sweep requests executed."}
 	t.sweepEvals = counter{name: "bpservd_sweep_evals_total", help: "Individual spec evaluations across sweeps."}
 	return t
@@ -177,6 +185,7 @@ func (t *telemetry) render(w io.Writer) {
 	for _, c := range []*counter{
 		&t.events, &t.batches, &t.backpressure, &t.rateLimited,
 		&t.sessCreated, &t.sessClosed, &t.sessEvicted, &t.sessExpired,
+		&t.sessSpilled, &t.warmRestores, &t.restoreFailures, &t.spillErrors,
 		&t.sweeps, &t.sweepEvals,
 	} {
 		writeHeader(c.name, c.help, "counter")

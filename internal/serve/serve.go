@@ -54,6 +54,12 @@ type Config struct {
 	// QueueDepth is the per-shard op queue; a full queue rejects batches
 	// with 429.
 	QueueDepth int
+	// SpillDir, when set, turns eviction into demotion: sessions evicted
+	// for capacity, expired by TTL, or live at shutdown are snapshotted
+	// (internal/snap) into this directory and warm-restored on their next
+	// touch. Backends sharing one spill directory hand sessions off to
+	// each other across restarts and failovers. Empty disables spilling.
+	SpillDir string
 
 	// MaxBody caps request body size in bytes.
 	MaxBody int64
@@ -132,14 +138,22 @@ type Server struct {
 	log    *log.Logger
 }
 
-// New builds a Server from the config (zero value OK).
-func New(cfg Config) *Server {
+// New builds a Server from the config (zero value OK). It fails only
+// when a configured spill directory cannot be created or scanned.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	tel := newTelemetry()
+	var spill *spillStore
+	if cfg.SpillDir != "" {
+		var err error
+		if spill, err = newSpillStore(cfg.SpillDir); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		cfg: cfg,
 		tel: tel,
-		mgr: newSessionManager(cfg, tel),
+		mgr: newSessionManager(cfg, tel, spill),
 		mux: http.NewServeMux(),
 		log: cfg.Logger,
 	}
@@ -149,11 +163,17 @@ func New(cfg Config) *Server {
 	tel.addGauge("bpservd_sessions_live", "Resident sessions.", func() float64 { return float64(s.mgr.Live()) })
 	tel.addGauge("bpservd_session_bytes", "Approximate resident session memory in bytes.", func() float64 { return float64(s.mgr.Bytes()) })
 	tel.addGauge("bpservd_queue_depth", "Queued, unprocessed session operations across shards.", func() float64 { return float64(s.mgr.QueueDepth()) })
+	if spill != nil {
+		tel.addGauge("bpservd_spill_bytes", "Bytes of spilled session snapshots on disk.", func() float64 { return float64(spill.bytes.Load()) })
+		tel.addGauge("bpservd_spill_files", "Spilled session snapshots on disk.", func() float64 { return float64(spill.files.Load()) })
+	}
 
 	s.mux.Handle("POST /v1/sessions", s.api("create_session", s.handleCreateSession))
 	s.mux.Handle("GET /v1/sessions", s.api("list_sessions", s.handleListSessions))
 	s.mux.Handle("POST /v1/sessions/{id}/events", s.api("post_events", s.handlePostEvents))
 	s.mux.Handle("GET /v1/sessions/{id}", s.api("get_session", s.handleGetSession))
+	s.mux.Handle("GET /v1/sessions/{id}/snapshot", s.api("get_snapshot", s.handleGetSnapshot))
+	s.mux.Handle("POST /v1/sessions/{id}/restore", s.api("restore_session", s.handleRestoreSession))
 	s.mux.Handle("DELETE /v1/sessions/{id}", s.api("delete_session", s.handleDeleteSession))
 	s.mux.Handle("POST /v1/sweep", s.api("sweep", s.handleSweep))
 	s.mux.Handle("GET /v1/predictors", s.api("predictors", s.handlePredictors))
@@ -165,6 +185,16 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s, nil
+}
+
+// MustNew is New for configurations known valid (tests, in-process
+// benchmark servers); it panics on error.
+func MustNew(cfg Config) *Server {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
 
@@ -259,6 +289,12 @@ func httpStatus(err error) (int, string) {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound, "not_found"
+	case errors.Is(err, ErrExists):
+		return http.StatusConflict, "exists"
+	case errors.Is(err, ErrSeqGap):
+		return http.StatusConflict, "seq_gap"
+	case errors.Is(err, ErrBadID):
+		return http.StatusBadRequest, "bad_id"
 	case errors.Is(err, ErrBusy):
 		return http.StatusTooManyRequests, "queue_full"
 	case errors.Is(err, ErrFull):

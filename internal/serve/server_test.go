@@ -38,7 +38,7 @@ var testTrace = sync.OnceValue(func() *trace.Trace {
 
 func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Server) {
 	t.Helper()
-	s := New(cfg)
+	s := MustNew(cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -419,7 +419,7 @@ func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
 // applied (the events counter agrees exactly), and late batches fail
 // with the shutting-down error instead of hanging.
 func TestGracefulDrain(t *testing.T) {
-	s := New(Config{Shards: 2, QueueDepth: 256})
+	s := MustNew(Config{Shards: 2, QueueDepth: 256})
 	ctx := context.Background()
 	tr := testTrace()
 	events := tr.Events[:200]
@@ -428,7 +428,7 @@ func TestGracefulDrain(t *testing.T) {
 	for i := range ids {
 		cfg, _ := testEvalOptions().Config()
 		cfg.Predictor = sim.For("gshare", 10, 6).MustNew()
-		inf, err := s.mgr.Create(ctx, sim.For("gshare", 10, 6), cfg)
+		inf, err := s.mgr.Create(ctx, "", sim.For("gshare", 10, 6), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -450,7 +450,7 @@ func TestGracefulDrain(t *testing.T) {
 				default:
 				}
 				batch := append([]trace.Event(nil), events...)
-				if _, err := s.mgr.Feed(ctx, id, batch, 0, false); err == nil {
+				if _, err := s.mgr.Feed(ctx, id, batch, 0, 0, false); err == nil {
 					accepted.Add(uint64(len(events)))
 				} else {
 					return // ErrClosing or ErrBusy near shutdown
@@ -466,7 +466,7 @@ func TestGracefulDrain(t *testing.T) {
 	if got, want := s.tel.events.get(), accepted.Load(); got != want {
 		t.Errorf("drained events %d != acknowledged events %d", got, want)
 	}
-	if _, err := s.mgr.Feed(ctx, ids[0], nil, 0, false); err == nil {
+	if _, err := s.mgr.Feed(ctx, ids[0], nil, 0, 0, false); err == nil {
 		t.Error("feed after Close succeeded")
 	}
 }

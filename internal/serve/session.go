@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/snap"
 	"repro/internal/trace"
 )
 
@@ -28,6 +29,16 @@ var (
 	ErrFull = errors.New("serve: session capacity reached")
 	// ErrClosing reports a manager that is draining for shutdown.
 	ErrClosing = errors.New("serve: server shutting down")
+	// ErrExists reports a create or restore under a session ID that is
+	// already resident (or spilled to disk) — HTTP 409.
+	ErrExists = errors.New("serve: session already exists")
+	// ErrSeqGap reports a batch whose sequence number skips ahead of the
+	// session's last applied batch: an earlier batch was lost, so applying
+	// this one would silently corrupt the stream — HTTP 409.
+	ErrSeqGap = errors.New("serve: batch sequence gap")
+	// ErrBadID reports a client-supplied session ID outside the allowed
+	// charset ([A-Za-z0-9_-], at most 64 bytes).
+	ErrBadID = errors.New("serve: invalid session id")
 )
 
 // SessionInfo is the externally visible state of one session.
@@ -36,6 +47,7 @@ type SessionInfo struct {
 	Spec     string
 	Events   uint64
 	Batches  uint64
+	LastSeq  uint64
 	Created  time.Time
 	LastUsed time.Time
 	Metrics  core.Metrics
@@ -45,6 +57,7 @@ type SessionInfo struct {
 type FeedResult struct {
 	Events      int    // events in this batch
 	TotalEvents uint64 // session lifetime total
+	Duplicate   bool   // batch seq already applied; acknowledged, not re-applied
 	Info        *SessionInfo
 }
 
@@ -56,6 +69,7 @@ type session struct {
 	eval    *core.Evaluator
 	events  uint64
 	batches uint64
+	lastSeq uint64 // highest applied batch sequence number (0 = none)
 	bytes   int64
 	created time.Time
 	last    time.Time
@@ -65,11 +79,11 @@ type session struct {
 func (s *session) info(withMetrics bool) *SessionInfo {
 	inf := &SessionInfo{
 		ID: s.id, Spec: s.spec.String(),
-		Events: s.events, Batches: s.batches,
+		Events: s.events, Batches: s.batches, LastSeq: s.lastSeq,
 		Created: s.created, LastUsed: s.last,
 	}
 	if withMetrics {
-		inf.Metrics = s.eval.Snapshot()
+		inf.Metrics = s.eval.MetricsSnapshot()
 	} else {
 		// Cheap summary: the counter fields without cloning ByPC.
 		inf.Metrics = s.eval.Metrics()
@@ -130,7 +144,6 @@ func (sh *shard) insert(s *session) {
 	sh.bytes += s.bytes
 	sh.mgr.live.Add(1)
 	sh.mgr.bytes.Add(s.bytes)
-	sh.mgr.tel.sessCreated.inc()
 }
 
 func (sh *shard) touch(s *session, now time.Time) {
@@ -153,6 +166,78 @@ func (sh *shard) remove(s *session, c *counter) {
 	c.inc()
 }
 
+// spill writes the session's snapshot to the spill store, if one is
+// configured. Returns true if the session's state is durable on disk.
+func (sh *shard) spill(s *session) bool {
+	st := sh.mgr.spill
+	if st == nil {
+		return false
+	}
+	blob, err := snap.Encode(s.spec, s.eval, snap.Meta{
+		SessionID: s.id, Events: s.events, Batches: s.batches, LastSeq: s.lastSeq,
+	})
+	if err == nil {
+		err = st.write(s.id, snap.Key(s.spec, s.eval.Config()), blob)
+	}
+	if err != nil {
+		sh.mgr.tel.spillErrors.inc()
+		return false
+	}
+	sh.mgr.tel.sessSpilled.inc()
+	return true
+}
+
+// evict removes a session for capacity or idleness, spilling its state
+// to disk first when a spill store is configured: eviction then demotes
+// the session from memory to disk instead of destroying it.
+func (sh *shard) evict(s *session, c *counter) {
+	sh.spill(s)
+	sh.remove(s, c)
+}
+
+// restore warm-restores a spilled session back into the shard. Returns
+// nil if no spill file exists or it fails to decode (a corrupt file is
+// removed so it cannot wedge the ID forever).
+func (sh *shard) restore(id string, now time.Time) *session {
+	st := sh.mgr.spill
+	if st == nil {
+		return nil
+	}
+	res, path, err := st.load(id)
+	if err != nil {
+		if path != "" {
+			sh.mgr.tel.restoreFailures.inc()
+			st.removePath(path)
+		}
+		return nil
+	}
+	if !sh.makeRoom(now, 1) {
+		return nil // table full of live sessions; the spill file stays
+	}
+	s := &session{
+		id: id, spec: res.Spec, eval: res.Eval,
+		events: res.Meta.Events, batches: res.Meta.Batches, lastSeq: res.Meta.LastSeq,
+		bytes:   specBytes(res.Spec),
+		created: now, last: now,
+	}
+	sh.insert(s)
+	sh.mgr.tel.warmRestores.inc()
+	st.removePath(path) // the resident copy is authoritative again
+	return s
+}
+
+// lookup finds a resident session, falling back to a warm restore from
+// the spill store on a miss.
+func (sh *shard) lookup(id string, now time.Time) (*session, bool) {
+	if s, ok := sh.sessions[id]; ok {
+		return s, true
+	}
+	if s := sh.restore(id, now); s != nil {
+		return s, true
+	}
+	return nil, false
+}
+
 // expire drops sessions idle longer than the TTL.
 func (sh *shard) expire(now time.Time) {
 	ttl := sh.mgr.cfg.SessionTTL
@@ -162,7 +247,7 @@ func (sh *shard) expire(now time.Time) {
 		if now.Sub(s.last) <= ttl {
 			break // LRU order: everything further forward is younger
 		}
-		sh.remove(s, &sh.mgr.tel.sessExpired)
+		sh.evict(s, &sh.mgr.tel.sessExpired)
 		e = prev
 	}
 }
@@ -187,7 +272,7 @@ func (sh *shard) makeRoom(now time.Time, extra int) bool {
 		if now.Sub(s.last) < sh.mgr.cfg.MinEvictIdle {
 			return !over()
 		}
-		sh.remove(s, &sh.mgr.tel.sessEvicted)
+		sh.evict(s, &sh.mgr.tel.sessEvicted)
 	}
 	return true
 }
@@ -196,9 +281,10 @@ func (sh *shard) makeRoom(now time.Time, extra int) bool {
 // workers. Session IDs hash to a shard; every operation on a session runs
 // on that shard's goroutine.
 type sessionManager struct {
-	cfg Config
-	tel *telemetry
-	now func() time.Time
+	cfg   Config
+	tel   *telemetry
+	now   func() time.Time
+	spill *spillStore // nil when SpillDir is unset
 
 	shards []*shard
 	idctr  atomic.Uint64
@@ -211,9 +297,9 @@ type sessionManager struct {
 	wg     sync.WaitGroup
 }
 
-func newSessionManager(cfg Config, tel *telemetry) *sessionManager {
+func newSessionManager(cfg Config, tel *telemetry, spill *spillStore) *sessionManager {
 	m := &sessionManager{
-		cfg: cfg, tel: tel, now: cfg.Now,
+		cfg: cfg, tel: tel, now: cfg.Now, spill: spill,
 		idsalt: rand.Uint64(),
 		done:   make(chan struct{}),
 	}
@@ -310,12 +396,26 @@ func (m *sessionManager) wait(ctx context.Context, reply <-chan sessionReply) (s
 
 // Create builds a session for the spec/config and returns its info. The
 // predictor inside cfg must be freshly built (ownership transfers to the
-// shard goroutine).
-func (m *sessionManager) Create(ctx context.Context, spec sim.Spec, cfg core.EvalConfig) (*SessionInfo, error) {
-	id := m.newID()
+// shard goroutine). An empty id asks the server to generate one; a
+// client-supplied id (the bprouter relies on this to route by consistent
+// hash) must be unused, both resident and on disk.
+func (m *sessionManager) Create(ctx context.Context, id string, spec sim.Spec, cfg core.EvalConfig) (*SessionInfo, error) {
+	explicit := id != ""
+	if explicit && !validSessionID(id) {
+		return nil, ErrBadID
+	}
+	if !explicit {
+		id = m.newID()
+	}
 	sh := m.shardFor(id)
 	reply := make(chan sessionReply, 1)
 	op := func() {
+		if explicit {
+			if _, ok := sh.sessions[id]; ok || (m.spill != nil && m.spill.has(id)) {
+				reply <- sessionReply{err: ErrExists}
+				return
+			}
+		}
 		now := m.now()
 		if !sh.makeRoom(now, 1) {
 			reply <- sessionReply{err: ErrFull}
@@ -328,6 +428,7 @@ func (m *sessionManager) Create(ctx context.Context, spec sim.Spec, cfg core.Eva
 			created: now, last: now,
 		}
 		sh.insert(s)
+		m.tel.sessCreated.inc()
 		reply <- sessionReply{info: s.info(false)}
 	}
 	if err := m.enqueue(ctx, sh, op, true); err != nil {
@@ -343,14 +444,38 @@ func (m *sessionManager) Create(ctx context.Context, spec sim.Spec, cfg core.Eva
 // returns the op's own outcome (nil or a manager error, meaning the op
 // ran or never will); after a context error the op may still be queued
 // and the slice must be considered retained.
-func (m *sessionManager) Feed(ctx context.Context, id string, events []trace.Event, insts uint64, withMetrics bool) (FeedResult, error) {
+func (m *sessionManager) Feed(ctx context.Context, id string, events []trace.Event, insts uint64, seq uint64, withMetrics bool) (FeedResult, error) {
 	sh := m.shardFor(id)
 	reply := make(chan sessionReply, 1)
 	op := func() {
-		s, ok := sh.sessions[id]
+		now := m.now()
+		s, ok := sh.lookup(id, now)
 		if !ok {
 			reply <- sessionReply{err: ErrNotFound}
 			return
+		}
+		// Sequence-numbered batches are exactly-once: a seq at or below
+		// the last applied one is a retry of work already done (common
+		// after a failover, when the client re-sends an acked batch) and
+		// is acknowledged without re-feeding; a seq that skips ahead means
+		// a batch was lost and the stream cannot be applied faithfully.
+		if seq > 0 && s.lastSeq > 0 {
+			if seq <= s.lastSeq {
+				sh.touch(s, now)
+				res := FeedResult{Events: len(events), TotalEvents: s.events, Duplicate: true}
+				if withMetrics {
+					res.Info = s.info(true)
+				}
+				reply <- sessionReply{feed: res}
+				return
+			}
+			if seq != s.lastSeq+1 {
+				reply <- sessionReply{err: fmt.Errorf("%w: batch seq %d after %d", ErrSeqGap, seq, s.lastSeq)}
+				return
+			}
+		}
+		if seq > 0 {
+			s.lastSeq = seq
 		}
 		// The hot path: one goroutine, no locks, one devirtualized batch
 		// feed through the evaluator's fused fast path.
@@ -358,7 +483,6 @@ func (m *sessionManager) Feed(ctx context.Context, id string, events []trace.Eve
 		s.eval.AddInsts(insts)
 		s.events += uint64(len(events))
 		s.batches++
-		now := m.now()
 		sh.touch(s, now)
 		sh.setBytes(s, specBytes(s.spec)+int64(len(s.eval.Metrics().ByPC))*96)
 		m.tel.events.add(uint64(len(events)))
@@ -386,20 +510,88 @@ func (m *sessionManager) Metrics(ctx context.Context, id string) (*SessionInfo, 
 	})
 }
 
-// Delete closes a session and returns its final metrics.
+// Delete closes a session and returns its final metrics. Any spill file
+// is removed too: a deleted session is gone, not demoted.
 func (m *sessionManager) Delete(ctx context.Context, id string) (*SessionInfo, error) {
 	return m.sessionOp(ctx, id, func(sh *shard, s *session) *SessionInfo {
 		inf := s.info(true)
 		sh.remove(s, &m.tel.sessClosed)
+		if m.spill != nil {
+			m.spill.remove(id)
+		}
 		return inf
 	})
+}
+
+// Snapshot serializes a session (resident or spilled) without removing
+// it. The returned bytes are a self-contained snap.Encode blob; the
+// bprouter migrates sessions between backends with it.
+func (m *sessionManager) Snapshot(ctx context.Context, id string) ([]byte, error) {
+	var blob []byte
+	_, err := m.sessionOp(ctx, id, func(sh *shard, s *session) *SessionInfo {
+		sh.touch(s, m.now())
+		var encErr error
+		blob, encErr = snap.Encode(s.spec, s.eval, snap.Meta{
+			SessionID: s.id, Events: s.events, Batches: s.batches, LastSeq: s.lastSeq,
+		})
+		if encErr != nil {
+			return nil // surfaces below as an internal error
+		}
+		return s.info(false)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if blob == nil {
+		return nil, errors.New("serve: snapshot encoding failed")
+	}
+	return blob, nil
+}
+
+// Restore installs an already decoded snapshot as a session. The target
+// ID (from the URL) must match the snapshot's own session ID, and the ID
+// must be free — restore creates, it does not overwrite.
+func (m *sessionManager) Restore(ctx context.Context, id string, res *snap.Restored) (*SessionInfo, error) {
+	if !validSessionID(id) {
+		return nil, ErrBadID
+	}
+	if res.Meta.SessionID != id {
+		return nil, fmt.Errorf("%w: snapshot is of session %q", ErrBadID, res.Meta.SessionID)
+	}
+	sh := m.shardFor(id)
+	reply := make(chan sessionReply, 1)
+	op := func() {
+		if _, ok := sh.sessions[id]; ok || (m.spill != nil && m.spill.has(id)) {
+			reply <- sessionReply{err: ErrExists}
+			return
+		}
+		now := m.now()
+		if !sh.makeRoom(now, 1) {
+			reply <- sessionReply{err: ErrFull}
+			return
+		}
+		s := &session{
+			id: id, spec: res.Spec, eval: res.Eval,
+			events: res.Meta.Events, batches: res.Meta.Batches, lastSeq: res.Meta.LastSeq,
+			bytes:   specBytes(res.Spec),
+			created: now, last: now,
+		}
+		sh.insert(s)
+		m.tel.sessCreated.inc()
+		reply <- sessionReply{info: s.info(false)}
+	}
+	if err := m.enqueue(ctx, sh, op, true); err != nil {
+		return nil, err
+	}
+	r, err := m.wait(ctx, reply)
+	return r.info, err
 }
 
 func (m *sessionManager) sessionOp(ctx context.Context, id string, fn func(*shard, *session) *SessionInfo) (*SessionInfo, error) {
 	sh := m.shardFor(id)
 	reply := make(chan sessionReply, 1)
 	op := func() {
-		s, ok := sh.sessions[id]
+		s, ok := sh.lookup(id, m.now())
 		if !ok {
 			reply <- sessionReply{err: ErrNotFound}
 			return
@@ -455,7 +647,10 @@ func (m *sessionManager) QueueDepth() int {
 }
 
 // Close drains every shard: new work is refused, queued ops complete,
-// workers exit. It returns the number of sessions that were still live.
+// workers exit. With a spill store configured, every still-live session
+// is then snapshotted to disk — a SIGTERM'd backend loses no state, and
+// another backend sharing the spill directory can warm-restore its
+// sessions. It returns the number of sessions that were still live.
 func (m *sessionManager) Close() int64 {
 	if m.closed.Swap(true) {
 		return m.live.Load()
@@ -465,7 +660,16 @@ func (m *sessionManager) Close() int64 {
 	}
 	m.wg.Wait()
 	close(m.done)
-	return m.live.Load()
+	live := m.live.Load()
+	if m.spill != nil {
+		// Workers have exited, so this goroutine is the sole owner now.
+		for _, sh := range m.shards {
+			for _, s := range sh.sessions {
+				sh.spill(s)
+			}
+		}
+	}
+	return live
 }
 
 // specBytes estimates a session's resident footprint from its predictor

@@ -25,7 +25,7 @@ func mgrSession(t *testing.T, s *Server, spec string) string {
 	if cfg.Predictor, err = sp.New(); err != nil {
 		t.Fatal(err)
 	}
-	inf, err := s.mgr.Create(context.Background(), sp, cfg)
+	inf, err := s.mgr.Create(context.Background(), "", sp, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func mgrSession(t *testing.T, s *Server, spec string) string {
 // -race that nothing is lost: private sessions end byte-identical to a
 // direct replay, and the shared session accounts for every event fed.
 func TestConcurrentSessions(t *testing.T) {
-	s := New(Config{Shards: 4, QueueDepth: 1024})
+	s := MustNew(Config{Shards: 4, QueueDepth: 1024})
 	defer s.Close()
 	ctx := context.Background()
 	tr := testTrace()
@@ -61,7 +61,7 @@ func TestConcurrentSessions(t *testing.T) {
 	feed := func(id string) error {
 		batch := append([]trace.Event(nil), events...)
 		for {
-			_, err := s.mgr.Feed(ctx, id, batch, tr.Insts, false)
+			_, err := s.mgr.Feed(ctx, id, batch, tr.Insts, 0, false)
 			if errors.Is(err, ErrBusy) {
 				time.Sleep(time.Millisecond)
 				continue
@@ -162,7 +162,7 @@ func TestConcurrentSessions(t *testing.T) {
 // was being actively fed the whole time keeps metrics identical to a
 // direct replay — no metrics are lost for live sessions.
 func TestEvictionUnderLoad(t *testing.T) {
-	s := New(Config{
+	s := MustNew(Config{
 		Shards:       1,
 		MaxSessions:  2,
 		SessionTTL:   time.Hour,
@@ -180,7 +180,7 @@ func TestEvictionUnderLoad(t *testing.T) {
 	// so creating a third must fail instead of evicting one.
 	cfg, _ := testEvalOptions().Config()
 	cfg.Predictor = sim.MustParse("bimodal:10").MustNew()
-	if _, err := s.mgr.Create(ctx, sim.MustParse("bimodal:10"), cfg); !errors.Is(err, ErrFull) {
+	if _, err := s.mgr.Create(ctx, "", sim.MustParse("bimodal:10"), cfg); !errors.Is(err, ErrFull) {
 		t.Fatalf("create over live sessions: err = %v, want ErrFull", err)
 	}
 
@@ -189,7 +189,7 @@ func TestEvictionUnderLoad(t *testing.T) {
 	deadline := time.Now().Add(120 * time.Millisecond)
 	for time.Now().Before(deadline) {
 		batch := append([]trace.Event(nil), events...)
-		if _, err := s.mgr.Feed(ctx, live, batch, tr.Insts, false); err != nil {
+		if _, err := s.mgr.Feed(ctx, live, batch, tr.Insts, 0, false); err != nil {
 			t.Fatal(err)
 		}
 		rounds++
@@ -199,7 +199,7 @@ func TestEvictionUnderLoad(t *testing.T) {
 	// Now creation evicts the idle session — and only it.
 	cfg2, _ := testEvalOptions().Config()
 	cfg2.Predictor = sim.MustParse("bimodal:10").MustNew()
-	if _, err := s.mgr.Create(ctx, sim.MustParse("bimodal:10"), cfg2); err != nil {
+	if _, err := s.mgr.Create(ctx, "", sim.MustParse("bimodal:10"), cfg2); err != nil {
 		t.Fatalf("create after idle aging: %v", err)
 	}
 	if _, err := s.mgr.Metrics(ctx, idle); !errors.Is(err, ErrNotFound) {
@@ -221,7 +221,7 @@ func TestEvictionUnderLoad(t *testing.T) {
 
 // TestTTLExpiry checks the background sweeper drops idle sessions.
 func TestTTLExpiry(t *testing.T) {
-	s := New(Config{Shards: 1, SessionTTL: 20 * time.Millisecond})
+	s := MustNew(Config{Shards: 1, SessionTTL: 20 * time.Millisecond})
 	defer s.Close()
 	ctx := context.Background()
 	id := mgrSession(t, s, "gshare:10:6")
@@ -253,7 +253,7 @@ func TestTTLExpiry(t *testing.T) {
 // full op queue rejects batches with ErrBusy instead of blocking, then
 // drains cleanly once the worker resumes.
 func TestFeedBackpressure(t *testing.T) {
-	s := New(Config{Shards: 1, QueueDepth: 1})
+	s := MustNew(Config{Shards: 1, QueueDepth: 1})
 	defer s.Close()
 	ctx := context.Background()
 	id := mgrSession(t, s, "gshare:10:6")
@@ -271,7 +271,7 @@ func TestFeedBackpressure(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, err := s.mgr.Feed(ctx, id, nil, 0, false); !errors.Is(err, ErrBusy) {
+	if _, err := s.mgr.Feed(ctx, id, nil, 0, 0, false); !errors.Is(err, ErrBusy) {
 		t.Fatalf("feed into full queue: err = %v, want ErrBusy", err)
 	}
 	if got := s.mgr.QueueDepth(); got != 1 {
@@ -281,7 +281,7 @@ func TestFeedBackpressure(t *testing.T) {
 	close(gate)
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		if _, err := s.mgr.Feed(ctx, id, nil, 0, false); err == nil {
+		if _, err := s.mgr.Feed(ctx, id, nil, 0, 0, false); err == nil {
 			break
 		} else if !errors.Is(err, ErrBusy) {
 			t.Fatal(err)
@@ -296,7 +296,7 @@ func TestFeedBackpressure(t *testing.T) {
 // TestBlockingOpsHonorContext checks that queue-blocked non-batch ops
 // respect context cancellation instead of hanging.
 func TestBlockingOpsHonorContext(t *testing.T) {
-	s := New(Config{Shards: 1, QueueDepth: 1})
+	s := MustNew(Config{Shards: 1, QueueDepth: 1})
 	defer s.Close()
 	id := mgrSession(t, s, "gshare:10:6")
 	sh := s.mgr.shards[0]
@@ -329,7 +329,7 @@ func TestSpecBytes(t *testing.T) {
 }
 
 func TestNewIDUnique(t *testing.T) {
-	s := New(Config{Shards: 1})
+	s := MustNew(Config{Shards: 1})
 	defer s.Close()
 	seen := make(map[string]bool)
 	for i := 0; i < 1000; i++ {

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/snap"
+)
+
+// spillStore is the durable side of the session table: a directory of
+// P64S snapshot files, one per evicted session, named
+// "<id>.<configkey>.p64s" so an operator can see at a glance which
+// configuration a spilled session was trained under. Evicting to the
+// store instead of dropping turns capacity pressure, idle expiry, and
+// process shutdown into a cold/warm split rather than state loss: the
+// next touch of a spilled session restores it from disk.
+//
+// The store itself is trivially concurrent (atomic byte/file counters
+// plus O_EXCL-free atomic renames); ordering per session comes from the
+// shard goroutines, which are the only writers for their sessions.
+type spillStore struct {
+	dir   string
+	bytes atomic.Int64
+	files atomic.Int64
+}
+
+const spillExt = ".p64s"
+
+func newSpillStore(dir string) (*spillStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: spill dir: %w", err)
+	}
+	st := &spillStore{dir: dir}
+	// Adopt snapshots already present (a restart, or another backend
+	// sharing the directory) into the byte/file accounting.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: spill dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), spillExt) {
+			continue
+		}
+		if fi, err := e.Info(); err == nil {
+			st.bytes.Add(fi.Size())
+			st.files.Add(1)
+		}
+	}
+	return st, nil
+}
+
+// validSessionID reports whether id is safe as a client-supplied session
+// identifier. The charset excludes the "." used as the spill-filename
+// separator and anything path-meaningful, so an ID can never escape the
+// spill directory or collide with another ID's files.
+func validSessionID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (st *spillStore) path(id, key string) string {
+	return filepath.Join(st.dir, id+"."+key+spillExt)
+}
+
+// find returns the spill file for a session ID, if one exists. IDs never
+// contain "." or glob metacharacters (validSessionID, and the server's
+// own generated form), so the pattern is exact on the ID part.
+func (st *spillStore) find(id string) (string, bool) {
+	matches, err := filepath.Glob(filepath.Join(st.dir, id+".*"+spillExt))
+	if err != nil || len(matches) == 0 {
+		return "", false
+	}
+	return matches[0], true
+}
+
+// write persists a snapshot atomically (temp file + rename), replacing
+// any previous snapshot of the same session.
+func (st *spillStore) write(id, key string, blob []byte) error {
+	final := st.path(id, key)
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	st.bytes.Add(int64(len(blob)))
+	st.files.Add(1)
+	return nil
+}
+
+// load reads and decodes a session's spill file. The decoded snapshot's
+// own checksum and config key guard against corruption and mixups; the
+// caller decides whether a failure removes the file.
+func (st *spillStore) load(id string) (*snap.Restored, string, error) {
+	path, ok := st.find(id)
+	if !ok {
+		return nil, "", os.ErrNotExist
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, path, err
+	}
+	res, err := snap.Decode(blob)
+	if err != nil {
+		return nil, path, err
+	}
+	if res.Meta.SessionID != id {
+		return nil, path, fmt.Errorf("%w: file %s holds session %q", snap.ErrCorrupt, filepath.Base(path), res.Meta.SessionID)
+	}
+	return res, path, nil
+}
+
+// removePath deletes one spill file and settles the accounting.
+func (st *spillStore) removePath(path string) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return
+	}
+	if os.Remove(path) == nil {
+		st.bytes.Add(-fi.Size())
+		st.files.Add(-1)
+	}
+}
+
+// remove deletes a session's spill file, if any (client delete, or a
+// session re-created over a stale snapshot).
+func (st *spillStore) remove(id string) {
+	if path, ok := st.find(id); ok {
+		st.removePath(path)
+	}
+}
+
+// has reports whether a spill file exists for the session ID.
+func (st *spillStore) has(id string) bool {
+	_, ok := st.find(id)
+	return ok
+}

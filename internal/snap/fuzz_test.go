@@ -1,0 +1,52 @@
+package snap
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// FuzzSnapshotRoundTrip feeds arbitrary bytes to the snapshot decoder.
+// Whatever it accepts must re-encode to the identical byte sequence (the
+// encoding is canonical: one state, one byte sequence); everything else
+// must fail with an error, never a panic or a partially restored
+// evaluator.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	// Seed with real snapshots across predictor kinds — trained and
+	// fresh, with and without optional sections — plus degenerate
+	// prefixes so the fuzzer starts inside the valid format.
+	for i, kind := range sim.Kinds() {
+		spec := sim.MustParse(kind)
+		cfg := core.EvalConfig{
+			Predictor: spec.MustNew(),
+			UseSFPF:   true, ResolveDelay: core.DefaultResolveDelay,
+			PGU: core.PGUAll, PGUDelay: core.DefaultPGUDelay,
+			PerBranch: i%2 == 0,
+		}
+		e := core.NewEvaluator(cfg)
+		blob, err := Encode(spec, e, Meta{SessionID: kind, Events: uint64(i)})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		f.Add(blob[:len(blob)/2])
+	}
+	f.Add([]byte("P64S"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := Decode(data)
+		if err != nil {
+			return
+		}
+		again, err := Encode(res.Spec, res.Eval, res.Meta)
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatalf("round trip changed the snapshot: %d bytes in, %d out", len(data), len(again))
+		}
+	})
+}
