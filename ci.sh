@@ -66,6 +66,7 @@ cov_floor repro/internal/harness 85
 cov_floor repro/internal/results 75
 cov_floor repro/internal/charz 85
 cov_floor repro/internal/charz/probe 85
+cov_floor repro/internal/telemetry 85
 rm -f "$covfile"
 
 echo "== fuzz smoke =="
@@ -152,20 +153,28 @@ fi
 echo "== cluster smoke =="
 # Two bpservd backends with a shared spill directory behind bprouter;
 # bpload drives the cluster in -cluster mode (explicit session IDs,
-# per-batch seqs) and SIGTERMs one backend mid-run. The gate passes only
-# if the run finishes with zero errors AND the surviving backend's
-# metrics are byte-identical to an uninterrupted local replay — the
-# zero-lost-state guarantee for the durable-snapshot failover chain.
+# per-batch seqs, per-branch metrics, an injected X-Request-Id per
+# batch) and SIGTERMs one backend mid-run. The gate passes only if:
+#   - the run finishes with zero errors AND the surviving backend's
+#     metrics match an uninterrupted local replay (zero lost state);
+#   - an injected request ID appears in the router log AND in a backend
+#     log, and specifically a batch the router RETRIED after the kill
+#     carries the same ID into the surviving backend's log — the
+#     cross-tier trace survives failover;
+#   - the per-branch stats endpoint serves a ranked report through the
+#     router for a kept session;
+#   - bptop -once renders a fleet frame against both live tiers, which
+#     also holds each /metrics page to the strict exposition lint.
 clusterdir=$(mktemp -d)
 trap 'rm -rf "$smokedir" "$clusterdir"
       kill "$servepid" "$b1pid" "$b2pid" "$rtpid" 2>/dev/null || true' EXIT
-go build -o "$clusterdir" ./cmd/bprouter
+go build -o "$clusterdir" ./cmd/bprouter ./cmd/bptop
 mkdir "$clusterdir/spill"
 "$smokedir/bpservd" -addr 127.0.0.1:0 -portfile "$clusterdir/b1.port" \
-	-spill "$clusterdir/spill" -quiet &
+	-spill "$clusterdir/spill" >"$clusterdir/b1.log" 2>&1 &
 b1pid=$!
 "$smokedir/bpservd" -addr 127.0.0.1:0 -portfile "$clusterdir/b2.port" \
-	-spill "$clusterdir/spill" -quiet &
+	-spill "$clusterdir/spill" >"$clusterdir/b2.log" 2>&1 &
 b2pid=$!
 tries=0
 while [ ! -s "$clusterdir/b1.port" ] || [ ! -s "$clusterdir/b2.port" ]; do
@@ -178,7 +187,7 @@ while [ ! -s "$clusterdir/b1.port" ] || [ ! -s "$clusterdir/b2.port" ]; do
 done
 "$clusterdir/bprouter" -addr 127.0.0.1:0 -portfile "$clusterdir/rt.port" \
 	-backends "http://$(cat "$clusterdir/b1.port"),http://$(cat "$clusterdir/b2.port")" \
-	-health-interval 200ms -quiet &
+	-health-interval 200ms >"$clusterdir/rt.log" 2>&1 &
 rtpid=$!
 tries=0
 while [ ! -s "$clusterdir/rt.port" ]; do
@@ -189,9 +198,62 @@ while [ ! -s "$clusterdir/rt.port" ]; do
 	fi
 	sleep 0.1
 done
-"$smokedir/bpload" -addr "$(cat "$clusterdir/rt.port")" -cluster -verify \
-	-sessions 6 -events 300000 -batch 2048 -kill-pid "$b1pid" -kill-after 0.4
+rtaddr=$(cat "$clusterdir/rt.port")
+"$smokedir/bpload" -addr "$rtaddr" -cluster -verify -per-branch -keep \
+	-rid-prefix trace -sessions 6 -events 300000 -batch 2048 \
+	-kill-pid "$b1pid" -kill-after 0.4
 wait "$b1pid" || true # SIGTERMed by bpload; must already be gone
+
+echo "-- request-id trace across failover --"
+# Every batch carried a deterministic trace-s<worker>-q<seq> ID; the
+# same ID must be visible at both tiers.
+for f in rt.log b2.log; do
+	if ! grep -q 'rid=trace-s' "$clusterdir/$f"; then
+		echo "no injected request ID reached $f" >&2
+		exit 1
+	fi
+done
+# A batch the router retried around the dead backend keeps its ID on
+# the redelivery, so the surviving backend logs the very same rid.
+retry_rid=$(sed -n 's/.*retrying.*rid=\(trace-s[0-9]*-q[0-9]*\).*/\1/p' \
+	"$clusterdir/rt.log" | head -n 1)
+if [ -z "$retry_rid" ]; then
+	echo "router never logged a retried batch request ID" >&2
+	exit 1
+fi
+if ! grep -q "rid=$retry_rid" "$clusterdir/b2.log"; then
+	echo "retried request ID $retry_rid missing from surviving backend log" >&2
+	exit 1
+fi
+echo "request ID $retry_rid traced router -> surviving backend"
+
+echo "-- per-branch stats through the router --"
+stats=$(curl -sf "http://$rtaddr/v1/sessions/bpload-0/stats?k=3")
+echo "$stats"
+for want in '"per_branch":true' '"pc":"0x' '"mispredict_rate"'; do
+	case "$stats" in
+	*"$want"*) ;;
+	*)
+		echo "stats report missing $want" >&2
+		exit 1
+		;;
+	esac
+done
+
+echo "-- bptop fleet frame (lints both tiers) --"
+frame=$("$clusterdir/bptop" -once -k 5 \
+	-targets "$rtaddr,$(cat "$clusterdir/b2.port")")
+echo "$frame"
+for want in '2/2 targets up' 'bprouter' 'bpservd' '0x'; do
+	case "$frame" in
+	*"$want"*) ;;
+	*)
+		echo "bptop frame missing $want" >&2
+		exit 1
+		;;
+	esac
+done
+
 kill -TERM "$rtpid" "$b2pid"
 if ! wait "$b2pid"; then
 	echo "surviving backend shut down uncleanly" >&2

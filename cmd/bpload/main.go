@@ -44,6 +44,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -66,9 +67,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	limit := fs.Uint64("limit", 0, "dynamic instruction limit for trace collection (0 = run to completion)")
 	sfpf := fs.Bool("sfpf", true, "enable the false-predicate filter")
 	pgu := fs.String("pgu", "all", "PGU policy: off | region | branch | all")
+	perBranch := fs.Bool("per-branch", false, "collect per-branch statistics in every session (enables /stats introspection and the h2p metric families)")
 	verify := fs.Bool("verify", false, "check server metrics byte-identical to a local replay")
 	cluster := fs.Bool("cluster", false, "cluster mode: explicit session IDs, per-batch seq numbers, retry on transport failure (for runs behind bprouter)")
 	idPrefix := fs.String("id-prefix", "bpload", "session ID prefix in cluster mode")
+	keep := fs.Bool("keep", false, "leave sessions resident after the run (final metrics are read, not deleted)")
+	ridPrefix := fs.String("rid-prefix", "", "inject an X-Request-Id of <prefix>-s<worker>-q<seq> on every event batch, stable across redeliveries (empty disables)")
 	killPID := fs.Int("kill-pid", 0, "SIGTERM this PID once the run crosses -kill-after of its batches (cluster mode)")
 	killAfter := fs.Float64("kill-after", 0.5, "fraction of total batches after which -kill-pid fires")
 	smoke := fs.Bool("smoke", false, "run the endpoint smoke sequence instead of a load run")
@@ -89,7 +93,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	defer cancel()
 
 	c := &client{base: "http://" + *addr, hc: &http.Client{}}
-	opts := serve.EvalOptions{SFPF: *sfpf, PGU: *pgu}
+	opts := serve.EvalOptions{SFPF: *sfpf, PGU: *pgu, PerBranch: *perBranch}
 	if *smoke {
 		return runSmoke(ctx, c, out, *spec, *wname)
 	}
@@ -108,6 +112,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		sessions: *sessions, events: *events, batch: *batch,
 		spec: *spec, opts: opts, verify: *verify,
 		cluster: *cluster, idPrefix: *idPrefix,
+		keep: *keep, ridPrefix: *ridPrefix,
 		killPID: *killPID, killAfter: *killAfter,
 	})
 	if err != nil {
@@ -160,12 +165,23 @@ func (e *errStatus) Error() string {
 
 // do sends one request and decodes the JSON response into out (if non-nil).
 func (c *client) do(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	return c.doRID(ctx, method, path, contentType, "", body, out)
+}
+
+// doRID is do with an explicit X-Request-Id. A caller-supplied ID that
+// stays constant across redeliveries of the same batch is what lets one
+// grep trace the batch through the router's failover into whichever
+// backend finally applied it.
+func (c *client) doRID(ctx context.Context, method, path, contentType, rid string, body []byte, out any) error {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if rid != "" {
+		req.Header.Set(telemetry.RequestIDHeader, rid)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -256,6 +272,8 @@ type loadConfig struct {
 	verify    bool
 	cluster   bool
 	idPrefix  string
+	keep      bool
+	ridPrefix string
 	killPID   int
 	killAfter float64
 }
@@ -371,9 +389,15 @@ func runLoad(ctx context.Context, c *client, tr *trace.Trace, cfg loadConfig) (*
 				if cfg.cluster {
 					path = fmt.Sprintf("%s?seq=%d", path, seq)
 				}
+				// One rid per batch, fixed before the retry loop: every
+				// redelivery of this batch carries the same ID.
+				var rid string
+				if cfg.ridPrefix != "" {
+					rid = fmt.Sprintf("%s-s%d-q%d", cfg.ridPrefix, i, seq)
+				}
 				for {
 					t0 := time.Now()
-					err = c.do(ctx, http.MethodPost, path, "application/octet-stream", blob, nil)
+					err = c.doRID(ctx, http.MethodPost, path, "application/octet-stream", rid, blob, nil)
 					if err == nil {
 						res.latencies = append(res.latencies, float64(time.Since(t0).Microseconds())/1000)
 						break
@@ -402,7 +426,11 @@ func runLoad(ctx context.Context, c *client, tr *trace.Trace, cfg loadConfig) (*
 				maybeKill()
 			}
 			if !cfg.cluster {
-				res.err = c.do(ctx, http.MethodDelete, "/v1/sessions/"+sess.ID, "", nil, &res.final)
+				method := http.MethodDelete
+				if cfg.keep {
+					method = http.MethodGet
+				}
+				res.err = c.do(ctx, method, "/v1/sessions/"+sess.ID, "", nil, &res.final)
 				return
 			}
 			// Cluster teardown is split so every step is idempotent: read
@@ -418,7 +446,7 @@ func runLoad(ctx context.Context, c *client, tr *trace.Trace, cfg loadConfig) (*
 					return
 				}
 			}
-			if res.err != nil {
+			if res.err != nil || cfg.keep {
 				return
 			}
 			deleted := false

@@ -49,6 +49,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	healthEvery := fs.Duration("health-interval", time.Second, "backend health-check interval")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request proxy timeout")
 	maxBody := fs.Int64("max-body", 64<<20, "request body size cap in bytes")
+	slow := fs.Duration("slow-request", 500*time.Millisecond, "log a structured slow_request line for requests over this latency (0 disables)")
 	portfile := fs.String("portfile", "", "write the bound address to this file once listening")
 	quiet := fs.Bool("quiet", false, "suppress router event log lines")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown deadline for in-flight requests")
@@ -80,6 +81,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		HealthEvery: *healthEvery,
 		Timeout:     *timeout,
 		MaxBody:     *maxBody,
+		SlowRequest: *slow,
 		Logger:      logger,
 	})
 	if err != nil {

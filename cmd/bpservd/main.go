@@ -52,6 +52,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	sweepTimeout := fs.Duration("sweep-timeout", 30*time.Second, "default sweep deadline")
 	sweepWorkers := fs.Int("sweep-workers", 0, "sweep fan-out (0 = GOMAXPROCS)")
 	spill := fs.String("spill", "", "spill directory: evicted/expired/shutdown sessions are snapshotted here and warm-restored on touch (empty disables)")
+	slow := fs.Duration("slow-request", 500*time.Millisecond, "log a structured slow_request line for requests over this latency (0 disables)")
 	portfile := fs.String("portfile", "", "write the bound address to this file once listening")
 	quiet := fs.Bool("quiet", false, "suppress per-request log lines")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown deadline for in-flight requests")
@@ -83,6 +84,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		SweepTimeout:    *sweepTimeout,
 		SweepWorkers:    *sweepWorkers,
 		SpillDir:        *spill,
+		SlowRequest:     *slow,
 		Logger:          logger,
 	})
 	if err != nil {

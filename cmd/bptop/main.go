@@ -1,0 +1,430 @@
+// Command bptop is a terminal dashboard for a bpservd fleet. It polls
+// /metrics on every target (router and backends alike), holds each page
+// to the strict exposition lint, and renders one consolidated frame:
+// per-target request throughput and latency quantiles (interpolated
+// from histogram buckets), session and spill gauges, and the
+// fleet-wide top mispredicted branches merged from the backends'
+// bpservd_h2p_* series.
+//
+// Usage:
+//
+//	bptop -targets 127.0.0.1:9090,127.0.0.1:8081,127.0.0.1:8082
+//	bptop -targets $ROUTER,$B1,$B2 -once        # one frame for scripts/CI
+//
+// Rates and windowed quantiles need two polls, so the first live frame
+// (and every -once frame) shows cumulative values with "-" rates.
+// In -once mode bptop exits nonzero if any target is down or its
+// /metrics page fails the lint, which makes it double as a fleet
+// health check.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bptop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bptop", flag.ContinueOnError)
+	targets := fs.String("targets", "", "comma-separated router/backend addresses, host:port or URL (required)")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval in live mode")
+	once := fs.Bool("once", false, "scrape once, print one frame, exit nonzero if any target is down or fails the exposition lint")
+	topK := fs.Int("k", 5, "fleet-wide top mispredicted branches to show")
+	timeout := fs.Duration("timeout", 3*time.Second, "per-target scrape timeout")
+	version := buildinfo.Flag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String("bptop"))
+		return nil
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	tgts, err := parseTargets(*targets)
+	if err != nil {
+		return err
+	}
+
+	cl := &http.Client{Timeout: *timeout}
+	cur := scrapeAll(ctx, cl, tgts)
+	if *once {
+		render(out, tgts, nil, cur, *topK)
+		return scrapeErr(tgts, cur)
+	}
+
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	fmt.Fprint(out, "\x1b[2J\x1b[H")
+	render(out, tgts, nil, cur, *topK)
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-tick.C:
+		}
+		prev := cur
+		cur = scrapeAll(ctx, cl, tgts)
+		fmt.Fprint(out, "\x1b[2J\x1b[H")
+		render(out, tgts, prev, cur, *topK)
+	}
+}
+
+type target struct {
+	name string // display form, as given
+	url  string // normalized scrape URL
+}
+
+func parseTargets(list string) ([]target, error) {
+	var out []target
+	for _, raw := range strings.Split(list, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		u := raw
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		u = strings.TrimRight(u, "/")
+		if !strings.HasSuffix(u, "/metrics") {
+			u += "/metrics"
+		}
+		out = append(out, target{name: raw, url: u})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no targets: pass -targets host:port[,host:port...]")
+	}
+	return out, nil
+}
+
+// scrape is one target's parsed /metrics page (or the failure to get it).
+type scrape struct {
+	when time.Time
+	fams map[string]*telemetry.Family
+	err  error
+}
+
+func scrapeAll(ctx context.Context, cl *http.Client, tgts []target) []scrape {
+	out := make([]scrape, len(tgts))
+	done := make(chan int, len(tgts))
+	for i := range tgts {
+		go func(i int) {
+			out[i] = scrapeOne(ctx, cl, tgts[i].url)
+			done <- i
+		}(i)
+	}
+	for range tgts {
+		<-done
+	}
+	return out
+}
+
+func scrapeOne(ctx context.Context, cl *http.Client, url string) scrape {
+	sc := scrape{when: time.Now()}
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		sc.err = err
+		return sc
+	}
+	resp, err := cl.Do(req)
+	if err != nil {
+		sc.err = err
+		return sc
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		sc.err = fmt.Errorf("status %d", resp.StatusCode)
+		return sc
+	}
+	// ParseText enforces the strict exposition lint as it parses, so a
+	// malformed page marks the target as failing rather than rendering
+	// garbage numbers.
+	fams, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		sc.err = fmt.Errorf("exposition lint: %w", err)
+		return sc
+	}
+	sc.fams = make(map[string]*telemetry.Family, len(fams))
+	for i := range fams {
+		sc.fams[fams[i].Name] = &fams[i]
+	}
+	return sc
+}
+
+func scrapeErr(tgts []target, scr []scrape) error {
+	var bad []string
+	for i, s := range scr {
+		if s.err != nil {
+			bad = append(bad, fmt.Sprintf("%s: %v", tgts[i].name, s.err))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("%d/%d targets failing: %s", len(bad), len(tgts), strings.Join(bad, "; "))
+	}
+	return nil
+}
+
+// serviceOf sniffs which daemon a page came from by its family prefix.
+func serviceOf(fams map[string]*telemetry.Family) string {
+	for name := range fams {
+		switch {
+		case strings.HasPrefix(name, "bpservd_"):
+			return "bpservd"
+		case strings.HasPrefix(name, "bprouter_"):
+			return "bprouter"
+		}
+	}
+	return "?"
+}
+
+// sumFamily totals every sample of a counter/gauge family (summing over
+// label sets, e.g. all endpoint/code cells of requests_total).
+func sumFamily(fams map[string]*telemetry.Family, name string) (float64, bool) {
+	f, ok := fams[name]
+	if !ok {
+		return 0, false
+	}
+	var total float64
+	for i := range f.Samples {
+		if f.Samples[i].Name == name {
+			total += f.Samples[i].Value
+		}
+	}
+	return total, true
+}
+
+// histAgg collapses a histogram family across its label sets into one
+// cumulative bucket vector, keyed and ordered by le. Summing cumulative
+// counts per le across label sets preserves monotonicity as long as
+// every series shares the bucket grid, which the registry guarantees.
+func histAgg(fams map[string]*telemetry.Family, name string) (les []float64, cums []uint64) {
+	f, ok := fams[name]
+	if !ok || f.Type != "histogram" {
+		return nil, nil
+	}
+	acc := map[float64]uint64{}
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		if s.Name != name+"_bucket" {
+			continue
+		}
+		le, err := strconv.ParseFloat(s.Label("le"), 64)
+		if err != nil {
+			continue
+		}
+		acc[le] += uint64(s.Value)
+	}
+	for le := range acc {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	for _, le := range les {
+		cums = append(cums, acc[le])
+	}
+	return les, cums
+}
+
+// window subtracts the previous poll's cumulative buckets so quantiles
+// reflect only the last interval. On any mismatch or counter reset
+// (backend restart) it falls back to the cumulative view.
+func window(les []float64, cur []uint64, prevLes []float64, prev []uint64) []uint64 {
+	if len(prev) != len(cur) || len(prevLes) != len(les) {
+		return cur
+	}
+	out := make([]uint64, len(cur))
+	for i := range cur {
+		if prevLes[i] != les[i] || prev[i] > cur[i] {
+			return cur
+		}
+		out[i] = cur[i] - prev[i]
+	}
+	return out
+}
+
+// branchAgg is one PC's fleet-wide H2P tally.
+type branchAgg struct {
+	pc     string
+	key    uint64 // parsed PC for the ranking tiebreak
+	misp   float64
+	events float64
+}
+
+// mergeH2P folds every backend's bpservd_h2p_* series into one ranking:
+// mispredicts descending, PC ascending on ties — the same order the
+// per-session stats endpoint reports.
+func mergeH2P(scr []scrape, k int) []branchAgg {
+	acc := map[string]*branchAgg{}
+	get := func(pc string) *branchAgg {
+		b := acc[pc]
+		if b == nil {
+			key, _ := strconv.ParseUint(strings.TrimPrefix(pc, "0x"), 16, 64)
+			b = &branchAgg{pc: pc, key: key}
+			acc[pc] = b
+		}
+		return b
+	}
+	for _, s := range scr {
+		if s.err != nil {
+			continue
+		}
+		if f, ok := s.fams["bpservd_h2p_mispredicts"]; ok {
+			for i := range f.Samples {
+				get(f.Samples[i].Label("pc")).misp += f.Samples[i].Value
+			}
+		}
+		if f, ok := s.fams["bpservd_h2p_events"]; ok {
+			for i := range f.Samples {
+				get(f.Samples[i].Label("pc")).events += f.Samples[i].Value
+			}
+		}
+	}
+	out := make([]branchAgg, 0, len(acc))
+	for _, b := range acc {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].misp != out[j].misp {
+			return out[i].misp > out[j].misp
+		}
+		return out[i].key < out[j].key
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func render(w io.Writer, tgts []target, prev, cur []scrape, topK int) {
+	up := 0
+	for _, s := range cur {
+		if s.err == nil {
+			up++
+		}
+	}
+	fmt.Fprintf(w, "bptop  %d/%d targets up  %s\n\n", up, len(tgts), cur[0].when.Format("15:04:05"))
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "TARGET\tSERVICE\tVERSION\tREQS\tREQ/S\tP50\tP90\tP99\tSESS\tSPILL")
+	var fleetEvents, fleetEventRate, fleetSessions float64
+	haveEventRate := false
+	for i, s := range cur {
+		if s.err != nil {
+			fmt.Fprintf(tw, "%s\tDOWN\t-\t-\t-\t-\t-\t-\t-\t-\n", tgts[i].name)
+			continue
+		}
+		svc := serviceOf(s.fams)
+		ver := "-"
+		if f, ok := s.fams["build_info"]; ok && len(f.Samples) > 0 {
+			ver = f.Samples[0].Label("version")
+		}
+
+		reqs, _ := sumFamily(s.fams, svc+"_requests_total")
+		var p *scrape
+		if i < len(prev) && prev[i].err == nil {
+			p = &prev[i]
+		}
+		rate := "-"
+		if p != nil {
+			if dt := s.when.Sub(p.when).Seconds(); dt > 0 {
+				if preqs, ok := sumFamily(p.fams, svc+"_requests_total"); ok && reqs >= preqs {
+					rate = fmt.Sprintf("%.1f", (reqs-preqs)/dt)
+				}
+			}
+		}
+
+		les, cums := histAgg(s.fams, svc+"_request_seconds")
+		if p != nil {
+			ples, pcums := histAgg(p.fams, svc+"_request_seconds")
+			cums = window(les, cums, ples, pcums)
+		}
+		p50 := fmtSecs(telemetry.BucketQuantile(les, cums, 0.50))
+		p90 := fmtSecs(telemetry.BucketQuantile(les, cums, 0.90))
+		p99 := fmtSecs(telemetry.BucketQuantile(les, cums, 0.99))
+
+		sess, spill := "-", "-"
+		if svc == "bpservd" {
+			if v, ok := sumFamily(s.fams, "bpservd_sessions_live"); ok {
+				sess = fmt.Sprintf("%.0f", v)
+				fleetSessions += v
+			}
+			if v, ok := sumFamily(s.fams, "bpservd_spill_files"); ok {
+				spill = fmt.Sprintf("%.0f", v)
+			}
+			if v, ok := sumFamily(s.fams, "bpservd_events_total"); ok {
+				fleetEvents += v
+				if p != nil {
+					if pv, ok := sumFamily(p.fams, "bpservd_events_total"); ok && v >= pv {
+						if dt := s.when.Sub(p.when).Seconds(); dt > 0 {
+							fleetEventRate += (v - pv) / dt
+							haveEventRate = true
+						}
+					}
+				}
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.0f\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			tgts[i].name, svc, ver, reqs, rate, p50, p90, p99, sess, spill)
+	}
+	tw.Flush()
+
+	evRate := "-"
+	if haveEventRate {
+		evRate = fmt.Sprintf("%.0f", fleetEventRate)
+	}
+	fmt.Fprintf(w, "\nfleet: events=%.0f events/s=%s sessions=%.0f\n", fleetEvents, evRate, fleetSessions)
+
+	fmt.Fprintf(w, "\ntop mispredicted branches (fleet, k=%d):\n", topK)
+	top := mergeH2P(cur, topK)
+	if len(top) == 0 {
+		fmt.Fprintln(w, "  (none — create sessions with per_branch metrics to populate)")
+		return
+	}
+	bw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(bw, "  PC\tMISPREDICTS\tEVENTS\tRATE")
+	for _, b := range top {
+		rate := "-"
+		if b.events > 0 {
+			rate = fmt.Sprintf("%.1f%%", 100*b.misp/b.events)
+		}
+		fmt.Fprintf(bw, "  %s\t%.0f\t%.0f\t%s\n", b.pc, b.misp, b.events, rate)
+	}
+	bw.Flush()
+}
+
+// fmtSecs renders a latency in seconds at terminal-friendly precision.
+func fmtSecs(v float64) string {
+	switch {
+	case v <= 0:
+		return "-"
+	case v < 1e-3:
+		return fmt.Sprintf("%.0fµs", v*1e6)
+	case v < 1:
+		return fmt.Sprintf("%.2fms", v*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", v)
+	}
+}

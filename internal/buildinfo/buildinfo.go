@@ -45,6 +45,33 @@ func Version() string {
 	return "devel"
 }
 
+// Revision returns the full VCS revision baked into the binary (with a
+// +dirty suffix for modified checkouts), or "unknown" when the build
+// carries no VCS metadata. Where Version abbreviates for humans,
+// Revision stays exact — it labels the build_info metric so a scrape
+// pins the running binary to a commit.
+func Revision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "+dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	return rev + modified
+}
+
 // String renders the one-line -version output for a named tool.
 func String(tool string) string {
 	return fmt.Sprintf("%s %s %s %s/%s", tool, Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)

@@ -319,6 +319,41 @@ func TestPerBranchStats(t *testing.T) {
 	}
 }
 
+func TestBranchReport(t *testing.T) {
+	m := Metrics{ByPC: map[uint64]*BranchStats{
+		0x40: {PC: 0x40, Count: 10, Taken: 4, Mispredicts: 4},
+		0x10: {PC: 0x10, Count: 6, Taken: 6, Mispredicts: 1},
+		0x20: {PC: 0x20, Count: 8, Taken: 2, Mispredicts: 4},
+		0x30: {PC: 0x30, Count: 2, Taken: 0, Mispredicts: 0},
+	}}
+	rep := m.BranchReport(3)
+	if rep.StaticBranches != 4 || rep.Events != 26 || rep.Mispredicts != 9 {
+		t.Fatalf("totals: %+v", rep)
+	}
+	// 0x20 and 0x40 tie at 4 mispredicts; the lower PC ranks first.
+	wantPCs := []uint64{0x20, 0x40, 0x10}
+	if len(rep.Top) != 3 {
+		t.Fatalf("top len %d", len(rep.Top))
+	}
+	for i, want := range wantPCs {
+		if rep.Top[i].PC != want {
+			t.Errorf("top[%d].PC = %#x, want %#x", i, rep.Top[i].PC, want)
+		}
+	}
+	// Entries are copies, not aliases into ByPC.
+	rep.Top[0].Mispredicts = 999
+	if m.ByPC[0x20].Mispredicts != 4 {
+		t.Error("report aliases the live ByPC map")
+	}
+	if got, want := rep.Accuracy(), 1-9.0/26.0; got != want {
+		t.Errorf("accuracy %f, want %f", got, want)
+	}
+	var zero BranchReport
+	if zero.Accuracy() != 0 {
+		t.Error("zero report accuracy not zero")
+	}
+}
+
 func TestBranchStatsZeroSafe(t *testing.T) {
 	bs := &BranchStats{Count: 5, Filtered: 5}
 	if bs.MispredictRate() != 0 {

@@ -108,6 +108,48 @@ func (m *Metrics) TopMispredicted(n int) []*BranchStats {
 	return out
 }
 
+// BranchReport is the hard-to-predict-branch (H2P) summary over the
+// per-branch statistics: totals across every static branch plus the
+// top-K ranking by misprediction count. It requires PerBranch
+// collection; without it the report is empty.
+type BranchReport struct {
+	// StaticBranches counts distinct branch PCs with statistics.
+	StaticBranches int
+	// Events counts the branch executions those statistics cover.
+	Events uint64
+	// Mispredicts counts mispredictions across all of them.
+	Mispredicts uint64
+	// Top holds the hardest branches, most mispredicted first (ties
+	// break toward the lower PC, matching TopMispredicted). The entries
+	// are value copies — safe to hold after the evaluator moves on.
+	Top []BranchStats
+}
+
+// Accuracy returns the fraction of covered branch executions that were
+// predicted correctly (filtered branches count as correct, consistent
+// with Metrics.MispredictRate).
+func (r BranchReport) Accuracy() float64 {
+	if r.Events == 0 {
+		return 0
+	}
+	return 1 - float64(r.Mispredicts)/float64(r.Events)
+}
+
+// BranchReport builds the H2P report with up to k ranked branches.
+func (m *Metrics) BranchReport(k int) BranchReport {
+	rep := BranchReport{StaticBranches: len(m.ByPC)}
+	for _, b := range m.ByPC {
+		rep.Events += b.Count
+		rep.Mispredicts += b.Mispredicts
+	}
+	top := m.TopMispredicted(k)
+	rep.Top = make([]BranchStats, len(top))
+	for i, b := range top {
+		rep.Top[i] = *b
+	}
+	return rep
+}
+
 // MispredictRate returns mispredictions per predicted branch. Filtered
 // branches count as predicted (they are fetched branches the front end had
 // to handle, and the filter always predicts them correctly).

@@ -27,11 +27,14 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Backend is one bpservd instance behind the router.
@@ -64,6 +67,9 @@ type Config struct {
 	Timeout time.Duration
 	// MaxBody caps a buffered request body (default 64 MiB).
 	MaxBody int64
+	// SlowRequest is the latency threshold above which a request gets a
+	// structured slow_request log line; 0 disables.
+	SlowRequest time.Duration
 	// Logger receives router events; nil discards.
 	Logger *log.Logger
 }
@@ -109,11 +115,8 @@ type Router struct {
 	idctr  atomic.Uint64
 	idsalt uint64
 
-	proxied    atomic.Uint64
-	retries    atomic.Uint64
-	noBackend  atomic.Uint64
-	migrations atomic.Uint64
-	healthFail atomic.Uint64
+	mt    *routerMetrics
+	trace *telemetry.Tracer
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -149,6 +152,8 @@ func New(cfg Config) (*Router, error) {
 		mux:    http.NewServeMux(),
 		log:    cfg.Logger,
 		idsalt: rand.Uint64(),
+		mt:     newRouterMetrics(),
+		trace:  telemetry.NewTracer("bprouter", cfg.Logger, cfg.SlowRequest),
 		stop:   make(chan struct{}),
 	}
 	for i, u := range cfg.Backends {
@@ -160,15 +165,40 @@ func New(cfg Config) (*Router, error) {
 		}
 	}
 	sort.Slice(rt.ring, func(i, j int) bool { return rt.ring[i].hash < rt.ring[j].hash })
+	rt.mt.reg.GaugeVec("bprouter_backend_healthy", "Backend health by base URL (1 healthy, 0 not).",
+		[]string{"backend"}, func(emit func([]string, float64)) {
+			for _, b := range rt.backends {
+				v := 0.0
+				if b.Healthy() {
+					v = 1
+				}
+				emit([]string{b.URL}, v)
+			}
+		})
+	rt.mt.reg.GaugeVec("bprouter_backend_draining", "Backend draining state by base URL.",
+		[]string{"backend"}, func(emit func([]string, float64)) {
+			for _, b := range rt.backends {
+				v := 0.0
+				if b.Draining() {
+					v = 1
+				}
+				emit([]string{b.URL}, v)
+			}
+		})
 
-	rt.mux.Handle("POST /v1/sessions", http.HandlerFunc(rt.handleCreate))
-	rt.mux.Handle("GET /v1/sessions", http.HandlerFunc(rt.handleList))
-	rt.mux.Handle("/v1/sessions/{id}", http.HandlerFunc(rt.handleSession))
-	rt.mux.Handle("/v1/sessions/{id}/{rest...}", http.HandlerFunc(rt.handleSession))
-	rt.mux.Handle("/v1/", http.HandlerFunc(rt.handleAny)) // sweeps, predictors, workloads
-	rt.mux.Handle("GET /healthz", http.HandlerFunc(rt.handleHealthz))
-	rt.mux.Handle("GET /metrics", http.HandlerFunc(rt.handleMetrics))
-	rt.mux.Handle("POST /admin/drain", http.HandlerFunc(rt.handleDrain))
+	rt.mux.Handle("POST /v1/sessions", rt.instrument("create_session", rt.handleCreate))
+	rt.mux.Handle("GET /v1/sessions", rt.instrument("list_sessions", rt.handleList))
+	rt.mux.Handle("/v1/sessions/{id}", rt.instrument("session", rt.handleSession))
+	rt.mux.Handle("/v1/sessions/{id}/{rest...}", rt.instrument("session", rt.handleSession))
+	rt.mux.Handle("/v1/", rt.instrument("proxy", rt.handleAny)) // sweeps, predictors, workloads
+	rt.mux.Handle("GET /healthz", rt.instrument("healthz", rt.handleHealthz))
+	rt.mux.Handle("GET /metrics", rt.instrument("metrics", rt.handleMetrics))
+	rt.mux.Handle("POST /admin/drain", rt.instrument("drain", rt.handleDrain))
+	rt.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	rt.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	rt.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	rt.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	rt.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	rt.wg.Add(1)
 	go rt.healthLoop()
@@ -186,6 +216,45 @@ func (rt *Router) Close() {
 
 // Backends exposes the fleet for tests and the drain admin path.
 func (rt *Router) Backends() []*Backend { return rt.backends }
+
+// statusWriter captures the response code for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request-ID propagation, per-endpoint
+// latency/status accounting, span recording, and one structured log
+// line per request. Handles are resolved here, once per endpoint at
+// route-registration time, so the per-request path does not allocate
+// for accounting.
+func (rt *Router) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	hist := rt.mt.latency.With(endpoint)
+	codes := telemetry.NewCodeCounter(rt.mt.requests, endpoint)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		// EnsureRequestID writes a minted ID back onto r.Header, and
+		// forward clones r.Header into the upstream request — so the
+		// same ID reaches the backend, whichever backend retries land on.
+		rid := rt.trace.EnsureRequestID(r)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		sw.Header().Set(telemetry.RequestIDHeader, rid)
+		h(sw, r)
+		d := time.Since(start)
+		codes.Code(sw.code).Inc()
+		hist.ObserveDuration(d)
+		rt.trace.Record(telemetry.Span{
+			RequestID: rid, Endpoint: endpoint, Status: sw.code, Start: start, Duration: d,
+		})
+		rt.log.Printf("method=%s path=%s endpoint=%s status=%d dur_us=%d rid=%s",
+			r.Method, r.URL.Path, endpoint, sw.code, d.Microseconds(), rid)
+	})
+}
 
 // pick returns the backend owning id: the first ring point clockwise
 // from the ID's hash whose backend passes ok. Returns nil if none does.
@@ -237,7 +306,7 @@ func (rt *Router) checkAll() {
 			rt.log.Printf("backend %s health %v -> %v", b.URL, !ok, ok)
 		}
 		if !ok {
-			rt.healthFail.Add(1)
+			rt.mt.healthFail.Inc()
 		}
 	}
 }
@@ -253,7 +322,14 @@ func (rt *Router) newID() string {
 // so the request lands on the session's new owner. Safe for batch posts
 // because the backends deduplicate by batch seq.
 func (rt *Router) forward(w http.ResponseWriter, r *http.Request, id string, body []byte) {
-	rt.proxied.Add(1)
+	rt.mt.proxied.Inc()
+	rid := r.Header.Get(telemetry.RequestIDHeader)
+	attempts := 0
+	defer func() {
+		if attempts > 0 {
+			rt.mt.attempts.Observe(float64(attempts))
+		}
+	}()
 	for attempt := 0; attempt <= len(rt.backends); attempt++ {
 		b := rt.pick(id, (*Backend).up)
 		if b == nil {
@@ -269,27 +345,35 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, id string, bod
 			return
 		}
 		req.Header = r.Header.Clone()
+		attempts++
+		upStart := time.Now()
 		resp, err := rt.client.Do(req)
+		rt.mt.upstream.With(b.URL).ObserveDuration(time.Since(upStart))
 		if err != nil {
 			if r.Context().Err() != nil {
 				writeJSONError(w, http.StatusBadGateway, "canceled", err.Error())
 				return
 			}
 			b.healthy.Store(false)
-			rt.retries.Add(1)
-			rt.log.Printf("backend %s failed (%v), retrying %s %s", b.URL, err, r.Method, r.URL.Path)
+			rt.mt.retries.Inc()
+			rt.log.Printf("backend %s failed (%v), retrying %s %s rid=%s", b.URL, err, r.Method, r.URL.Path, rid)
 			continue
 		}
 		copyResponse(w, resp)
 		return
 	}
-	rt.noBackend.Add(1)
+	rt.mt.noBackend.Inc()
 	writeJSONError(w, http.StatusServiceUnavailable, "no_backend", "no healthy backend available")
 }
 
 func copyResponse(w http.ResponseWriter, resp *http.Response) {
 	defer resp.Body.Close()
 	for k, vs := range resp.Header {
+		if k == telemetry.RequestIDHeader {
+			// Already set by instrument; the backend echoes the same ID,
+			// and Add would duplicate the header.
+			continue
+		}
 		for _, v := range vs {
 			w.Header().Add(k, v)
 		}
@@ -416,39 +500,12 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "{\"status\":\"ok\",\"healthy_backends\":%d}\n", healthy)
 }
 
-// handleMetrics renders the router's own Prometheus text metrics,
-// including a per-backend health gauge.
+// handleMetrics renders the router's registry in the Prometheus text
+// exposition format (per-endpoint request counters and latency
+// histograms, upstream attempt histograms, backend health gauges).
 func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	writeHeader := func(name, help, typ string) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-	}
-	writeHeader("bprouter_proxied_total", "Requests proxied to backends.", "counter")
-	fmt.Fprintf(w, "bprouter_proxied_total %d\n", rt.proxied.Load())
-	writeHeader("bprouter_retries_total", "Proxy attempts retried on another backend after a transport failure.", "counter")
-	fmt.Fprintf(w, "bprouter_retries_total %d\n", rt.retries.Load())
-	writeHeader("bprouter_no_backend_total", "Requests failed because no healthy backend was available.", "counter")
-	fmt.Fprintf(w, "bprouter_no_backend_total %d\n", rt.noBackend.Load())
-	writeHeader("bprouter_migrations_total", "Sessions migrated off draining backends.", "counter")
-	fmt.Fprintf(w, "bprouter_migrations_total %d\n", rt.migrations.Load())
-	writeHeader("bprouter_health_check_failures_total", "Failed backend health checks.", "counter")
-	fmt.Fprintf(w, "bprouter_health_check_failures_total %d\n", rt.healthFail.Load())
-	writeHeader("bprouter_backend_healthy", "Backend health by base URL (1 healthy, 0 not).", "gauge")
-	for _, b := range rt.backends {
-		v := 0
-		if b.Healthy() {
-			v = 1
-		}
-		fmt.Fprintf(w, "bprouter_backend_healthy{backend=%q} %d\n", b.URL, v)
-	}
-	writeHeader("bprouter_backend_draining", "Backend draining state by base URL.", "gauge")
-	for _, b := range rt.backends {
-		v := 0
-		if b.Draining() {
-			v = 1
-		}
-		fmt.Fprintf(w, "bprouter_backend_draining{backend=%q} %d\n", b.URL, v)
-	}
+	rt.mt.reg.Render(w)
 }
 
 // handleDrain marks a backend draining and migrates every session it
@@ -496,7 +553,7 @@ func (rt *Router) Drain(ctx context.Context, b *Backend) (moved, failed int, err
 			continue
 		}
 		moved++
-		rt.migrations.Add(1)
+		rt.mt.migrations.Inc()
 	}
 	return moved, failed, nil
 }

@@ -240,7 +240,7 @@ func TestFailoverWithSharedSpill(t *testing.T) {
 	if got.Events != uint64(len(events)) || got.LastSeq != 3 {
 		t.Fatalf("post-failover session: events=%d lastSeq=%d, want %d/3", got.Events, got.LastSeq, len(events))
 	}
-	if c.rt.retries.Load() == 0 {
+	if c.rt.mt.retries.Value() == 0 {
 		t.Fatal("failover did not exercise the retry path")
 	}
 }

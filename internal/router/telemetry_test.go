@@ -1,0 +1,109 @@
+package router
+
+import (
+	"bytes"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// TestScrapeLint drives traffic through the router, then requires the
+// full /metrics page to pass the strict exposition lint and carry the
+// per-endpoint latency histograms and upstream families.
+func TestScrapeLint(t *testing.T) {
+	c := newCluster(t, 2, "")
+	createSession(t, c.front.URL, "lint-1")
+	doJSON(t, "GET", c.front.URL+"/v1/sessions/lint-1", nil, http.StatusOK, nil)
+
+	resp, err := http.Get(c.front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	page, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := telemetry.ParseText(bytes.NewReader(page))
+	if err != nil {
+		t.Fatalf("router scrape fails lint: %v\n%s", err, page)
+	}
+	byName := map[string]telemetry.Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f, ok := byName["bprouter_request_seconds"]; !ok {
+		t.Error("no per-endpoint latency histogram")
+	} else if s := f.Sample("bprouter_request_seconds_count", map[string]string{"endpoint": "session"}); s == nil || s.Value < 1 {
+		t.Errorf("request_seconds_count{session} = %+v, want >= 1", s)
+	}
+	if f, ok := byName["bprouter_requests_total"]; !ok {
+		t.Error("no request counter family")
+	} else if s := f.Sample("bprouter_requests_total", map[string]string{"endpoint": "create_session", "code": "201"}); s == nil || s.Value != 1 {
+		t.Errorf("requests{create_session,201} = %+v, want 1", s)
+	}
+	if f, ok := byName["bprouter_upstream_seconds"]; !ok {
+		t.Error("no upstream latency family")
+	} else if len(f.Samples) == 0 {
+		t.Error("upstream latency family empty")
+	}
+	if f, ok := byName["bprouter_upstream_attempts"]; !ok {
+		t.Error("no upstream attempts family")
+	} else if s := f.Sample("bprouter_upstream_attempts_count", nil); s == nil || s.Value < 2 {
+		t.Errorf("upstream_attempts_count = %+v, want >= 2", s)
+	}
+	if f, ok := byName["bprouter_backend_healthy"]; !ok || len(f.Samples) != 2 {
+		t.Errorf("backend_healthy: %+v", f)
+	}
+	if f, ok := byName["build_info"]; !ok || len(f.Samples) != 1 {
+		t.Errorf("build_info: %+v", f)
+	}
+}
+
+// TestRequestIDAcrossTiers checks a client-supplied request ID survives
+// the router hop into the backend's logs, and that the router both logs
+// it and echoes it on the response.
+func TestRequestIDAcrossTiers(t *testing.T) {
+	var backendLog bytes.Buffer
+	s := serve.MustNew(serve.Config{Shards: 1, Logger: log.New(&backendLog, "", 0)})
+	bts := httptest.NewServer(s.Handler())
+	defer func() { bts.Close(); s.Close() }()
+
+	var routerLog bytes.Buffer
+	rt, err := New(Config{Backends: []string{bts.URL}, HealthEvery: time.Hour, Logger: log.New(&routerLog, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer func() { front.Close(); rt.Close() }()
+
+	req, _ := http.NewRequest("GET", front.URL+"/v1/sessions/ghost", nil)
+	req.Header.Set(telemetry.RequestIDHeader, "xtier-rid-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Values(telemetry.RequestIDHeader); len(got) != 1 || got[0] != "xtier-rid-7" {
+		t.Errorf("response rid header %v, want exactly one xtier-rid-7", got)
+	}
+	if !strings.Contains(string(body), `"request_id":"xtier-rid-7"`) {
+		t.Errorf("backend error envelope through router misses request_id: %s", body)
+	}
+	for name, buf := range map[string]*bytes.Buffer{"router": &routerLog, "backend": &backendLog} {
+		if !strings.Contains(buf.String(), "rid=xtier-rid-7") {
+			t.Errorf("%s log misses rid: %s", name, buf.String())
+		}
+	}
+}

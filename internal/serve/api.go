@@ -243,6 +243,54 @@ func (j MetricsJSON) Metrics() (core.Metrics, error) {
 	return m, nil
 }
 
+// SessionStatsJSON is the per-branch introspection report of one
+// session (GET /v1/sessions/{id}/stats): aggregate totals plus the
+// hardest branches ranked by misprediction count. The report covers
+// only branch events (preddefs are excluded), and is empty unless the
+// session was created with per_branch collection.
+type SessionStatsJSON struct {
+	ID             string           `json:"id"`
+	Spec           string           `json:"spec"`
+	Events         uint64           `json:"events"`   // lifetime events fed (branches + preddefs)
+	Branches       uint64           `json:"branches"` // branch executions covered by the report
+	StaticBranches int              `json:"static_branches"`
+	Mispredicts    uint64           `json:"mispredicts"`
+	Accuracy       float64          `json:"accuracy"`
+	PerBranch      bool             `json:"per_branch"`
+	Top            []BranchRankJSON `json:"top,omitempty"`
+}
+
+// BranchRankJSON is one ranked entry of the stats report. PC is
+// hex-formatted ("0x401a30") for direct use against a disassembly.
+type BranchRankJSON struct {
+	PC             string  `json:"pc"`
+	Count          uint64  `json:"count"`
+	Taken          uint64  `json:"taken"`
+	Mispredicts    uint64  `json:"mispredicts"`
+	Filtered       uint64  `json:"filtered,omitempty"`
+	Region         bool    `json:"region,omitempty"`
+	MispredictRate float64 `json:"mispredict_rate"`
+}
+
+func sessionStatsJSON(inf *SessionInfo, rep core.BranchReport, perBranch bool) SessionStatsJSON {
+	out := SessionStatsJSON{
+		ID: inf.ID, Spec: inf.Spec, Events: inf.Events,
+		Branches: rep.Events, StaticBranches: rep.StaticBranches,
+		Mispredicts: rep.Mispredicts, Accuracy: rep.Accuracy(),
+		PerBranch: perBranch,
+		Top:       make([]BranchRankJSON, len(rep.Top)),
+	}
+	for i, bs := range rep.Top {
+		out.Top[i] = BranchRankJSON{
+			PC:    fmt.Sprintf("0x%x", bs.PC),
+			Count: bs.Count, Taken: bs.Taken,
+			Mispredicts: bs.Mispredicts, Filtered: bs.Filtered, Region: bs.Region,
+			MispredictRate: bs.MispredictRate(),
+		}
+	}
+	return out
+}
+
 // SweepRequest evaluates a grid of predictor specs over one workload
 // trace (named workload in the JSON form; an uploaded P64T trace in the
 // binary form, with specs and options in query parameters).
@@ -286,8 +334,11 @@ type ErrorBody struct {
 	Error ErrorDetail `json:"error"`
 }
 
-// ErrorDetail names the failure class and describes it.
+// ErrorDetail names the failure class and describes it. RequestID is
+// the correlation ID the request carried (or was assigned), the same
+// value logged by every tier that handled it.
 type ErrorDetail struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
 }

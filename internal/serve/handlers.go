@@ -16,6 +16,7 @@ import (
 	"repro/internal/ifconv"
 	"repro/internal/sim"
 	"repro/internal/snap"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -31,6 +32,11 @@ func writeError(w http.ResponseWriter, code int, errCode, msg string) {
 	body := ErrorBody{}
 	body.Error.Code = errCode
 	body.Error.Message = msg
+	// The instrument wrapper echoes the request's correlation ID into
+	// the response headers before the handler runs; surfacing it in the
+	// envelope lets a client quote the exact ID when reporting a
+	// failure, and lets an operator grep it across tiers.
+	body.Error.RequestID = w.Header().Get(telemetry.RequestIDHeader)
 	writeJSON(w, code, body)
 }
 
@@ -38,7 +44,7 @@ func writeError(w http.ResponseWriter, code int, errCode, msg string) {
 func writeMgrError(w http.ResponseWriter, s *Server, err error) {
 	code, errCode := httpStatus(err)
 	if errors.Is(err, ErrBusy) {
-		s.tel.backpressure.inc()
+		s.tel.backpressure.Inc()
 	}
 	writeError(w, code, errCode, err.Error())
 }
@@ -184,6 +190,27 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, sessionJSON(inf, true))
 }
 
+// handleStats serves the per-branch introspection report: how many
+// static branches a session has seen, aggregate accuracy, and the top-k
+// hardest (most mispredicted) branches. ?k= adjusts the ranking depth.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	k := 10
+	if v := r.URL.Query().Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 1000 {
+			writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("bad k %q (want 1..1000)", v))
+			return
+		}
+		k = n
+	}
+	inf, rep, perBranch, err := s.mgr.Stats(r.Context(), r.PathValue("id"), k)
+	if err != nil {
+		writeMgrError(w, s, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionStatsJSON(inf, rep, perBranch))
+}
+
 // handleGetSnapshot streams a session's P64S snapshot without removing
 // the session: half of the bprouter's migration path (snapshot from the
 // old backend, restore into the new one), and an operator backup tool.
@@ -214,7 +241,7 @@ func (s *Server) handleRestoreSession(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := snap.Decode(blob)
 	if err != nil {
-		s.tel.restoreFailures.inc()
+		s.tel.restoreFailures.Inc()
 		code := "bad_snapshot"
 		if errors.Is(err, snap.ErrVersion) {
 			code = "snapshot_version"
@@ -373,8 +400,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	s.tel.sweeps.inc()
-	s.tel.sweepEvals.add(uint64(len(specs)))
+	s.tel.sweeps.Inc()
+	s.tel.sweepEvals.Add(uint64(len(specs)))
 	rows, err := sim.Map(ctx, specs, s.cfg.SweepWorkers, func(ctx context.Context, sp sim.Spec) (SweepRow, error) {
 		cfg := baseCfg
 		var err error
@@ -420,7 +447,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetricsPage(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.tel.render(w)
+	s.tel.reg.Render(w)
 }
 
 // ctxReader wraps a trace reader with periodic context checks, so a

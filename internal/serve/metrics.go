@@ -1,18 +1,15 @@
 package serve
 
 import (
-	"fmt"
-	"io"
-	"sort"
-	"sync"
-	"sync/atomic"
-	"time"
+	"repro/internal/buildinfo"
+	"repro/internal/telemetry"
 )
 
 // The observability layer: request counters, per-endpoint latency
 // histograms, and gauge callbacks, rendered in the Prometheus text
-// exposition format on /metrics. Implemented on the standard library only
-// (atomics plus a small registry) so the daemon stays dependency-free.
+// exposition format on /metrics. The registry, tracer, and exposition
+// renderer live in internal/telemetry and are shared with the bprouter;
+// this file only declares bpservd's metric families.
 
 // latencyBuckets are the histogram upper bounds in seconds; an implicit
 // +Inf bucket follows.
@@ -20,180 +17,52 @@ var latencyBuckets = []float64{
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
 }
 
-// counter is a monotonically increasing metric.
-type counter struct {
-	name string
-	help string
-	v    atomic.Uint64
+// serverMetrics is bpservd's metric set on the shared telemetry
+// registry. Request accounting is labeled by endpoint and status code;
+// the per-endpoint handles are resolved once at route-registration time
+// (see Server.instrument), so the per-request path is two atomic adds
+// and a histogram observation — no locks, no allocation.
+type serverMetrics struct {
+	reg *telemetry.Registry
+
+	requests *telemetry.CounterVec   // bpservd_requests_total{endpoint,code}
+	latency  *telemetry.HistogramVec // bpservd_request_seconds{endpoint}
+
+	events          *telemetry.Counter
+	batches         *telemetry.Counter
+	backpressure    *telemetry.Counter
+	rateLimited     *telemetry.Counter
+	sessCreated     *telemetry.Counter
+	sessClosed      *telemetry.Counter
+	sessEvicted     *telemetry.Counter
+	sessExpired     *telemetry.Counter
+	sessSpilled     *telemetry.Counter
+	warmRestores    *telemetry.Counter
+	restoreFailures *telemetry.Counter
+	spillErrors     *telemetry.Counter
+	sweeps          *telemetry.Counter
+	sweepEvals      *telemetry.Counter
 }
 
-func (c *counter) add(n uint64) { c.v.Add(n) }
-func (c *counter) inc()         { c.v.Add(1) }
-func (c *counter) get() uint64  { return c.v.Load() }
-
-// histogram is a fixed-bucket latency histogram.
-type histogram struct {
-	counts   []atomic.Uint64 // one per bucket, plus +Inf at the end
-	sumNanos atomic.Int64
-	count    atomic.Uint64
-}
-
-func newHistogram() *histogram {
-	return &histogram{counts: make([]atomic.Uint64, len(latencyBuckets)+1)}
-}
-
-func (h *histogram) observe(d time.Duration) {
-	secs := d.Seconds()
-	i := sort.SearchFloat64s(latencyBuckets, secs)
-	h.counts[i].Add(1)
-	h.sumNanos.Add(int64(d))
-	h.count.Add(1)
-}
-
-// gauge is an instantaneous value read at scrape time.
-type gauge struct {
-	name string
-	help string
-	fn   func() float64
-}
-
-// telemetry is the server's metric registry. Request counters and
-// latency histograms are keyed by endpoint name; creation is rare (the
-// endpoint set is fixed), so a mutex guards the maps while the hot
-// increment path is atomic.
-type telemetry struct {
-	mu       sync.Mutex
-	requests map[string]*atomic.Uint64 // "endpoint\x00code" → count
-	latency  map[string]*histogram     // endpoint → histogram
-	gauges   []gauge
-
-	events          counter
-	batches         counter
-	backpressure    counter
-	rateLimited     counter
-	sessCreated     counter
-	sessClosed      counter
-	sessEvicted     counter
-	sessExpired     counter
-	sessSpilled     counter
-	warmRestores    counter
-	restoreFailures counter
-	spillErrors     counter
-	sweeps          counter
-	sweepEvals      counter
-}
-
-func newTelemetry() *telemetry {
-	t := &telemetry{
-		requests: make(map[string]*atomic.Uint64),
-		latency:  make(map[string]*histogram),
-	}
-	t.events = counter{name: "bpservd_events_total", help: "Branch/predicate events fed into sessions."}
-	t.batches = counter{name: "bpservd_batches_total", help: "Event batches accepted."}
-	t.backpressure = counter{name: "bpservd_backpressure_total", help: "Batches rejected with 429 because a shard queue was full."}
-	t.rateLimited = counter{name: "bpservd_rate_limited_total", help: "Requests rejected by the rate limiter."}
-	t.sessCreated = counter{name: "bpservd_sessions_created_total", help: "Sessions created."}
-	t.sessClosed = counter{name: "bpservd_sessions_closed_total", help: "Sessions closed by clients."}
-	t.sessEvicted = counter{name: "bpservd_sessions_evicted_total", help: "Sessions evicted for capacity (LRU)."}
-	t.sessExpired = counter{name: "bpservd_sessions_expired_total", help: "Sessions expired by idle TTL."}
-	t.sessSpilled = counter{name: "bpservd_sessions_spilled_total", help: "Session snapshots written to the spill directory (eviction, expiry, or shutdown)."}
-	t.warmRestores = counter{name: "bpservd_sessions_warm_restored_total", help: "Sessions restored from the spill directory on touch."}
-	t.restoreFailures = counter{name: "bpservd_snapshot_restore_failures_total", help: "Snapshots that failed to decode (spill files or restore requests)."}
-	t.spillErrors = counter{name: "bpservd_spill_errors_total", help: "Failed attempts to write a session snapshot to the spill directory."}
-	t.sweeps = counter{name: "bpservd_sweeps_total", help: "Sweep requests executed."}
-	t.sweepEvals = counter{name: "bpservd_sweep_evals_total", help: "Individual spec evaluations across sweeps."}
-	return t
-}
-
-func (t *telemetry) addGauge(name, help string, fn func() float64) {
-	t.gauges = append(t.gauges, gauge{name: name, help: help, fn: fn})
-}
-
-// countRequest records one finished request for an endpoint/status pair.
-func (t *telemetry) countRequest(endpoint string, code int, d time.Duration) {
-	key := fmt.Sprintf("%s\x00%d", endpoint, code)
-	t.mu.Lock()
-	c := t.requests[key]
-	if c == nil {
-		c = new(atomic.Uint64)
-		t.requests[key] = c
-	}
-	h := t.latency[endpoint]
-	if h == nil {
-		h = newHistogram()
-		t.latency[endpoint] = h
-	}
-	t.mu.Unlock()
-	c.Add(1)
-	h.observe(d)
-}
-
-// render writes every metric in Prometheus text exposition format, in a
-// deterministic order.
-func (t *telemetry) render(w io.Writer) {
-	writeHeader := func(name, help, typ string) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-	}
-
-	t.mu.Lock()
-	reqKeys := make([]string, 0, len(t.requests))
-	for k := range t.requests {
-		reqKeys = append(reqKeys, k)
-	}
-	latKeys := make([]string, 0, len(t.latency))
-	for k := range t.latency {
-		latKeys = append(latKeys, k)
-	}
-	reqs := make(map[string]uint64, len(reqKeys))
-	for _, k := range reqKeys {
-		reqs[k] = t.requests[k].Load()
-	}
-	hists := make(map[string]*histogram, len(latKeys))
-	for _, k := range latKeys {
-		hists[k] = t.latency[k]
-	}
-	t.mu.Unlock()
-	sort.Strings(reqKeys)
-	sort.Strings(latKeys)
-
-	writeHeader("bpservd_requests_total", "HTTP requests by endpoint and status code.", "counter")
-	for _, k := range reqKeys {
-		var endpoint, code string
-		for i := 0; i < len(k); i++ {
-			if k[i] == 0 {
-				endpoint, code = k[:i], k[i+1:]
-				break
-			}
-		}
-		fmt.Fprintf(w, "bpservd_requests_total{endpoint=%q,code=%q} %d\n", endpoint, code, reqs[k])
-	}
-
-	writeHeader("bpservd_request_seconds", "Request latency by endpoint.", "histogram")
-	for _, ep := range latKeys {
-		h := hists[ep]
-		cum := uint64(0)
-		for i, ub := range latencyBuckets {
-			cum += h.counts[i].Load()
-			fmt.Fprintf(w, "bpservd_request_seconds_bucket{endpoint=%q,le=%q} %d\n", ep, fmt.Sprintf("%g", ub), cum)
-		}
-		cum += h.counts[len(latencyBuckets)].Load()
-		fmt.Fprintf(w, "bpservd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
-		fmt.Fprintf(w, "bpservd_request_seconds_sum{endpoint=%q} %g\n", ep, time.Duration(h.sumNanos.Load()).Seconds())
-		fmt.Fprintf(w, "bpservd_request_seconds_count{endpoint=%q} %d\n", ep, h.count.Load())
-	}
-
-	for _, c := range []*counter{
-		&t.events, &t.batches, &t.backpressure, &t.rateLimited,
-		&t.sessCreated, &t.sessClosed, &t.sessEvicted, &t.sessExpired,
-		&t.sessSpilled, &t.warmRestores, &t.restoreFailures, &t.spillErrors,
-		&t.sweeps, &t.sweepEvals,
-	} {
-		writeHeader(c.name, c.help, "counter")
-		fmt.Fprintf(w, "%s %d\n", c.name, c.get())
-	}
-
-	for _, g := range t.gauges {
-		writeHeader(g.name, g.help, "gauge")
-		fmt.Fprintf(w, "%s %g\n", g.name, g.fn())
-	}
+func newServerMetrics() *serverMetrics {
+	reg := telemetry.NewRegistry()
+	m := &serverMetrics{reg: reg}
+	m.requests = reg.CounterVec("bpservd_requests_total", "HTTP requests by endpoint and status code.", "endpoint", "code")
+	m.latency = reg.HistogramVec("bpservd_request_seconds", "Request latency by endpoint.", latencyBuckets, "endpoint")
+	m.events = reg.Counter("bpservd_events_total", "Branch/predicate events fed into sessions.")
+	m.batches = reg.Counter("bpservd_batches_total", "Event batches accepted.")
+	m.backpressure = reg.Counter("bpservd_backpressure_total", "Batches rejected with 429 because a shard queue was full.")
+	m.rateLimited = reg.Counter("bpservd_rate_limited_total", "Requests rejected by the rate limiter.")
+	m.sessCreated = reg.Counter("bpservd_sessions_created_total", "Sessions created.")
+	m.sessClosed = reg.Counter("bpservd_sessions_closed_total", "Sessions closed by clients.")
+	m.sessEvicted = reg.Counter("bpservd_sessions_evicted_total", "Sessions evicted for capacity (LRU).")
+	m.sessExpired = reg.Counter("bpservd_sessions_expired_total", "Sessions expired by idle TTL.")
+	m.sessSpilled = reg.Counter("bpservd_sessions_spilled_total", "Session snapshots written to the spill directory (eviction, expiry, or shutdown).")
+	m.warmRestores = reg.Counter("bpservd_sessions_warm_restored_total", "Sessions restored from the spill directory on touch.")
+	m.restoreFailures = reg.Counter("bpservd_snapshot_restore_failures_total", "Snapshots that failed to decode (spill files or restore requests).")
+	m.spillErrors = reg.Counter("bpservd_spill_errors_total", "Failed attempts to write a session snapshot to the spill directory.")
+	m.sweeps = reg.Counter("bpservd_sweeps_total", "Sweep requests executed.")
+	m.sweepEvals = reg.Counter("bpservd_sweep_evals_total", "Individual spec evaluations across sweeps.")
+	telemetry.RegisterBuildInfo(reg, buildinfo.Version(), buildinfo.Revision())
+	return m
 }

@@ -28,6 +28,7 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"log"
 	"net/http"
@@ -35,6 +36,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Config parameterises the server. The zero value gets sensible
@@ -77,6 +80,10 @@ type Config struct {
 	MaxSweepSpecs int
 	// MaxSweepLimit caps the emulation step limit of a named-workload sweep.
 	MaxSweepLimit uint64
+
+	// SlowRequest is the latency threshold above which a request gets a
+	// structured slow_request log line; 0 disables.
+	SlowRequest time.Duration
 
 	// Logger receives one structured line per request; nil discards.
 	Logger *log.Logger
@@ -131,18 +138,23 @@ func (c Config) withDefaults() Config {
 // observability, behind one http.Handler.
 type Server struct {
 	cfg    Config
-	tel    *telemetry
+	tel    *serverMetrics
+	trace  *telemetry.Tracer
 	mgr    *sessionManager
 	mux    *http.ServeMux
 	bucket *tokenBucket
 	log    *log.Logger
 }
 
+// h2pTopK is how many hardest branches the aggregate bpservd_h2p_*
+// metric families export per scrape.
+const h2pTopK = 10
+
 // New builds a Server from the config (zero value OK). It fails only
 // when a configured spill directory cannot be created or scanned.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	tel := newTelemetry()
+	tel := newServerMetrics()
 	var spill *spillStore
 	if cfg.SpillDir != "" {
 		var err error
@@ -151,27 +163,54 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		cfg: cfg,
-		tel: tel,
-		mgr: newSessionManager(cfg, tel, spill),
-		mux: http.NewServeMux(),
-		log: cfg.Logger,
+		cfg:   cfg,
+		tel:   tel,
+		trace: telemetry.NewTracer("bpservd", cfg.Logger, cfg.SlowRequest),
+		mgr:   newSessionManager(cfg, tel, spill),
+		mux:   http.NewServeMux(),
+		log:   cfg.Logger,
 	}
 	if cfg.RatePerSec > 0 {
 		s.bucket = newTokenBucket(cfg.RatePerSec, float64(cfg.RateBurst), cfg.Now)
 	}
-	tel.addGauge("bpservd_sessions_live", "Resident sessions.", func() float64 { return float64(s.mgr.Live()) })
-	tel.addGauge("bpservd_session_bytes", "Approximate resident session memory in bytes.", func() float64 { return float64(s.mgr.Bytes()) })
-	tel.addGauge("bpservd_queue_depth", "Queued, unprocessed session operations across shards.", func() float64 { return float64(s.mgr.QueueDepth()) })
+	tel.reg.Gauge("bpservd_sessions_live", "Resident sessions.", func() float64 { return float64(s.mgr.Live()) })
+	tel.reg.Gauge("bpservd_session_bytes", "Approximate resident session memory in bytes.", func() float64 { return float64(s.mgr.Bytes()) })
+	tel.reg.Gauge("bpservd_queue_depth", "Queued, unprocessed session operations across shards.", func() float64 { return float64(s.mgr.QueueDepth()) })
 	if spill != nil {
-		tel.addGauge("bpservd_spill_bytes", "Bytes of spilled session snapshots on disk.", func() float64 { return float64(spill.bytes.Load()) })
-		tel.addGauge("bpservd_spill_files", "Spilled session snapshots on disk.", func() float64 { return float64(spill.files.Load()) })
+		// Counted from the directory at scrape time: with a shared spill
+		// dir, another backend's restores would drift any local deltas.
+		tel.reg.Gauge("bpservd_spill_bytes", "Bytes of spilled session snapshots on disk.", func() float64 {
+			_, b := spill.stats()
+			return float64(b)
+		})
+		tel.reg.Gauge("bpservd_spill_files", "Spilled session snapshots on disk.", func() float64 {
+			f, _ := spill.stats()
+			return float64(f)
+		})
 	}
+	// The H2P families rank the hardest branches across every resident
+	// session at scrape time (each collect runs its own shard sweep, so
+	// the two families may lag each other by in-flight batches).
+	tel.reg.GaugeVec("bpservd_h2p_events",
+		"Executions of the hardest-to-predict branches across resident sessions (top ranked by mispredictions).",
+		[]string{"pc"}, func(emit func([]string, float64)) {
+			for _, bs := range s.mgr.H2PTop(h2pTopK) {
+				emit([]string{fmt.Sprintf("0x%x", bs.PC)}, float64(bs.Count))
+			}
+		})
+	tel.reg.GaugeVec("bpservd_h2p_mispredicts",
+		"Mispredictions of the hardest-to-predict branches across resident sessions (top ranked by mispredictions).",
+		[]string{"pc"}, func(emit func([]string, float64)) {
+			for _, bs := range s.mgr.H2PTop(h2pTopK) {
+				emit([]string{fmt.Sprintf("0x%x", bs.PC)}, float64(bs.Mispredicts))
+			}
+		})
 
 	s.mux.Handle("POST /v1/sessions", s.api("create_session", s.handleCreateSession))
 	s.mux.Handle("GET /v1/sessions", s.api("list_sessions", s.handleListSessions))
 	s.mux.Handle("POST /v1/sessions/{id}/events", s.api("post_events", s.handlePostEvents))
 	s.mux.Handle("GET /v1/sessions/{id}", s.api("get_session", s.handleGetSession))
+	s.mux.Handle("GET /v1/sessions/{id}/stats", s.api("get_stats", s.handleStats))
 	s.mux.Handle("GET /v1/sessions/{id}/snapshot", s.api("get_snapshot", s.handleGetSnapshot))
 	s.mux.Handle("POST /v1/sessions/{id}/restore", s.api("restore_session", s.handleRestoreSession))
 	s.mux.Handle("DELETE /v1/sessions/{id}", s.api("delete_session", s.handleDeleteSession))
@@ -231,14 +270,22 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 }
 
 // instrument applies the cross-cutting request policy: optional rate
-// limiting, body size capping, latency/status accounting, and one
-// structured log line per request.
+// limiting, body size capping, request-ID propagation, latency/status
+// accounting, and one structured log line per request. The endpoint's
+// metric handles are resolved once here, at route-registration time, so
+// the per-request accounting allocates nothing.
 func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) http.Handler {
+	hist := s.tel.latency.With(endpoint)
+	codes := telemetry.NewCodeCounter(s.tel.requests, endpoint)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := s.cfg.Now()
+		rid := s.trace.EnsureRequestID(r)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		// Echo the ID before the handler runs, so error envelopes (and
+		// the client) can read it back from the response.
+		sw.Header().Set(telemetry.RequestIDHeader, rid)
 		if limited && s.bucket != nil && !s.bucket.allow() {
-			s.tel.rateLimited.inc()
+			s.tel.rateLimited.Inc()
 			writeError(sw, http.StatusTooManyRequests, "rate_limited", "request rate limit exceeded")
 		} else {
 			if r.Body != nil {
@@ -247,9 +294,13 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 			h(sw, r)
 		}
 		d := s.cfg.Now().Sub(start)
-		s.tel.countRequest(endpoint, sw.code, d)
-		s.log.Printf("method=%s path=%s endpoint=%s status=%d dur_us=%d bytes=%d",
-			r.Method, r.URL.Path, endpoint, sw.code, d.Microseconds(), sw.bytes)
+		codes.Code(sw.code).Inc()
+		hist.ObserveDuration(d)
+		s.trace.Record(telemetry.Span{
+			RequestID: rid, Endpoint: endpoint, Status: sw.code, Start: start, Duration: d,
+		})
+		s.log.Printf("method=%s path=%s endpoint=%s status=%d dur_us=%d bytes=%d rid=%s",
+			r.Method, r.URL.Path, endpoint, sw.code, d.Microseconds(), sw.bytes, rid)
 	})
 }
 

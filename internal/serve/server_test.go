@@ -463,7 +463,7 @@ func TestGracefulDrain(t *testing.T) {
 	close(stop)
 	wg.Wait()
 
-	if got, want := s.tel.events.get(), accepted.Load(); got != want {
+	if got, want := s.tel.events.Value(), accepted.Load(); got != want {
 		t.Errorf("drained events %d != acknowledged events %d", got, want)
 	}
 	if _, err := s.mgr.Feed(ctx, ids[0], nil, 0, 0, false); err == nil {

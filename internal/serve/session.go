@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/snap"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -157,13 +158,13 @@ func (sh *shard) setBytes(s *session, b int64) {
 	s.bytes = b
 }
 
-func (sh *shard) remove(s *session, c *counter) {
+func (sh *shard) remove(s *session, c *telemetry.Counter) {
 	delete(sh.sessions, s.id)
 	sh.lru.Remove(s.elem)
 	sh.bytes -= s.bytes
 	sh.mgr.live.Add(-1)
 	sh.mgr.bytes.Add(-s.bytes)
-	c.inc()
+	c.Inc()
 }
 
 // spill writes the session's snapshot to the spill store, if one is
@@ -180,17 +181,17 @@ func (sh *shard) spill(s *session) bool {
 		err = st.write(s.id, snap.Key(s.spec, s.eval.Config()), blob)
 	}
 	if err != nil {
-		sh.mgr.tel.spillErrors.inc()
+		sh.mgr.tel.spillErrors.Inc()
 		return false
 	}
-	sh.mgr.tel.sessSpilled.inc()
+	sh.mgr.tel.sessSpilled.Inc()
 	return true
 }
 
 // evict removes a session for capacity or idleness, spilling its state
 // to disk first when a spill store is configured: eviction then demotes
 // the session from memory to disk instead of destroying it.
-func (sh *shard) evict(s *session, c *counter) {
+func (sh *shard) evict(s *session, c *telemetry.Counter) {
 	sh.spill(s)
 	sh.remove(s, c)
 }
@@ -206,7 +207,7 @@ func (sh *shard) restore(id string, now time.Time) *session {
 	res, path, err := st.load(id)
 	if err != nil {
 		if path != "" {
-			sh.mgr.tel.restoreFailures.inc()
+			sh.mgr.tel.restoreFailures.Inc()
 			st.removePath(path)
 		}
 		return nil
@@ -221,7 +222,7 @@ func (sh *shard) restore(id string, now time.Time) *session {
 		created: now, last: now,
 	}
 	sh.insert(s)
-	sh.mgr.tel.warmRestores.inc()
+	sh.mgr.tel.warmRestores.Inc()
 	st.removePath(path) // the resident copy is authoritative again
 	return s
 }
@@ -247,7 +248,7 @@ func (sh *shard) expire(now time.Time) {
 		if now.Sub(s.last) <= ttl {
 			break // LRU order: everything further forward is younger
 		}
-		sh.evict(s, &sh.mgr.tel.sessExpired)
+		sh.evict(s, sh.mgr.tel.sessExpired)
 		e = prev
 	}
 }
@@ -272,7 +273,7 @@ func (sh *shard) makeRoom(now time.Time, extra int) bool {
 		if now.Sub(s.last) < sh.mgr.cfg.MinEvictIdle {
 			return !over()
 		}
-		sh.evict(s, &sh.mgr.tel.sessEvicted)
+		sh.evict(s, sh.mgr.tel.sessEvicted)
 	}
 	return true
 }
@@ -282,7 +283,7 @@ func (sh *shard) makeRoom(now time.Time, extra int) bool {
 // on that shard's goroutine.
 type sessionManager struct {
 	cfg   Config
-	tel   *telemetry
+	tel   *serverMetrics
 	now   func() time.Time
 	spill *spillStore // nil when SpillDir is unset
 
@@ -297,7 +298,7 @@ type sessionManager struct {
 	wg     sync.WaitGroup
 }
 
-func newSessionManager(cfg Config, tel *telemetry, spill *spillStore) *sessionManager {
+func newSessionManager(cfg Config, tel *serverMetrics, spill *spillStore) *sessionManager {
 	m := &sessionManager{
 		cfg: cfg, tel: tel, now: cfg.Now, spill: spill,
 		idsalt: rand.Uint64(),
@@ -428,7 +429,7 @@ func (m *sessionManager) Create(ctx context.Context, id string, spec sim.Spec, c
 			created: now, last: now,
 		}
 		sh.insert(s)
-		m.tel.sessCreated.inc()
+		m.tel.sessCreated.Inc()
 		reply <- sessionReply{info: s.info(false)}
 	}
 	if err := m.enqueue(ctx, sh, op, true); err != nil {
@@ -485,8 +486,8 @@ func (m *sessionManager) Feed(ctx context.Context, id string, events []trace.Eve
 		s.batches++
 		sh.touch(s, now)
 		sh.setBytes(s, specBytes(s.spec)+int64(len(s.eval.Metrics().ByPC))*96)
-		m.tel.events.add(uint64(len(events)))
-		m.tel.batches.inc()
+		m.tel.events.Add(uint64(len(events)))
+		m.tel.batches.Inc()
 		res := FeedResult{Events: len(events), TotalEvents: s.events}
 		if withMetrics {
 			res.Info = s.info(true)
@@ -515,7 +516,7 @@ func (m *sessionManager) Metrics(ctx context.Context, id string) (*SessionInfo, 
 func (m *sessionManager) Delete(ctx context.Context, id string) (*SessionInfo, error) {
 	return m.sessionOp(ctx, id, func(sh *shard, s *session) *SessionInfo {
 		inf := s.info(true)
-		sh.remove(s, &m.tel.sessClosed)
+		sh.remove(s, m.tel.sessClosed)
 		if m.spill != nil {
 			m.spill.remove(id)
 		}
@@ -577,7 +578,7 @@ func (m *sessionManager) Restore(ctx context.Context, id string, res *snap.Resto
 			created: now, last: now,
 		}
 		sh.insert(s)
-		m.tel.sessCreated.inc()
+		m.tel.sessCreated.Inc()
 		reply <- sessionReply{info: s.info(false)}
 	}
 	if err := m.enqueue(ctx, sh, op, true); err != nil {
@@ -603,6 +604,80 @@ func (m *sessionManager) sessionOp(ctx context.Context, id string, fn func(*shar
 	}
 	r, err := m.wait(ctx, reply)
 	return r.info, err
+}
+
+// Stats builds a session's per-branch introspection report: totals plus
+// the top-k branches by misprediction count. perBranch reports whether
+// the session collects per-branch statistics at all (a session created
+// without per_branch returns an empty report, not an error). Reading
+// stats counts as a use for LRU/TTL purposes.
+func (m *sessionManager) Stats(ctx context.Context, id string, k int) (*SessionInfo, core.BranchReport, bool, error) {
+	var rep core.BranchReport
+	var perBranch bool
+	inf, err := m.sessionOp(ctx, id, func(sh *shard, s *session) *SessionInfo {
+		sh.touch(s, m.now())
+		mt := s.eval.Metrics()
+		rep = mt.BranchReport(k)
+		perBranch = s.eval.Config().PerBranch
+		return s.info(false)
+	})
+	return inf, rep, perBranch, err
+}
+
+// h2pTimeout bounds the shard sweep behind the aggregate H2P metric
+// families, so a wedged shard cannot hang a /metrics scrape.
+const h2pTimeout = 2 * time.Second
+
+// H2PTop merges per-branch statistics across every resident session and
+// returns the k hardest branches fleet-wide (most mispredicted first,
+// ties toward the lower PC). Shards that cannot answer within the
+// internal timeout are skipped — a scrape-time ranking may be partial,
+// never blocking.
+func (m *sessionManager) H2PTop(k int) []core.BranchStats {
+	agg := make(map[uint64]*core.BranchStats)
+	ctx, cancel := context.WithTimeout(context.Background(), h2pTimeout)
+	defer cancel()
+	for _, sh := range m.shards {
+		reply := make(chan map[uint64]core.BranchStats, 1)
+		op := func() {
+			part := make(map[uint64]core.BranchStats)
+			for _, s := range sh.sessions {
+				for pc, bs := range s.eval.Metrics().ByPC {
+					e := part[pc]
+					e.PC = pc
+					e.Count += bs.Count
+					e.Taken += bs.Taken
+					e.Mispredicts += bs.Mispredicts
+					e.Filtered += bs.Filtered
+					e.Region = e.Region || bs.Region
+					part[pc] = e
+				}
+			}
+			reply <- part
+		}
+		if err := m.enqueue(ctx, sh, op, true); err != nil {
+			continue
+		}
+		select {
+		case part := <-reply:
+			for pc, e := range part {
+				a := agg[pc]
+				if a == nil {
+					a = &core.BranchStats{PC: pc}
+					agg[pc] = a
+				}
+				a.Count += e.Count
+				a.Taken += e.Taken
+				a.Mispredicts += e.Mispredicts
+				a.Filtered += e.Filtered
+				a.Region = a.Region || e.Region
+			}
+		case <-ctx.Done():
+		case <-m.done:
+		}
+	}
+	rep := (&core.Metrics{ByPC: agg}).BranchReport(k)
+	return rep.Top
 }
 
 // List returns summaries (no per-branch maps) of every live session.

@@ -205,7 +205,7 @@ func TestEvictionUnderLoad(t *testing.T) {
 	if _, err := s.mgr.Metrics(ctx, idle); !errors.Is(err, ErrNotFound) {
 		t.Errorf("idle session: err = %v, want ErrNotFound (should be evicted)", err)
 	}
-	if got := s.tel.sessEvicted.get(); got != 1 {
+	if got := s.tel.sessEvicted.Value(); got != 1 {
 		t.Errorf("evictions = %d, want 1", got)
 	}
 
@@ -241,7 +241,7 @@ func TestTTLExpiry(t *testing.T) {
 		// Metrics touches the session, so back off past the TTL.
 		time.Sleep(50 * time.Millisecond)
 	}
-	if got := s.tel.sessExpired.get(); got != 1 {
+	if got := s.tel.sessExpired.Value(); got != 1 {
 		t.Errorf("expirations = %d, want 1", got)
 	}
 	if got := s.mgr.Live(); got != 0 {

@@ -5,7 +5,6 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"sync/atomic"
 
 	"repro/internal/snap"
 )
@@ -18,13 +17,11 @@ import (
 // process shutdown into a cold/warm split rather than state loss: the
 // next touch of a spilled session restores it from disk.
 //
-// The store itself is trivially concurrent (atomic byte/file counters
-// plus O_EXCL-free atomic renames); ordering per session comes from the
-// shard goroutines, which are the only writers for their sessions.
+// The store is trivially concurrent (atomic renames); ordering per
+// session comes from the shard goroutines, which are the only writers
+// for their sessions.
 type spillStore struct {
-	dir   string
-	bytes atomic.Int64
-	files atomic.Int64
+	dir string
 }
 
 const spillExt = ".p64s"
@@ -33,23 +30,33 @@ func newSpillStore(dir string) (*spillStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: spill dir: %w", err)
 	}
-	st := &spillStore{dir: dir}
-	// Adopt snapshots already present (a restart, or another backend
-	// sharing the directory) into the byte/file accounting.
-	entries, err := os.ReadDir(dir)
-	if err != nil {
+	if _, err := os.ReadDir(dir); err != nil {
 		return nil, fmt.Errorf("serve: spill dir: %w", err)
+	}
+	return &spillStore{dir: dir}, nil
+}
+
+// stats counts the snapshots on disk right now. The gauges read the
+// directory instead of maintaining local deltas because several
+// backends may share one spill dir — a failover peer restoring (and
+// deleting) snapshots this process wrote would drift any local
+// accounting negative. Directories hold at most the fleet's session
+// cap, so a scrape-time ReadDir stays cheap.
+func (st *spillStore) stats() (files, bytes int64) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return 0, 0
 	}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), spillExt) {
 			continue
 		}
 		if fi, err := e.Info(); err == nil {
-			st.bytes.Add(fi.Size())
-			st.files.Add(1)
+			files++
+			bytes += fi.Size()
 		}
 	}
-	return st, nil
+	return files, bytes
 }
 
 // validSessionID reports whether id is safe as a client-supplied session
@@ -98,8 +105,6 @@ func (st *spillStore) write(id, key string, blob []byte) error {
 		os.Remove(tmp)
 		return err
 	}
-	st.bytes.Add(int64(len(blob)))
-	st.files.Add(1)
 	return nil
 }
 
@@ -125,16 +130,9 @@ func (st *spillStore) load(id string) (*snap.Restored, string, error) {
 	return res, path, nil
 }
 
-// removePath deletes one spill file and settles the accounting.
+// removePath deletes one spill file.
 func (st *spillStore) removePath(path string) {
-	fi, err := os.Stat(path)
-	if err != nil {
-		return
-	}
-	if os.Remove(path) == nil {
-		st.bytes.Add(-fi.Size())
-		st.files.Add(-1)
-	}
+	os.Remove(path)
 }
 
 // remove deletes a session's spill file, if any (client delete, or a

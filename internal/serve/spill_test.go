@@ -53,10 +53,10 @@ func TestEvictToDiskAndWarmRestore(t *testing.T) {
 	// Creating a second session in a 1-session table evicts the first —
 	// with a spill dir, that spills it instead of dropping it.
 	second := mgrSession(t, s, "bimodal:10")
-	if s.tel.sessSpilled.get() == 0 {
+	if s.tel.sessSpilled.Value() == 0 {
 		t.Fatal("eviction did not spill")
 	}
-	if s.mgr.spill.files.Load() == 0 || s.mgr.spill.bytes.Load() == 0 {
+	if f, b := s.mgr.spill.stats(); f == 0 || b == 0 {
 		t.Fatal("spill accounting shows no file")
 	}
 
@@ -67,7 +67,7 @@ func TestEvictToDiskAndWarmRestore(t *testing.T) {
 	if err != nil {
 		t.Fatalf("evicted session did not restore: %v", err)
 	}
-	if s.tel.warmRestores.get() == 0 {
+	if s.tel.warmRestores.Value() == 0 {
 		t.Fatal("restore not counted")
 	}
 	want := directMetrics(t, tr, "gshare:12:8", testEvalOptions(), 1)
@@ -313,13 +313,13 @@ func TestConcurrentEvictRestore(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if s.tel.sessSpilled.get() == 0 || s.tel.warmRestores.get() == 0 {
+	if s.tel.sessSpilled.Value() == 0 || s.tel.warmRestores.Value() == 0 {
 		t.Fatalf("hammer exercised no spill traffic: spilled=%d restored=%d",
-			s.tel.sessSpilled.get(), s.tel.warmRestores.get())
+			s.tel.sessSpilled.Value(), s.tel.warmRestores.Value())
 	}
-	if s.tel.restoreFailures.get() != 0 || s.tel.spillErrors.get() != 0 {
+	if s.tel.restoreFailures.Value() != 0 || s.tel.spillErrors.Value() != 0 {
 		t.Fatalf("spill errors: restoreFailures=%d spillErrors=%d",
-			s.tel.restoreFailures.get(), s.tel.spillErrors.get())
+			s.tel.restoreFailures.Value(), s.tel.spillErrors.Value())
 	}
 	want := uint64(len(events) * rounds)
 	for _, id := range ids {

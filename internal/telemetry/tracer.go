@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RequestIDHeader is the header that carries a request's correlation ID
+// across tiers: bpload mints one per batch, bprouter mints one for any
+// request arriving without it, and every hop logs it — so one ID
+// follows a batch from the client through router retry/failover to
+// whichever backend finally applied it.
+const RequestIDHeader = "X-Request-Id"
+
+// maxRequestID bounds accepted client-supplied IDs.
+const maxRequestID = 128
+
+// ValidRequestID reports whether a client-supplied request ID is safe
+// to propagate into logs and label values: 1..128 bytes of
+// [A-Za-z0-9._-]. Anything else is replaced by a minted ID rather than
+// trusted.
+func ValidRequestID(s string) bool {
+	if len(s) == 0 || len(s) > maxRequestID {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '.' || c == '_' || c == '-' ||
+			(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Span is one recorded hop of a request: which service handled which
+// endpoint, with what status, and how long it took.
+type Span struct {
+	RequestID string
+	Service   string
+	Endpoint  string
+	Status    int
+	Start     time.Time
+	Duration  time.Duration
+}
+
+// Tracer mints and propagates request IDs and records per-hop spans in
+// a bounded ring, emitting a structured slow_request log line for any
+// span over the threshold. All methods are safe for concurrent use.
+type Tracer struct {
+	service string
+	log     *log.Logger
+	slow    time.Duration // 0 disables slow-request logging
+
+	ctr  atomic.Uint64
+	salt uint64
+
+	mu   sync.Mutex
+	ring []Span
+	next int
+	seen uint64
+}
+
+// NewTracer builds a tracer for one service tier. logger may be nil
+// (slow-request lines are then discarded); slow <= 0 disables
+// slow-request logging entirely.
+func NewTracer(service string, logger *log.Logger, slow time.Duration) *Tracer {
+	return &Tracer{
+		service: service,
+		log:     logger,
+		slow:    slow,
+		salt:    rand.Uint64(),
+		ring:    make([]Span, 256),
+	}
+}
+
+// NewRequestID mints a fresh request ID, unique within the process and
+// salted across processes.
+func (t *Tracer) NewRequestID() string {
+	return fmt.Sprintf("%s-%06x-%08x", t.service, t.ctr.Add(1), uint32(t.salt>>32)^uint32(t.salt)^rand.Uint32())
+}
+
+// EnsureRequestID returns the request's correlation ID, minting one and
+// setting it on the request headers when absent or invalid — so a
+// proxied request (whose headers are forwarded) carries the same ID to
+// the next tier.
+func (t *Tracer) EnsureRequestID(r *http.Request) string {
+	id := r.Header.Get(RequestIDHeader)
+	if !ValidRequestID(id) {
+		id = t.NewRequestID()
+		r.Header.Set(RequestIDHeader, id)
+	}
+	return id
+}
+
+// Record stores one completed span in the ring and logs it if slow.
+func (t *Tracer) Record(sp Span) {
+	if sp.Service == "" {
+		sp.Service = t.service
+	}
+	t.mu.Lock()
+	t.ring[t.next] = sp
+	t.next = (t.next + 1) % len(t.ring)
+	t.seen++
+	t.mu.Unlock()
+	if t.slow > 0 && sp.Duration >= t.slow && t.log != nil {
+		t.log.Printf("slow_request service=%s endpoint=%s rid=%s status=%d dur_ms=%.1f",
+			sp.Service, sp.Endpoint, sp.RequestID, sp.Status, float64(sp.Duration.Microseconds())/1000)
+	}
+}
+
+// Recent returns up to n spans, newest first.
+func (t *Tracer) Recent(n int) []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	have := int(t.seen)
+	if t.seen > uint64(len(t.ring)) {
+		have = len(t.ring)
+	}
+	if n > have {
+		n = have
+	}
+	out := make([]Span, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, t.ring[((t.next-1-i)%len(t.ring)+len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// Spans returns the total number of spans recorded.
+func (t *Tracer) Spans() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seen
+}

@@ -1,0 +1,29 @@
+package telemetry
+
+import (
+	"io"
+	"log"
+	"net/http/httptest"
+	"testing"
+
+	"net/http"
+)
+
+func newBufLogger(w io.Writer) *log.Logger { return log.New(w, "", 0) }
+
+func newRequest(t *testing.T) *http.Request {
+	t.Helper()
+	return httptest.NewRequest(http.MethodGet, "http://example/x", nil)
+}
+
+// TestTracerNilLogger exercises the nil-logger and disabled-threshold
+// paths.
+func TestTracerNilLogger(t *testing.T) {
+	tr := NewTracer("svc", nil, 1) // 1ns threshold, nil logger: must not panic
+	tr.Record(Span{RequestID: "r", Endpoint: "e", Status: 200, Duration: 5})
+	off := NewTracer("svc", newBufLogger(io.Discard), 0) // threshold off
+	off.Record(Span{RequestID: "r", Endpoint: "e", Status: 200, Duration: 1 << 40})
+	if got := off.Recent(1); len(got) != 1 {
+		t.Fatalf("span not recorded: %d", len(got))
+	}
+}
