@@ -99,7 +99,10 @@ go test -run='^$' -bench BenchmarkFeed -benchtime 1x .
 
 echo "== bpbench regression gate =="
 # Quick grid against the committed baseline; any metric more than 25%
-# worse fails CI. The fresh artifact is left in a temp file for
+# worse fails CI. The quick grid includes the serve HTTP feed benchmarks
+# (serial and multi-client) and the counter-layout microbenchmarks, so
+# a serving-path or table-layout regression trips the same gate as a
+# feed-loop one. The fresh artifact is left in a temp file for
 # inspection (and for refreshing BENCH.json after intentional changes).
 benchout=$(mktemp /tmp/BENCH.ci.XXXXXX.json)
 go run ./cmd/bpbench -quick -o "$benchout" -compare BENCH.json -threshold 0.25

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Counter-table layout microbenchmarks: the same saturating-counter
+// update stream driven through the packed 32-counters-per-word layout
+// internal/bpred ships and through a byte-per-counter replica of the
+// layout it retired. The pair isolates the table-access cost from the
+// rest of the feed loop, so BENCH.json records the layout choice's raw
+// effect at two working-set sizes: 2^12 counters (everything
+// cache-resident either way; the win is the branch-free update) and
+// 2^20 counters (1 MiB as bytes vs 256 KiB packed; the win is cache
+// footprint). The packed implementation mirrors bpred's ctrTable
+// word-for-word; the oracle's layout differential family is what pins
+// the real tables to the reference semantics.
+
+// layoutPacked is the packed layout: 2-bit counters, 32 per uint64 word,
+// branch-free transition-table update (see internal/bpred's ctrTable).
+type layoutPacked struct {
+	words []uint64
+	mask  uint64
+}
+
+func newLayoutPacked(bits int) *layoutPacked {
+	n := uint64(1) << bits
+	t := &layoutPacked{words: make([]uint64, (n+31)/32), mask: n - 1}
+	for i := range t.words {
+		t.words[i] = 0x5555555555555555 // every counter weakly not-taken
+	}
+	return t
+}
+
+const layoutCtrNext = 0<<0 | 1<<2 | 0<<4 | 2<<6 | 1<<8 | 3<<10 | 2<<12 | 3<<14
+
+func (t *layoutPacked) predictUpdate(i, up uint64) bool {
+	w := &t.words[i/32&uint64(len(t.words)-1)]
+	sh := i % 32 * 2
+	word := *w
+	c := word >> sh & 3
+	nc := uint64(layoutCtrNext) >> (c<<2 | up<<1) & 3
+	*w = word ^ (c^nc)<<sh
+	return c&2 != 0
+}
+
+// layoutBytes is the retired layout: one byte per 2-bit counter, the
+// classic compare-and-branch saturating update.
+type layoutBytes struct {
+	ctr  []uint8
+	mask uint64
+}
+
+func newLayoutBytes(bits int) *layoutBytes {
+	t := &layoutBytes{ctr: make([]uint8, 1<<bits), mask: 1<<bits - 1}
+	for i := range t.ctr {
+		t.ctr[i] = 1
+	}
+	return t
+}
+
+func (t *layoutBytes) predictUpdate(i uint64, taken bool) bool {
+	c := t.ctr[i]
+	if taken {
+		if c < 3 {
+			t.ctr[i] = c + 1
+		}
+	} else if c > 0 {
+		t.ctr[i] = c - 1
+	}
+	return c >= 2
+}
+
+// layoutSink keeps the prediction results observable so the benchmark
+// loops cannot be dead-code eliminated.
+var layoutSink uint64
+
+// benchLayout measures one layout at one table size: a pseudorandom
+// gshare-shaped index stream with pseudorandom outcomes, reporting
+// counter predict+update steps per second.
+func benchLayout(bits int, packed bool, minTime time.Duration) (Result, error) {
+	const streamLen = 1 << 14
+	r := rng.New(uint64(bits))
+	idx := make([]uint64, streamLen)
+	up := make([]uint64, streamLen)
+	mask := uint64(1)<<bits - 1
+	for i := range idx {
+		idx[i] = r.Uint64() & mask
+		up[i] = r.Uint64() & 1
+	}
+	name := "layout/bytes:"
+	var op func()
+	if packed {
+		name = "layout/packed:"
+		t := newLayoutPacked(bits)
+		op = func() {
+			var hits uint64
+			for j, i := range idx {
+				if t.predictUpdate(i, up[j]) {
+					hits++
+				}
+			}
+			layoutSink += hits
+		}
+	} else {
+		t := newLayoutBytes(bits)
+		op = func() {
+			var hits uint64
+			for j, i := range idx {
+				if t.predictUpdate(i, up[j] == 1) {
+					hits++
+				}
+			}
+			layoutSink += hits
+		}
+	}
+	res := bestRate(streamLen, minTime, op)
+	res.Name = name + itoa(bits)
+	res.Unit = "updates/s"
+	return res, nil
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

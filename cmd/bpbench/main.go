@@ -41,8 +41,11 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/buildinfo"
@@ -93,6 +96,8 @@ func run(args []string, out io.Writer) error {
 	kindsFlag := fs.String("kinds", "", "comma-separated predictor kinds to measure (default: all registry kinds)")
 	serveBench := fs.Bool("serve", true, "measure the serve-session HTTP feed path")
 	allFeatured := fs.Bool("allfeatured", false, "measure the featured (SFPF+PGU) feed loops for every kind, not just gshare")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile covering the whole run to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile at the end of the run to this file")
 	version := buildinfo.Flag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,6 +108,31 @@ func run(args []string, out io.Writer) error {
 	}
 	if *quick && *minTime == time.Second {
 		*minTime = 200 * time.Millisecond
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bpbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "bpbench:", err)
+			}
+		}()
 	}
 
 	kinds := sim.Kinds()
@@ -176,6 +206,17 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			if err := add(benchServe(spec, window, *minTime)); err != nil {
+				return err
+			}
+			if err := add(benchServeMulti(spec, window, *minTime)); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, bits := range []int{12, 20} {
+		for _, packed := range []bool{true, false} {
+			if err := add(benchLayout(bits, packed, *minTime)); err != nil {
 				return err
 			}
 		}
@@ -383,6 +424,98 @@ func benchServe(spec sim.Spec, window []trace.Event, minTime time.Duration) (Res
 	}
 	r.Name = "serve/feed/" + spec.String()
 	return r, nil
+}
+
+// benchServeMulti drives the HTTP feed path with several concurrent
+// sessions, the workload the shard scheduling pass exists for: while one
+// batch is being fed, the others' requests queue on the shards, so each
+// worker wakeup drains and groups several batches. Unlike the serial
+// benchmark's best-chunk rate, the result is the whole-run aggregate
+// rate — the number a fleet operator would see.
+func benchServeMulti(spec sim.Spec, window []trace.Event, minTime time.Duration) (Result, error) {
+	const clients = 8
+	srv := serve.MustNew(serve.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+	defer client.CloseIdleConnections()
+
+	var batch bytes.Buffer
+	bt := &trace.Trace{Name: "bench", Events: window}
+	if _, err := bt.WriteTo(&batch); err != nil {
+		return Result{}, err
+	}
+	payload := batch.Bytes()
+
+	sessBody, err := json.Marshal(serve.SessionRequest{Spec: spec.String()})
+	if err != nil {
+		return Result{}, err
+	}
+	urls := make([]string, clients)
+	for i := range urls {
+		resp, err := client.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(sessBody))
+		if err != nil {
+			return Result{}, err
+		}
+		var sess serve.SessionJSON
+		err = json.NewDecoder(resp.Body).Decode(&sess)
+		resp.Body.Close()
+		if err != nil {
+			return Result{}, err
+		}
+		urls[i] = ts.URL + "/v1/sessions/" + sess.ID + "/events"
+	}
+
+	post := func(url string) error {
+		resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("serve feed: HTTP %d", resp.StatusCode)
+		}
+		return nil
+	}
+	// Warm up connections and session state outside the timed window.
+	for _, url := range urls {
+		if err := post(url); err != nil {
+			return Result{}, err
+		}
+	}
+
+	var batches atomic.Int64
+	errs := make(chan error, clients)
+	start := time.Now()
+	deadline := start.Add(minTime)
+	var wg sync.WaitGroup
+	for _, url := range urls {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if err := post(url); err != nil {
+					errs <- err
+					return
+				}
+				batches.Add(1)
+			}
+		}(url)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return Result{}, err
+	default:
+	}
+	return Result{
+		Name:  "serve/feed/" + spec.String() + "/multi",
+		Value: float64(batches.Load()) * float64(len(window)) / elapsed.Seconds(),
+		Unit:  "events/s", HigherBetter: true,
+	}, nil
 }
 
 // benchExperiments times one full regeneration of the E1–E14 experiment

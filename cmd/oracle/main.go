@@ -104,6 +104,17 @@ func run(args []string, out io.Writer) error {
 			}})
 	}
 
+	// Layout: every kind against its reference over the adversarial
+	// counter-saturation streams — the packed 2-bit table storage must be
+	// indistinguishable from the naive byte-per-counter models on the
+	// streams built to break it.
+	for _, kind := range kinds {
+		spec := sim.MustParse(kind)
+		checks = append(checks, check{name: "layout:" + spec.String(), fn: func(context.Context) error {
+			return oracle.CheckLayout(spec, *seed, *events/4)
+		}})
+	}
+
 	// Metamorphic: table doubling where the index confinement is
 	// expressible, interleave invariance for the stateless kinds.
 	for _, kind := range []string{"bimodal", "gshare", "gselect"} {

@@ -34,7 +34,7 @@ type biasEntry struct {
 type Agree struct {
 	tableBits int
 	histBits  int
-	table     []counter   // taken() == "agrees with bias"
+	table     ctrTable    // taken == "agrees with bias"
 	bias      []biasEntry // set-associative: sets of agreeWays entries
 	rr        []uint8     // per-set round-robin replacement cursor
 	setMask   uint64
@@ -54,7 +54,7 @@ func (a *Agree) Name() string { return fmt.Sprintf("agree-%d.%d", a.tableBits, a
 
 func (a *Agree) index(pc uint64) uint64 {
 	h := a.hist & ((1 << a.histBits) - 1)
-	return (pc ^ h) & (uint64(len(a.table)) - 1)
+	return (pc ^ h) & a.table.mask
 }
 
 // biasSet returns the first entry index of pc's bias set.
@@ -98,24 +98,24 @@ func (a *Agree) allocBias(pc uint64, taken bool) bool {
 // Predict implements Predictor.
 func (a *Agree) Predict(pc uint64) bool {
 	bias := a.lookupBias(pc) // default bias: not-taken until first outcome
-	agree := a.table[a.index(pc)].taken()
+	agree := a.table.taken(a.index(pc))
 	return bias == agree
 }
 
 // Update implements Predictor.
 func (a *Agree) Update(pc uint64, taken bool) {
 	bias := a.allocBias(pc, taken)
-	i := a.index(pc)
-	a.table[i] = a.table[i].update(taken == bias)
+	a.table.update(a.index(pc), taken == bias)
 	a.ObserveBit(taken)
 }
 
 // PredictUpdate implements Fused.
 func (a *Agree) PredictUpdate(pc uint64, taken bool) bool {
 	i := a.index(pc)
-	pred := a.lookupBias(pc) == a.table[i].taken()
+	agree := a.table.taken(i)
+	pred := a.lookupBias(pc) == agree
 	bias := a.allocBias(pc, taken)
-	a.table[i] = a.table[i].update(taken == bias)
+	a.table.update(i, taken == bias)
 	a.hist = a.hist<<1 | b2u(taken)
 	return pred
 }
@@ -130,11 +130,12 @@ func (a *Agree) ObserveBit(bit bool) {
 
 // Reset implements Predictor.
 func (a *Agree) Reset() {
-	a.table = newTable(a.tableBits)
 	// Counters initialise to weak agreement so an unbiased start predicts
 	// the bias.
-	for i := range a.table {
-		a.table[i] = 2
+	if a.table.words == nil {
+		a.table = newCtrTable(a.tableBits, 2)
+	} else {
+		a.table.reset()
 	}
 	sets := uint64(1)
 	if a.tableBits > 2 {

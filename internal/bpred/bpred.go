@@ -51,43 +51,19 @@ type Fused interface {
 	PredictUpdate(pc uint64, taken bool) bool
 }
 
-// counter is a 2-bit saturating counter; values 0..3, taken when >= 2.
-// Counters initialise to 1 (weakly not-taken), the usual convention.
-type counter uint8
-
-const counterInit counter = 1
-
-func (c counter) taken() bool { return c >= 2 }
-
-func (c counter) update(taken bool) counter {
-	if taken {
-		if c < 3 {
-			return c + 1
-		}
-		return c
-	}
-	if c > 0 {
-		return c - 1
-	}
-	return c
-}
+// counterInit is the initial 2-bit counter value: 1, weakly not-taken,
+// the usual convention. Counters live packed in ctrTable words; values
+// 0..3 predict taken when >= 2.
+const counterInit = 1
 
 // b2u is the branch-free bool-to-bit conversion the fused history shifts
-// use; the compiler lowers it to a SETcc, keeping PredictUpdate loops free
-// of extra branches.
+// and the packed counter update use; the compiler lowers it to a SETcc,
+// keeping PredictUpdate loops free of extra branches.
 func b2u(b bool) uint64 {
 	if b {
 		return 1
 	}
 	return 0
-}
-
-func newTable(bits int) []counter {
-	t := make([]counter, 1<<bits)
-	for i := range t {
-		t[i] = counterInit
-	}
-	return t
 }
 
 // Static always predicts the same direction.
@@ -119,79 +95,73 @@ func (s *Static) Reset() {}
 // Bimodal is a pc-indexed table of 2-bit counters.
 type Bimodal struct {
 	bits  int
-	table []counter
+	table ctrTable
 }
 
 // NewBimodal returns a bimodal predictor with 2^bits counters.
 func NewBimodal(bits int) *Bimodal {
-	return &Bimodal{bits: bits, table: newTable(bits)}
+	return &Bimodal{bits: bits, table: newCtrTable(bits, counterInit)}
 }
 
-func (b *Bimodal) index(pc uint64) uint64 { return pc & (uint64(len(b.table)) - 1) }
+func (b *Bimodal) index(pc uint64) uint64 { return pc & b.table.mask }
 
 // Name implements Predictor.
 func (b *Bimodal) Name() string { return fmt.Sprintf("bimodal-%d", b.bits) }
 
 // Predict implements Predictor.
-func (b *Bimodal) Predict(pc uint64) bool { return b.table[b.index(pc)].taken() }
+func (b *Bimodal) Predict(pc uint64) bool { return b.table.taken(b.index(pc)) }
 
 // Update implements Predictor.
 func (b *Bimodal) Update(pc uint64, taken bool) {
-	i := b.index(pc)
-	b.table[i] = b.table[i].update(taken)
+	b.table.update(b.index(pc), taken)
 }
 
 // PredictUpdate implements Fused.
 func (b *Bimodal) PredictUpdate(pc uint64, taken bool) bool {
-	i := b.index(pc)
-	c := b.table[i]
-	b.table[i] = c.update(taken)
-	return c.taken()
+	return b.table.predictUpdate(b.index(pc), b2u(taken))
 }
 
 // Reset implements Predictor.
-func (b *Bimodal) Reset() { b.table = newTable(b.bits) }
+func (b *Bimodal) Reset() { b.table.reset() }
 
 // GShare is a two-level global predictor indexing its counter table with
 // pc XOR global-history.
 type GShare struct {
 	tableBits int
 	histBits  int
-	table     []counter
+	table     ctrTable
 	hist      uint64
 }
 
 // NewGShare returns a gshare predictor with 2^tableBits counters and
 // histBits of global history.
 func NewGShare(tableBits, histBits int) *GShare {
-	return &GShare{tableBits: tableBits, histBits: histBits, table: newTable(tableBits)}
+	return &GShare{tableBits: tableBits, histBits: histBits, table: newCtrTable(tableBits, counterInit)}
 }
 
 func (g *GShare) index(pc uint64) uint64 {
 	h := g.hist & ((1 << g.histBits) - 1)
-	return (pc ^ h) & (uint64(len(g.table)) - 1)
+	return (pc ^ h) & g.table.mask
 }
 
 // Name implements Predictor.
 func (g *GShare) Name() string { return fmt.Sprintf("gshare-%d.%d", g.tableBits, g.histBits) }
 
 // Predict implements Predictor.
-func (g *GShare) Predict(pc uint64) bool { return g.table[g.index(pc)].taken() }
+func (g *GShare) Predict(pc uint64) bool { return g.table.taken(g.index(pc)) }
 
 // Update implements Predictor.
 func (g *GShare) Update(pc uint64, taken bool) {
-	i := g.index(pc)
-	g.table[i] = g.table[i].update(taken)
+	g.table.update(g.index(pc), taken)
 	g.ObserveBit(taken)
 }
 
 // PredictUpdate implements Fused.
 func (g *GShare) PredictUpdate(pc uint64, taken bool) bool {
-	i := g.index(pc)
-	c := g.table[i]
-	g.table[i] = c.update(taken)
-	g.hist = g.hist<<1 | b2u(taken)
-	return c.taken()
+	up := b2u(taken)
+	pred := g.table.predictUpdate(g.index(pc), up)
+	g.hist = g.hist<<1 | up
+	return pred
 }
 
 // ObserveBit implements HistoryObserver.
@@ -204,7 +174,7 @@ func (g *GShare) ObserveBit(bit bool) {
 
 // Reset implements Predictor.
 func (g *GShare) Reset() {
-	g.table = newTable(g.tableBits)
+	g.table.reset()
 	g.hist = 0
 }
 
@@ -215,7 +185,7 @@ func (g *GShare) History() uint64 { return g.hist & ((1 << g.histBits) - 1) }
 type GSelect struct {
 	tableBits int
 	histBits  int
-	table     []counter
+	table     ctrTable
 	hist      uint64
 }
 
@@ -225,34 +195,32 @@ func NewGSelect(tableBits, histBits int) *GSelect {
 	if histBits > tableBits {
 		histBits = tableBits
 	}
-	return &GSelect{tableBits: tableBits, histBits: histBits, table: newTable(tableBits)}
+	return &GSelect{tableBits: tableBits, histBits: histBits, table: newCtrTable(tableBits, counterInit)}
 }
 
 func (g *GSelect) index(pc uint64) uint64 {
 	h := g.hist & ((1 << g.histBits) - 1)
-	return ((pc << g.histBits) | h) & (uint64(len(g.table)) - 1)
+	return ((pc << g.histBits) | h) & g.table.mask
 }
 
 // Name implements Predictor.
 func (g *GSelect) Name() string { return fmt.Sprintf("gselect-%d.%d", g.tableBits, g.histBits) }
 
 // Predict implements Predictor.
-func (g *GSelect) Predict(pc uint64) bool { return g.table[g.index(pc)].taken() }
+func (g *GSelect) Predict(pc uint64) bool { return g.table.taken(g.index(pc)) }
 
 // Update implements Predictor.
 func (g *GSelect) Update(pc uint64, taken bool) {
-	i := g.index(pc)
-	g.table[i] = g.table[i].update(taken)
+	g.table.update(g.index(pc), taken)
 	g.ObserveBit(taken)
 }
 
 // PredictUpdate implements Fused.
 func (g *GSelect) PredictUpdate(pc uint64, taken bool) bool {
-	i := g.index(pc)
-	c := g.table[i]
-	g.table[i] = c.update(taken)
-	g.hist = g.hist<<1 | b2u(taken)
-	return c.taken()
+	up := b2u(taken)
+	pred := g.table.predictUpdate(g.index(pc), up)
+	g.hist = g.hist<<1 | up
+	return pred
 }
 
 // ObserveBit implements HistoryObserver.
@@ -265,21 +233,21 @@ func (g *GSelect) ObserveBit(bit bool) {
 
 // Reset implements Predictor.
 func (g *GSelect) Reset() {
-	g.table = newTable(g.tableBits)
+	g.table.reset()
 	g.hist = 0
 }
 
 // GAg indexes its table purely by global history.
 type GAg struct {
 	histBits int
-	table    []counter
+	table    ctrTable
 	hist     uint64
 }
 
 // NewGAg returns a GAg predictor with histBits of history and 2^histBits
 // counters.
 func NewGAg(histBits int) *GAg {
-	return &GAg{histBits: histBits, table: newTable(histBits)}
+	return &GAg{histBits: histBits, table: newCtrTable(histBits, counterInit)}
 }
 
 // Name implements Predictor.
@@ -287,23 +255,21 @@ func (g *GAg) Name() string { return fmt.Sprintf("gag-%d", g.histBits) }
 
 // Predict implements Predictor.
 func (g *GAg) Predict(uint64) bool {
-	return g.table[g.hist&((1<<g.histBits)-1)].taken()
+	return g.table.taken(g.hist & g.table.mask)
 }
 
 // Update implements Predictor.
 func (g *GAg) Update(_ uint64, taken bool) {
-	i := g.hist & ((1 << g.histBits) - 1)
-	g.table[i] = g.table[i].update(taken)
+	g.table.update(g.hist&g.table.mask, taken)
 	g.ObserveBit(taken)
 }
 
 // PredictUpdate implements Fused.
 func (g *GAg) PredictUpdate(_ uint64, taken bool) bool {
-	i := g.hist & ((1 << g.histBits) - 1)
-	c := g.table[i]
-	g.table[i] = c.update(taken)
-	g.hist = g.hist<<1 | b2u(taken)
-	return c.taken()
+	up := b2u(taken)
+	pred := g.table.predictUpdate(g.hist&g.table.mask, up)
+	g.hist = g.hist<<1 | up
+	return pred
 }
 
 // ObserveBit implements HistoryObserver.
@@ -316,7 +282,7 @@ func (g *GAg) ObserveBit(bit bool) {
 
 // Reset implements Predictor.
 func (g *GAg) Reset() {
-	g.table = newTable(g.histBits)
+	g.table.reset()
 	g.hist = 0
 }
 
@@ -327,7 +293,7 @@ type Local struct {
 	histBits    int // history length per entry
 	patBits     int // log2 of pattern-table counters
 	hists       []uint64
-	table       []counter
+	table       ctrTable
 }
 
 // NewLocal returns a local predictor with 2^histEntBits branch histories of
@@ -338,7 +304,7 @@ func NewLocal(histEntBits, histBits, patBits int) *Local {
 		histBits:    histBits,
 		patBits:     patBits,
 		hists:       make([]uint64, 1<<histEntBits),
-		table:       newTable(patBits),
+		table:       newCtrTable(patBits, counterInit),
 	}
 }
 
@@ -346,7 +312,7 @@ func (l *Local) histIndex(pc uint64) uint64 { return pc & (uint64(len(l.hists)) 
 
 func (l *Local) patIndex(pc uint64) uint64 {
 	h := l.hists[l.histIndex(pc)] & ((1 << l.histBits) - 1)
-	return h & (uint64(len(l.table)) - 1)
+	return h & l.table.mask
 }
 
 // Name implements Predictor.
@@ -355,12 +321,11 @@ func (l *Local) Name() string {
 }
 
 // Predict implements Predictor.
-func (l *Local) Predict(pc uint64) bool { return l.table[l.patIndex(pc)].taken() }
+func (l *Local) Predict(pc uint64) bool { return l.table.taken(l.patIndex(pc)) }
 
 // Update implements Predictor.
 func (l *Local) Update(pc uint64, taken bool) {
-	pi := l.patIndex(pc)
-	l.table[pi] = l.table[pi].update(taken)
+	l.table.update(l.patIndex(pc), taken)
 	hi := l.histIndex(pc)
 	l.hists[hi] <<= 1
 	if taken {
@@ -372,17 +337,16 @@ func (l *Local) Update(pc uint64, taken bool) {
 func (l *Local) PredictUpdate(pc uint64, taken bool) bool {
 	hi := l.histIndex(pc)
 	h := l.hists[hi] & ((1 << l.histBits) - 1)
-	pi := h & (uint64(len(l.table)) - 1)
-	c := l.table[pi]
-	l.table[pi] = c.update(taken)
-	l.hists[hi] = l.hists[hi]<<1 | b2u(taken)
-	return c.taken()
+	up := b2u(taken)
+	pred := l.table.predictUpdate(h&l.table.mask, up)
+	l.hists[hi] = l.hists[hi]<<1 | up
+	return pred
 }
 
 // Reset implements Predictor.
 func (l *Local) Reset() {
-	l.hists = make([]uint64, 1<<l.histEntBits)
-	l.table = newTable(l.patBits)
+	clear(l.hists)
+	l.table.reset()
 }
 
 // Tournament is a McFarling combining predictor: a global (gshare) and a
@@ -391,7 +355,7 @@ func (l *Local) Reset() {
 type Tournament struct {
 	global  *GShare
 	local   *Local
-	chooser []counter // taken() == true selects the global component
+	chooser ctrTable // taken == true selects the global component
 	chBits  int
 }
 
@@ -401,7 +365,7 @@ func NewTournament(bits, histBits int) *Tournament {
 	return &Tournament{
 		global:  NewGShare(bits, histBits),
 		local:   NewLocal(bits-2, 10, bits-2),
-		chooser: newTable(bits),
+		chooser: newCtrTable(bits, counterInit),
 		chBits:  bits,
 	}
 }
@@ -409,11 +373,11 @@ func NewTournament(bits, histBits int) *Tournament {
 // Name implements Predictor.
 func (t *Tournament) Name() string { return fmt.Sprintf("tournament-%d", t.chBits) }
 
-func (t *Tournament) chIndex(pc uint64) uint64 { return pc & (uint64(len(t.chooser)) - 1) }
+func (t *Tournament) chIndex(pc uint64) uint64 { return pc & t.chooser.mask }
 
 // Predict implements Predictor.
 func (t *Tournament) Predict(pc uint64) bool {
-	if t.chooser[t.chIndex(pc)].taken() {
+	if t.chooser.taken(t.chIndex(pc)) {
 		return t.global.Predict(pc)
 	}
 	return t.local.Predict(pc)
@@ -424,8 +388,7 @@ func (t *Tournament) Update(pc uint64, taken bool) {
 	g := t.global.Predict(pc)
 	l := t.local.Predict(pc)
 	if g != l {
-		i := t.chIndex(pc)
-		t.chooser[i] = t.chooser[i].update(g == taken)
+		t.chooser.update(t.chIndex(pc), g == taken)
 	}
 	t.global.Update(pc, taken)
 	t.local.Update(pc, taken)
@@ -437,11 +400,11 @@ func (t *Tournament) Update(pc uint64, taken bool) {
 // fused steps instead of being computed twice.
 func (t *Tournament) PredictUpdate(pc uint64, taken bool) bool {
 	ci := t.chIndex(pc)
-	useGlobal := t.chooser[ci].taken()
+	useGlobal := t.chooser.taken(ci)
 	g := t.global.PredictUpdate(pc, taken)
 	l := t.local.PredictUpdate(pc, taken)
 	if g != l {
-		t.chooser[ci] = t.chooser[ci].update(g == taken)
+		t.chooser.update(ci, g == taken)
 	}
 	if useGlobal {
 		return g
@@ -456,7 +419,7 @@ func (t *Tournament) ObserveBit(bit bool) { t.global.ObserveBit(bit) }
 func (t *Tournament) Reset() {
 	t.global.Reset()
 	t.local.Reset()
-	t.chooser = newTable(t.chBits)
+	t.chooser.reset()
 }
 
 // Compile-time interface checks.

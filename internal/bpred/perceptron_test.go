@@ -99,7 +99,7 @@ func TestPerceptronWeightSaturation(t *testing.T) {
 	for i := 0; i < 1000; i++ {
 		p.Update(1, true)
 	}
-	w := p.weights[p.index(1)]
+	w := p.row(p.index(1))
 	for i, v := range w {
 		if v > 127 || v < -127 {
 			t.Errorf("weight %d out of range: %d", i, v)

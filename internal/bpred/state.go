@@ -28,29 +28,10 @@ type Stater interface {
 	LoadState(c *wire.Cursor) error
 }
 
-// appendCounters writes a counter table one byte per counter.
-func appendCounters(buf []byte, t []counter) []byte {
-	for _, c := range t {
-		buf = append(buf, byte(c))
-	}
-	return buf
-}
-
-// loadCounters reads len(t) counters into t, validating the 2-bit range
-// so a corrupt snapshot cannot smuggle in out-of-range counter values.
-func loadCounters(c *wire.Cursor, t []counter) error {
-	p := c.Take(len(t))
-	if p == nil {
-		return c.Err()
-	}
-	for i, b := range p {
-		if b > 3 {
-			return c.Fail(fmt.Errorf("bpred: counter %d out of range (%d)", i, b))
-		}
-		t[i] = counter(b)
-	}
-	return nil
-}
+// Counter tables serialize through ctrTable.appendState/loadState: the
+// canonical encoding is one byte per counter regardless of the packed
+// in-memory word layout, so snapshots taken before the packing decode
+// (and re-encode) byte-identically.
 
 // AppendState implements Stater. Static has no mutable state.
 func (s *Static) AppendState(buf []byte) []byte { return buf }
@@ -59,45 +40,45 @@ func (s *Static) AppendState(buf []byte) []byte { return buf }
 func (s *Static) LoadState(*wire.Cursor) error { return nil }
 
 // AppendState implements Stater.
-func (b *Bimodal) AppendState(buf []byte) []byte { return appendCounters(buf, b.table) }
+func (b *Bimodal) AppendState(buf []byte) []byte { return b.table.appendState(buf) }
 
 // LoadState implements Stater.
-func (b *Bimodal) LoadState(c *wire.Cursor) error { return loadCounters(c, b.table) }
+func (b *Bimodal) LoadState(c *wire.Cursor) error { return b.table.loadState(c) }
 
 // AppendState implements Stater.
 func (g *GShare) AppendState(buf []byte) []byte {
 	buf = wire.AppendU64(buf, g.hist)
-	return appendCounters(buf, g.table)
+	return g.table.appendState(buf)
 }
 
 // LoadState implements Stater.
 func (g *GShare) LoadState(c *wire.Cursor) error {
 	g.hist = c.U64()
-	return loadCounters(c, g.table)
+	return g.table.loadState(c)
 }
 
 // AppendState implements Stater.
 func (g *GSelect) AppendState(buf []byte) []byte {
 	buf = wire.AppendU64(buf, g.hist)
-	return appendCounters(buf, g.table)
+	return g.table.appendState(buf)
 }
 
 // LoadState implements Stater.
 func (g *GSelect) LoadState(c *wire.Cursor) error {
 	g.hist = c.U64()
-	return loadCounters(c, g.table)
+	return g.table.loadState(c)
 }
 
 // AppendState implements Stater.
 func (g *GAg) AppendState(buf []byte) []byte {
 	buf = wire.AppendU64(buf, g.hist)
-	return appendCounters(buf, g.table)
+	return g.table.appendState(buf)
 }
 
 // LoadState implements Stater.
 func (g *GAg) LoadState(c *wire.Cursor) error {
 	g.hist = c.U64()
-	return loadCounters(c, g.table)
+	return g.table.loadState(c)
 }
 
 // AppendState implements Stater.
@@ -105,7 +86,7 @@ func (l *Local) AppendState(buf []byte) []byte {
 	for _, h := range l.hists {
 		buf = wire.AppendU64(buf, h)
 	}
-	return appendCounters(buf, l.table)
+	return l.table.appendState(buf)
 }
 
 // LoadState implements Stater.
@@ -113,7 +94,7 @@ func (l *Local) LoadState(c *wire.Cursor) error {
 	for i := range l.hists {
 		l.hists[i] = c.U64()
 	}
-	return loadCounters(c, l.table)
+	return l.table.loadState(c)
 }
 
 // AppendState implements Stater: the global and local components'
@@ -121,7 +102,7 @@ func (l *Local) LoadState(c *wire.Cursor) error {
 func (t *Tournament) AppendState(buf []byte) []byte {
 	buf = t.global.AppendState(buf)
 	buf = t.local.AppendState(buf)
-	return appendCounters(buf, t.chooser)
+	return t.chooser.appendState(buf)
 }
 
 // LoadState implements Stater.
@@ -132,7 +113,7 @@ func (t *Tournament) LoadState(c *wire.Cursor) error {
 	if err := t.local.LoadState(c); err != nil {
 		return err
 	}
-	return loadCounters(c, t.chooser)
+	return t.chooser.loadState(c)
 }
 
 // AppendState implements Stater: the history, the agree counter table,
@@ -140,7 +121,7 @@ func (t *Tournament) LoadState(c *wire.Cursor) error {
 // plus valid/bias flags).
 func (a *Agree) AppendState(buf []byte) []byte {
 	buf = wire.AppendU64(buf, a.hist)
-	buf = appendCounters(buf, a.table)
+	buf = a.table.appendState(buf)
 	buf = append(buf, a.rr...)
 	for i := range a.bias {
 		e := &a.bias[i]
@@ -160,7 +141,7 @@ func (a *Agree) AppendState(buf []byte) []byte {
 // LoadState implements Stater.
 func (a *Agree) LoadState(c *wire.Cursor) error {
 	a.hist = c.U64()
-	if err := loadCounters(c, a.table); err != nil {
+	if err := a.table.loadState(c); err != nil {
 		return err
 	}
 	rr := c.Take(len(a.rr))
@@ -187,11 +168,13 @@ func (a *Agree) LoadState(c *wire.Cursor) error {
 }
 
 // AppendState implements Stater: the history then every weight vector,
-// one signed byte per weight.
+// one signed byte per weight. Rows are written without their stride
+// padding, so the encoding is identical to the retired slice-of-rows
+// layout's.
 func (p *Perceptron) AppendState(buf []byte) []byte {
 	buf = wire.AppendU64(buf, p.hist)
-	for _, w := range p.weights {
-		for _, v := range w {
+	for e := uint64(0); e <= p.idxMask; e++ {
+		for _, v := range p.row(e) {
 			buf = append(buf, byte(v))
 		}
 	}
@@ -201,7 +184,8 @@ func (p *Perceptron) AppendState(buf []byte) []byte {
 // LoadState implements Stater.
 func (p *Perceptron) LoadState(c *wire.Cursor) error {
 	p.hist = c.U64()
-	for _, w := range p.weights {
+	for e := uint64(0); e <= p.idxMask; e++ {
+		w := p.row(e)
 		row := c.Take(len(w))
 		if row == nil {
 			return c.Err()

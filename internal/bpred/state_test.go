@@ -102,13 +102,13 @@ func TestLoadStateRejectsCorruptValues(t *testing.T) {
 	a := NewAgree(4, 4)
 	state = a.AppendState(nil)
 	// Layout: u64 hist, then the counter table, then rr.
-	state[8+len(a.table)] = agreeWays // rr cursor out of range
+	state[8+a.table.size()] = agreeWays // rr cursor out of range
 	if err := NewAgree(4, 4).LoadState(wire.NewCursor(state)); err == nil {
 		t.Fatal("out-of-range rr cursor accepted")
 	}
 
 	state = a.AppendState(nil)
-	state[8+len(a.table)+len(a.rr)+8] = 7 // bias flags > 3
+	state[8+a.table.size()+len(a.rr)+8] = 7 // bias flags > 3
 	if err := NewAgree(4, 4).LoadState(wire.NewCursor(state)); err == nil {
 		t.Fatal("out-of-range bias flags accepted")
 	}

@@ -53,6 +53,61 @@ func (e *Evaluator) FeedBatch(events []trace.Event) {
 	}
 }
 
+// FeedBatches advances the evaluation by several batches of events, in
+// order, exactly as calling FeedBatch on each would. The type switch —
+// and with it the predictor devirtualization — happens once for the
+// whole group rather than once per batch, so a scheduling pass that has
+// gathered many small queued batches for one hot session (the serve
+// shard wakeup path) pays the dispatch cost once and then runs the
+// monomorphic loop back to back while the predictor's tables stay
+// cache-resident.
+func (e *Evaluator) FeedBatches(batches [][]trace.Event) {
+	switch p := e.p.(type) {
+	case *bpred.GShare:
+		for _, b := range batches {
+			feedFused(e, p, b)
+		}
+	case *bpred.Bimodal:
+		for _, b := range batches {
+			feedFused(e, p, b)
+		}
+	case *bpred.Tournament:
+		for _, b := range batches {
+			feedFused(e, p, b)
+		}
+	case *bpred.Agree:
+		for _, b := range batches {
+			feedFused(e, p, b)
+		}
+	case *bpred.Perceptron:
+		for _, b := range batches {
+			feedFused(e, p, b)
+		}
+	case *bpred.GSelect:
+		for _, b := range batches {
+			feedFused(e, p, b)
+		}
+	case *bpred.GAg:
+		for _, b := range batches {
+			feedFused(e, p, b)
+		}
+	case *bpred.Local:
+		for _, b := range batches {
+			feedFused(e, p, b)
+		}
+	case *bpred.Static:
+		for _, b := range batches {
+			feedFused(e, p, b)
+		}
+	default:
+		for _, b := range batches {
+			for i := range b {
+				e.Feed(&b[i])
+			}
+		}
+	}
+}
+
 // feedFused is the specialized batch loop, instantiated per concrete
 // predictor type so the predict+train step is a direct (fused) call. Its
 // body must stay semantically identical to Evaluator.Feed; the oracle's

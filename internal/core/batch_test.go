@@ -135,6 +135,41 @@ func TestFeedBatchMatchesFeedSynthetic(t *testing.T) {
 	}
 }
 
+// TestFeedBatchesMatchesFeedBatch checks the grouped entry point: feeding
+// a set of batches through one FeedBatches call must produce metrics
+// identical to feeding each batch through FeedBatch in order, for every
+// specialized kind and for the generic fallback.
+func TestFeedBatchesMatchesFeedBatch(t *testing.T) {
+	events := syntheticBatch(4096)
+	// Uneven batch sizes, including an empty one mid-group.
+	cuts := []int{0, 700, 700, 1234, 2048, 4000, 4096}
+	var batches [][]trace.Event
+	for i := 1; i < len(cuts); i++ {
+		batches = append(batches, events[cuts[i-1]:cuts[i]])
+	}
+	builders := specializedPredictors()
+	builders["fallback"] = func() bpred.Predictor { return &unregisteredPredictor{} }
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			cfg := EvalConfig{
+				UseSFPF: true, FilterTrue: true, TrainFiltered: true, ResolveDelay: 4,
+				PGU: PGUAll, PGUDelay: 0, PerBranch: true,
+			}
+			cfg.Predictor = build()
+			one := NewEvaluator(cfg)
+			for _, b := range batches {
+				one.FeedBatch(b)
+			}
+			cfg.Predictor = build()
+			grouped := NewEvaluator(cfg)
+			grouped.FeedBatches(batches)
+			if got, want := grouped.Metrics(), one.Metrics(); !reflect.DeepEqual(got, want) {
+				t.Errorf("FeedBatches metrics diverge from per-batch FeedBatch:\n%s", metricsDiffTest(got, want))
+			}
+		})
+	}
+}
+
 // metricsDiffTest mirrors the oracle's field-by-field diff for readable
 // failures without importing internal/oracle (which imports core).
 func metricsDiffTest(a, b Metrics) string {

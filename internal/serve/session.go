@@ -93,19 +93,44 @@ func (s *session) info(withMetrics bool) *SessionInfo {
 	return inf
 }
 
+// shardOp is one unit of queued shard work. Exactly one field is set:
+// fn for control-plane ops (create, delete, metrics, snapshot, ...),
+// feed for event batches. Feeds carry their request as data rather than
+// a closure so the scheduling pass can see across them and group
+// same-session batches; fn ops are opaque and act as barriers.
+type shardOp struct {
+	fn   func()
+	feed *feedReq
+}
+
+// feedReq is one queued event batch, the data previously captured by the
+// Feed op closure.
+type feedReq struct {
+	id          string
+	events      []trace.Event
+	insts       uint64
+	seq         uint64
+	withMetrics bool
+	reply       chan sessionReply
+}
+
 // shard owns a partition of the session table. All mutation happens on
-// the shard's run goroutine, which executes queued ops one at a time:
-// single-writer ownership means the event-feed hot path takes no locks.
+// the shard's run goroutine, which drains the queue in scheduling
+// passes: single-writer ownership means the event-feed hot path takes no
+// locks, and batches queued for the same hot session during one wakeup
+// are fed back to back through one devirtualized FeedBatches call while
+// the predictor's tables are cache-resident.
 type shard struct {
 	mgr *sessionManager
 
-	ops  chan func()
+	ops  chan shardOp
 	quit chan struct{}
 
 	// Owned by the run goroutine.
 	sessions map[string]*session
 	lru      *list.List // front = most recently used
 	bytes    int64
+	passBuf  []shardOp // reused per-pass drain buffer
 
 	maxSessions int
 	maxBytes    int64
@@ -118,7 +143,7 @@ func (sh *shard) run(ttl, sweepEvery time.Duration) {
 	for {
 		select {
 		case op := <-sh.ops:
-			op()
+			sh.pass(op)
 		case <-ticker.C:
 			if ttl > 0 {
 				sh.expire(sh.mgr.now())
@@ -130,12 +155,164 @@ func (sh *shard) run(ttl, sweepEvery time.Duration) {
 			for {
 				select {
 				case op := <-sh.ops:
-					op()
+					sh.pass(op)
 				default:
 					return
 				}
 			}
 		}
+	}
+}
+
+// pass executes one scheduling pass: the op that woke the shard plus
+// everything else already queued. Ops run in arrival order, with one
+// exception that preserves observable semantics: a contiguous run of
+// feed ops is grouped by session, so n batches queued for one session
+// execute as a single lookup + seq walk + FeedBatches flush instead of n
+// independent dispatches. fn ops are barriers — grouping never reorders
+// a feed across a create/delete/snapshot — and per-session feed order is
+// arrival order, so sequence semantics are unchanged.
+func (sh *shard) pass(first shardOp) {
+	ops := append(sh.passBuf[:0], first)
+drain:
+	for {
+		select {
+		case op := <-sh.ops:
+			ops = append(ops, op)
+		default:
+			break drain
+		}
+	}
+	sh.mgr.tel.schedPasses.Inc()
+	for i := 0; i < len(ops); {
+		if ops[i].fn != nil {
+			ops[i].fn()
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(ops) && ops[j].feed != nil {
+			j++
+		}
+		sh.feedRun(ops[i:j])
+		i = j
+	}
+	// The buffer holds reply channels and event slices; clear before
+	// reuse so a quiet shard doesn't pin a past pass's batches live.
+	clear(ops)
+	sh.passBuf = ops[:0]
+}
+
+// feedRun executes one contiguous run of feed ops, grouping them by
+// session. First-appearance order decides session order; within a
+// session, arrival order is preserved.
+func (sh *shard) feedRun(run []shardOp) {
+	var one [1]*feedReq
+	if len(run) == 1 {
+		// The common serial-client case: one queued batch, no grouping
+		// bookkeeping.
+		one[0] = run[0].feed
+		sh.feedSession(run[0].feed.id, one[:])
+		sh.makeRoom(sh.mgr.now(), 0)
+		return
+	}
+	var group []*feedReq
+	for i := range run {
+		if run[i].feed == nil {
+			continue // already claimed by an earlier session group
+		}
+		id := run[i].feed.id
+		group = append(group[:0], run[i].feed)
+		for j := i + 1; j < len(run); j++ {
+			if run[j].feed != nil && run[j].feed.id == id {
+				group = append(group, run[j].feed)
+				run[j].feed = nil
+			}
+		}
+		if len(group) > 1 {
+			sh.mgr.tel.schedGrouped.Add(uint64(len(group)))
+		}
+		sh.feedSession(id, group)
+	}
+	sh.makeRoom(sh.mgr.now(), 0)
+}
+
+// feedSession applies a session's grouped feed requests in order. The
+// seq walk (duplicate acks, gap rejects, bookkeeping) runs eagerly per
+// request; accepted batches accumulate and flush through one
+// FeedBatches call — immediately when a request wants metrics in its
+// reply, at the end of the group otherwise. Replies for applied batches
+// are sent only after their events are flushed, so an acked batch is
+// always applied state, exactly as when each batch was its own op.
+func (sh *shard) feedSession(id string, group []*feedReq) {
+	// The clock is read per session group, not per pass: a session touched
+	// by an earlier group in this pass must look idle to a later group's
+	// warm restore, or makeRoom under a full table would refuse to evict it
+	// and the restore — and the feed behind it — would fail spuriously.
+	now := sh.mgr.now()
+	s, ok := sh.lookup(id, now)
+	if !ok {
+		for _, r := range group {
+			r.reply <- sessionReply{err: ErrNotFound}
+		}
+		return
+	}
+	var batches [][]trace.Event
+	var applied []*feedReq // replies owed after the final flush, in order
+	var totals []uint64    // session event totals as of each applied batch
+	flush := func() {
+		if len(batches) > 0 {
+			s.eval.FeedBatches(batches)
+			batches = batches[:0]
+		}
+	}
+	for _, r := range group {
+		// Sequence-numbered batches are exactly-once: a seq at or below
+		// the last applied one is a retry of work already done (common
+		// after a failover, when the client re-sends an acked batch) and
+		// is acknowledged without re-feeding; a seq that skips ahead means
+		// a batch was lost and the stream cannot be applied faithfully.
+		if r.seq > 0 && s.lastSeq > 0 {
+			if r.seq <= s.lastSeq {
+				res := FeedResult{Events: len(r.events), TotalEvents: s.events, Duplicate: true}
+				if r.withMetrics {
+					flush()
+					res.Info = s.info(true)
+				}
+				r.reply <- sessionReply{feed: res}
+				continue
+			}
+			if r.seq != s.lastSeq+1 {
+				r.reply <- sessionReply{err: fmt.Errorf("%w: batch seq %d after %d", ErrSeqGap, r.seq, s.lastSeq)}
+				continue
+			}
+		}
+		if r.seq > 0 {
+			s.lastSeq = r.seq
+		}
+		// The hot path: one goroutine, no locks, batches accumulated for
+		// one devirtualized flush through the evaluator's fused fast path.
+		batches = append(batches, r.events)
+		s.eval.AddInsts(r.insts)
+		s.events += uint64(len(r.events))
+		s.batches++
+		sh.mgr.tel.events.Add(uint64(len(r.events)))
+		sh.mgr.tel.batches.Inc()
+		if r.withMetrics {
+			flush()
+			r.reply <- sessionReply{feed: FeedResult{
+				Events: len(r.events), TotalEvents: s.events, Info: s.info(true),
+			}}
+			continue
+		}
+		applied = append(applied, r)
+		totals = append(totals, s.events)
+	}
+	flush()
+	sh.touch(s, now)
+	sh.setBytes(s, specBytes(s.spec)+int64(len(s.eval.Metrics().ByPC))*96)
+	for i, r := range applied {
+		r.reply <- sessionReply{feed: FeedResult{Events: len(r.events), TotalEvents: totals[i]}}
 	}
 }
 
@@ -322,7 +499,7 @@ func newSessionManager(cfg Config, tel *serverMetrics, spill *spillStore) *sessi
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
 			mgr:         m,
-			ops:         make(chan func(), cfg.QueueDepth),
+			ops:         make(chan shardOp, cfg.QueueDepth),
 			quit:        make(chan struct{}),
 			sessions:    make(map[string]*session),
 			lru:         list.New(),
@@ -349,7 +526,7 @@ func (m *sessionManager) shardFor(id string) *shard {
 // enqueue submits an op to a shard. Blocking ops wait for queue space
 // (bounded by ctx); batch ops instead fail fast with ErrBusy when the
 // queue is full — the HTTP layer turns that into 429 backpressure.
-func (m *sessionManager) enqueue(ctx context.Context, sh *shard, op func(), block bool) error {
+func (m *sessionManager) enqueue(ctx context.Context, sh *shard, op shardOp, block bool) error {
 	if m.closed.Load() {
 		return ErrClosing
 	}
@@ -432,7 +609,7 @@ func (m *sessionManager) Create(ctx context.Context, id string, spec sim.Spec, c
 		m.tel.sessCreated.Inc()
 		reply <- sessionReply{info: s.info(false)}
 	}
-	if err := m.enqueue(ctx, sh, op, true); err != nil {
+	if err := m.enqueue(ctx, sh, shardOp{fn: op}, true); err != nil {
 		return nil, err
 	}
 	r, err := m.wait(ctx, reply)
@@ -448,54 +625,11 @@ func (m *sessionManager) Create(ctx context.Context, id string, spec sim.Spec, c
 func (m *sessionManager) Feed(ctx context.Context, id string, events []trace.Event, insts uint64, seq uint64, withMetrics bool) (FeedResult, error) {
 	sh := m.shardFor(id)
 	reply := make(chan sessionReply, 1)
-	op := func() {
-		now := m.now()
-		s, ok := sh.lookup(id, now)
-		if !ok {
-			reply <- sessionReply{err: ErrNotFound}
-			return
-		}
-		// Sequence-numbered batches are exactly-once: a seq at or below
-		// the last applied one is a retry of work already done (common
-		// after a failover, when the client re-sends an acked batch) and
-		// is acknowledged without re-feeding; a seq that skips ahead means
-		// a batch was lost and the stream cannot be applied faithfully.
-		if seq > 0 && s.lastSeq > 0 {
-			if seq <= s.lastSeq {
-				sh.touch(s, now)
-				res := FeedResult{Events: len(events), TotalEvents: s.events, Duplicate: true}
-				if withMetrics {
-					res.Info = s.info(true)
-				}
-				reply <- sessionReply{feed: res}
-				return
-			}
-			if seq != s.lastSeq+1 {
-				reply <- sessionReply{err: fmt.Errorf("%w: batch seq %d after %d", ErrSeqGap, seq, s.lastSeq)}
-				return
-			}
-		}
-		if seq > 0 {
-			s.lastSeq = seq
-		}
-		// The hot path: one goroutine, no locks, one devirtualized batch
-		// feed through the evaluator's fused fast path.
-		s.eval.FeedBatch(events)
-		s.eval.AddInsts(insts)
-		s.events += uint64(len(events))
-		s.batches++
-		sh.touch(s, now)
-		sh.setBytes(s, specBytes(s.spec)+int64(len(s.eval.Metrics().ByPC))*96)
-		m.tel.events.Add(uint64(len(events)))
-		m.tel.batches.Inc()
-		res := FeedResult{Events: len(events), TotalEvents: s.events}
-		if withMetrics {
-			res.Info = s.info(true)
-		}
-		reply <- sessionReply{feed: res}
-		sh.makeRoom(now, 0)
+	req := &feedReq{
+		id: id, events: events, insts: insts, seq: seq,
+		withMetrics: withMetrics, reply: reply,
 	}
-	if err := m.enqueue(ctx, sh, op, false); err != nil {
+	if err := m.enqueue(ctx, sh, shardOp{feed: req}, false); err != nil {
 		return FeedResult{}, err
 	}
 	r, err := m.wait(ctx, reply)
@@ -581,7 +715,7 @@ func (m *sessionManager) Restore(ctx context.Context, id string, res *snap.Resto
 		m.tel.sessCreated.Inc()
 		reply <- sessionReply{info: s.info(false)}
 	}
-	if err := m.enqueue(ctx, sh, op, true); err != nil {
+	if err := m.enqueue(ctx, sh, shardOp{fn: op}, true); err != nil {
 		return nil, err
 	}
 	r, err := m.wait(ctx, reply)
@@ -599,7 +733,7 @@ func (m *sessionManager) sessionOp(ctx context.Context, id string, fn func(*shar
 		}
 		reply <- sessionReply{info: fn(sh, s)}
 	}
-	if err := m.enqueue(ctx, sh, op, true); err != nil {
+	if err := m.enqueue(ctx, sh, shardOp{fn: op}, true); err != nil {
 		return nil, err
 	}
 	r, err := m.wait(ctx, reply)
@@ -655,7 +789,7 @@ func (m *sessionManager) H2PTop(k int) []core.BranchStats {
 			}
 			reply <- part
 		}
-		if err := m.enqueue(ctx, sh, op, true); err != nil {
+		if err := m.enqueue(ctx, sh, shardOp{fn: op}, true); err != nil {
 			continue
 		}
 		select {
@@ -693,7 +827,7 @@ func (m *sessionManager) List(ctx context.Context) ([]*SessionInfo, error) {
 			}
 			reply <- batch
 		}
-		if err := m.enqueue(ctx, sh, op, true); err != nil {
+		if err := m.enqueue(ctx, sh, shardOp{fn: op}, true); err != nil {
 			return nil, err
 		}
 		select {

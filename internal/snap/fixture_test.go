@@ -1,0 +1,140 @@
+package snap
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// -update regenerates the committed fixture snapshots from the current
+// encoder. Only use it after an intentional, version-bumped format
+// change (or a change to the fixture workload itself); the whole point
+// of the fixtures is that unintentional encoding drift fails loudly.
+var updateFixtures = flag.Bool("update", false, "rewrite testdata fixture snapshots")
+
+// fixtureCases pins one snapshot per structurally distinct predictor
+// state encoding: packed 2-bit counter tables (gshare), the SoA
+// perceptron weight matrix, and the agree predictor's set-associative
+// bias table riding alongside a packed table.
+var fixtureCases = []struct {
+	file string
+	spec string
+}{
+	{"gshare_12_8.p64s", "gshare:12:8"},
+	{"perceptron_8_24.p64s", "perceptron:8:24"},
+	{"agree_12_8.p64s", "agree:12:8"},
+}
+
+// fixtureMeta is deliberately non-zero in every field so the fixtures
+// also pin the meta section's layout.
+var fixtureMeta = Meta{SessionID: "fixture", Events: 12345, Batches: 11, LastSeq: 42}
+
+// fixtureEval builds the deterministic mid-stream evaluator every
+// fixture snapshots: the standard test workload fed up to the cut point
+// under the full-feature config.
+func fixtureEval(t *testing.T, spec sim.Spec) (*core.Evaluator, int) {
+	t.Helper()
+	tr := testTrace(t)
+	cut := len(tr.Events) * 2 / 5
+	e := core.NewEvaluator(fullCfg(spec.MustNew()))
+	for i := 0; i < cut; i++ {
+		e.Feed(&tr.Events[i])
+	}
+	return e, cut
+}
+
+// TestFixtureCompat is the cross-version compatibility gate: committed
+// .p64s snapshots written by earlier builds must still decode, resume to
+// the same end state as an uninterrupted run, and re-encode
+// byte-identically. Internal state layout changes (counter packing,
+// weight layout) are free to happen, but only if they keep the canonical
+// wire encoding stable; anything else must bump snap.Version and
+// regenerate with -update.
+func TestFixtureCompat(t *testing.T) {
+	tr := testTrace(t)
+	for _, tc := range fixtureCases {
+		t.Run(tc.spec, func(t *testing.T) {
+			spec := sim.MustParse(tc.spec)
+			path := filepath.Join("testdata", tc.file)
+
+			if *updateFixtures {
+				e, _ := fixtureEval(t, spec)
+				blob, err := Encode(spec, e, fixtureMeta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, blob, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d bytes)", path, len(blob))
+				return
+			}
+
+			fixture, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with: go test ./internal/snap -run Fixture -update)", err)
+			}
+
+			// The current encoder must still produce the committed bytes
+			// for the same deterministic state — this is what catches a
+			// table-layout refactor that silently changes the canonical
+			// encoding instead of packing/unpacking at the boundary.
+			e, cut := fixtureEval(t, spec)
+			blob, err := Encode(spec, e, fixtureMeta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(blob, fixture) {
+				t.Fatalf("encoding drift: Encode produced %d bytes != committed fixture %d bytes", len(blob), len(fixture))
+			}
+
+			// Decode → re-encode must reproduce the artifact exactly.
+			res, err := Decode(fixture)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Meta != fixtureMeta {
+				t.Fatalf("meta: got %+v want %+v", res.Meta, fixtureMeta)
+			}
+			re, err := Encode(res.Spec, res.Eval, res.Meta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(re, fixture) {
+				t.Fatal("re-encode of decoded fixture is not byte-identical")
+			}
+
+			// Resuming from the fixture must finish the trace exactly like
+			// an uninterrupted run.
+			full := core.NewEvaluator(fullCfg(spec.MustNew()))
+			for i := range tr.Events {
+				full.Feed(&tr.Events[i])
+			}
+			for i := cut; i < len(tr.Events); i++ {
+				res.Eval.Feed(&tr.Events[i])
+			}
+			if !reflect.DeepEqual(res.Eval.Metrics(), full.Metrics()) {
+				t.Fatalf("metrics diverge after fixture resume:\nresumed %+v\nfull    %+v",
+					res.Eval.Metrics(), full.Metrics())
+			}
+			endMeta := Meta{SessionID: "fixture", Events: uint64(len(tr.Events)), Batches: 12, LastSeq: 43}
+			a, err := Encode(spec, res.Eval, endMeta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Encode(spec, full, endMeta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatal("final snapshots differ between fixture-resumed and uninterrupted runs")
+			}
+		})
+	}
+}
